@@ -1,0 +1,106 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: prior-
+// definition tracking (paper §6.4) and theory-conflict core minimisation in
+// the CDCL(T) loop.
+package scooter_test
+
+import (
+	"testing"
+
+	"scooter/internal/migrate"
+	"scooter/internal/parser"
+	"scooter/internal/typer"
+	"scooter/internal/verify"
+)
+
+// moderatorScript is the §2.2 migration whose email update only verifies
+// via prior definitions.
+const moderatorScript = `
+User::AddField(
+  adminLevel : I64 {
+    read: u -> [u] + User::Find({adminLevel: 2}),
+    write: u -> User::Find({adminLevel: 2})
+  }, u -> if u.isAdmin then 2 else 0);
+User::UpdateFieldPolicy(email, {
+  read: u -> [u] + User::Find({adminLevel: 2})
+});
+`
+
+// BenchmarkAblation_EquivalenceTracking measures the cost of verifying the
+// moderator migration with definitional expansion (the configuration in
+// which it verifies).
+func BenchmarkAblation_EquivalenceTracking_On(b *testing.B) {
+	s := mustSchema(b, chitterBenchSpec)
+	script, err := parser.ParseMigration(moderatorScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := migrate.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := migrate.Verify(s, script, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_EquivalenceTracking_Off measures the same migration
+// with tracking disabled; it is (correctly, for that configuration)
+// rejected, exercising counterexample construction.
+func BenchmarkAblation_EquivalenceTracking_Off(b *testing.B) {
+	s := mustSchema(b, chitterBenchSpec)
+	script, err := parser.ParseMigration(moderatorScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := migrate.DefaultOptions()
+	opts.TrackEquivalences = false
+	for i := 0; i < b.N; i++ {
+		if _, err := migrate.Verify(s, script, opts); err == nil {
+			b.Fatal("without equivalences the email update must be rejected (§6.4)")
+		}
+	}
+}
+
+// coreMinimizationQuery is a strictness proof whose refutation needs several
+// theory-conflict rounds.
+const ablationSpec = `
+@principal
+User {
+  create: public,
+  delete: none,
+  isAdmin: Bool { read: public, write: none },
+  adminLevel: I64 { read: public, write: none },
+  followers: Set(Id(User)) { read: public, write: none }}
+`
+
+func coreMinimizationBench(b *testing.B, disable bool) {
+	s := mustSchema(b, ablationSpec)
+	pOld, err := parser.ParsePolicy(`u -> [u] + User::Find({adminLevel >= 1}) + u.followers`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pNew, err := parser.ParsePolicy(`u -> [u] + User::Find({adminLevel >= 2, isAdmin: true})`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := typer.New(s).CheckPolicy("User", pOld); err != nil {
+		b.Fatal(err)
+	}
+	if err := typer.New(s).CheckPolicy("User", pNew); err != nil {
+		b.Fatal(err)
+	}
+	checker := verify.New(s, nil)
+	checker.DisableCoreMinimization = disable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := checker.CheckStrictness("User", pOld, pNew)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != verify.Safe {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+func BenchmarkAblation_CoreMinimization_On(b *testing.B)  { coreMinimizationBench(b, false) }
+func BenchmarkAblation_CoreMinimization_Off(b *testing.B) { coreMinimizationBench(b, true) }

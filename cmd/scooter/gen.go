@@ -1,0 +1,11 @@
+package main
+
+import (
+	"scooter/internal/gen"
+	"scooter/internal/schema"
+)
+
+// generateORM emits the typed ORM source for a schema.
+func generateORM(s *schema.Schema, pkg string) (string, error) {
+	return gen.Generate(s, pkg)
+}

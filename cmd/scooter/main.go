@@ -1,0 +1,188 @@
+// Command scooter is the Scooter migration tool: it verifies migration
+// scripts against the authoritative policy specification (via the Sidecar
+// verifier), maintains the specification file as migrations apply, and
+// generates the typed Go ORM.
+//
+// Usage:
+//
+//	scooter verify  -spec policy.scp migration.scm...
+//	scooter migrate -spec policy.scp migration.scm...
+//	scooter gen     -spec policy.scp -pkg mypkg [-o orm.go]
+//	scooter fmt     -spec policy.scp
+//	scooter report  fig5
+//
+// verify checks scripts without applying them. migrate verifies, then
+// rewrites the spec file to reflect the migration (creating it on first
+// use). gen emits the typed ORM package. fmt canonicalises a spec file.
+// report regenerates the paper's Figure 5 expressiveness table from the
+// embedded case-study corpus.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"scooter/internal/casestudies"
+	"scooter/internal/migrate"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/specfmt"
+	"scooter/internal/typer"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "verify":
+		err = cmdVerify(os.Args[2:], false)
+	case "migrate":
+		err = cmdVerify(os.Args[2:], true)
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "fmt":
+		err = cmdFmt(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "scooter: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scooter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  scooter verify  -spec policy.scp migration.scm...
+  scooter migrate -spec policy.scp migration.scm...
+  scooter gen     -spec policy.scp -pkg name [-o file.go]
+  scooter fmt     -spec policy.scp
+  scooter report  fig5
+`)
+}
+
+// loadSpec reads and checks a spec file; a missing file yields the empty
+// schema so the first migration can bootstrap a project.
+func loadSpec(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return schema.New(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	f, err := parser.ParsePolicyFile(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func cmdVerify(args []string, apply bool) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
+	noEquiv := fs.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no migration scripts given")
+	}
+	s, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	opts := migrate.DefaultOptions()
+	opts.TrackEquivalences = !*noEquiv
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		script, err := parser.ParseMigration(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		plan, err := migrate.Verify(s, script, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: OK (%d commands", path, len(plan.Reports))
+		weakened := 0
+		for _, r := range plan.Reports {
+			if r.Weakened {
+				weakened++
+			}
+		}
+		if weakened > 0 {
+			fmt.Printf(", %d explicit weakenings", weakened)
+		}
+		fmt.Println(")")
+		s = plan.After
+	}
+	if apply {
+		if err := os.WriteFile(*specPath, []byte(specfmt.Format(s)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s\n", *specPath)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
+	pkg := fs.String("pkg", "models", "generated package name")
+	out := fs.String("o", "", "output file (stdout if empty)")
+	fs.Parse(args)
+	s, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	src, err := generateORM(s, *pkg)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(src), 0o644)
+}
+
+func cmdFmt(args []string) error {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
+	fs.Parse(args)
+	s, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*specPath, []byte(specfmt.Format(s)), 0o644)
+}
+
+func cmdReport(args []string) error {
+	if len(args) != 1 || args[0] != "fig5" {
+		return fmt.Errorf("report: only 'fig5' is supported")
+	}
+	rows, err := casestudies.Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Print(casestudies.FormatFigure5(rows))
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles both executables once into a temp dir.
+func buildCLI(t *testing.T) (scooterBin, sidecarBin string) {
+	t.Helper()
+	dir := t.TempDir()
+	scooterBin = filepath.Join(dir, "scooter")
+	sidecarBin = filepath.Join(dir, "sidecar")
+	for bin, pkg := range map[string]string{scooterBin: "scooter/cmd/scooter", sidecarBin: "scooter/cmd/sidecar"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return
+}
+
+const cliBootstrap = `
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  email: String { read: u -> [u], write: u -> [u] },
+});
+`
+
+const cliUnsafe = `
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u]
+}, u -> u.email);
+`
+
+const cliSafe = `
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u]
+}, u -> u.name);
+`
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	scooterBin, sidecarBin := buildCLI(t)
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "policy.scp")
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	boot := write("001_bootstrap.scm", cliBootstrap)
+	unsafe := write("002_unsafe.scm", cliUnsafe)
+	safe := write("002_safe.scm", cliSafe)
+
+	run := func(wantOK bool, bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if wantOK && err != nil {
+			t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("%s %v: expected failure\n%s", bin, args, out)
+		}
+		return string(out)
+	}
+
+	// migrate bootstraps the spec file from empty.
+	out := run(true, scooterBin, "migrate", "-spec", spec, boot)
+	if !strings.Contains(out, "OK") {
+		t.Errorf("migrate output: %s", out)
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil || !strings.Contains(string(data), "@principal") {
+		t.Fatalf("spec not written: %v\n%s", err, data)
+	}
+
+	// sidecar rejects the unsafe migration with a counterexample.
+	out = run(false, sidecarBin, "-spec", spec, unsafe)
+	if !strings.Contains(out, "UNSAFE") || !strings.Contains(out, "CAN NOW ACCESS") {
+		t.Errorf("sidecar output: %s", out)
+	}
+
+	// verify does not modify the spec.
+	before, _ := os.ReadFile(spec)
+	run(true, scooterBin, "verify", "-spec", spec, safe)
+	after, _ := os.ReadFile(spec)
+	if string(before) != string(after) {
+		t.Error("verify must not rewrite the spec")
+	}
+
+	// migrate applies the safe migration; the spec gains the field.
+	run(true, scooterBin, "migrate", "-spec", spec, safe)
+	data, _ = os.ReadFile(spec)
+	if !strings.Contains(string(data), "bio") {
+		t.Errorf("spec missing bio:\n%s", data)
+	}
+
+	// gen emits a compilable-looking package.
+	out = run(true, scooterBin, "gen", "-spec", spec, "-pkg", "models")
+	if !strings.Contains(out, "package models") || !strings.Contains(out, "type User struct") {
+		t.Errorf("gen output: %s", out)
+	}
+
+	// check-strictness: weakening rejected, strengthening accepted.
+	out = run(false, sidecarBin, "-spec", spec, "-check-strictness", "User", "u -> [u]", "public")
+	if !strings.Contains(out, "UNSAFE") {
+		t.Errorf("strictness output: %s", out)
+	}
+	out = run(true, sidecarBin, "-spec", spec, "-check-strictness", "User", "public", "u -> [u]")
+	if !strings.Contains(out, "OK") {
+		t.Errorf("strictness output: %s", out)
+	}
+
+	// fmt is idempotent.
+	run(true, scooterBin, "fmt", "-spec", spec)
+	once, _ := os.ReadFile(spec)
+	run(true, scooterBin, "fmt", "-spec", spec)
+	twice, _ := os.ReadFile(spec)
+	if string(once) != string(twice) {
+		t.Error("fmt must be idempotent")
+	}
+
+	// report fig5 prints the table.
+	out = run(true, scooterBin, "report", "fig5")
+	if !strings.Contains(out, "BIBIFI") || !strings.Contains(out, "46/46") {
+		t.Errorf("fig5 output: %s", out)
+	}
+}

@@ -1,0 +1,137 @@
+// Command sidecar is the standalone verifier: it checks a migration script
+// against a specification and reports either success or a counterexample,
+// without ever touching data. Use it in CI to gate migrations.
+//
+// Usage:
+//
+//	sidecar -spec policy.scp migration.scm...
+//	sidecar -spec policy.scp -check-strictness MODEL OLD_POLICY NEW_POLICY
+//
+// Exit status is 0 when every check passes, 1 on a violation (the
+// counterexample is printed), and 2 on usage or parse errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"scooter/internal/ast"
+	"scooter/internal/migrate"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+	"scooter/internal/verify"
+)
+
+func main() {
+	specPath := flag.String("spec", "policy.scp", "authoritative specification file")
+	strictness := flag.Bool("check-strictness", false, "compare two policies instead of verifying scripts")
+	noEquiv := flag.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
+	flag.Parse()
+
+	s, err := loadSpec(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *strictness {
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "sidecar: -check-strictness needs MODEL OLD_POLICY NEW_POLICY")
+			os.Exit(2)
+		}
+		os.Exit(checkStrictness(s, flag.Arg(0), flag.Arg(1), flag.Arg(2)))
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "sidecar: no migration scripts given")
+		os.Exit(2)
+	}
+	opts := migrate.DefaultOptions()
+	opts.TrackEquivalences = !*noEquiv
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			os.Exit(2)
+		}
+		script, err := parser.ParseMigration(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		plan, err := migrate.Verify(s, script, opts)
+		if err != nil {
+			var uerr *migrate.UnsafeError
+			if errors.As(err, &uerr) {
+				fmt.Printf("%s: UNSAFE\n%v\n", path, uerr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: OK (%d commands)\n", path, len(plan.Reports))
+		s = plan.After
+	}
+}
+
+func loadSpec(path string) (*schema.Schema, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return schema.New(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	f, err := parser.ParsePolicyFile(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string) int {
+	parse := func(src string) (ast.Policy, bool) {
+		p, err := parser.ParsePolicy(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			return ast.Policy{}, false
+		}
+		if err := typer.New(s).CheckPolicy(model, p); err != nil {
+			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			return ast.Policy{}, false
+		}
+		return p, true
+	}
+	pOld, ok := parse(oldSrc)
+	if !ok {
+		return 2
+	}
+	pNew, ok := parse(newSrc)
+	if !ok {
+		return 2
+	}
+	res, err := verify.New(s, nil).CheckStrictness(model, pOld, pNew)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+		return 2
+	}
+	switch res.Verdict {
+	case verify.Safe:
+		fmt.Println("OK: the new policy is at least as strict as the old one")
+		return 0
+	case verify.Inconclusive:
+		fmt.Println("INCONCLUSIVE: the policies use features beyond the decidable fragment (§6.1)")
+		return 1
+	default:
+		fmt.Println("UNSAFE: the new policy admits principals the old one rejects")
+		fmt.Print(res.Counterexample)
+		return 1
+	}
+}

@@ -1,0 +1,198 @@
+// Package app is a slice of the BIBIFI contest platform served over
+// net/http with the policy-enforcing ORM — the substrate for the paper's
+// §5.4 macro-benchmark. It exposes the two endpoints the paper measures:
+//
+//	GET /announcements  — contest announcements and the schedule
+//	GET /profile        — the logged-in user's own profile
+//
+// Authentication is a demo-grade bearer token: `X-User-Id: <id>` selects
+// the principal; requests without it run as Unauthenticated, exactly the
+// middleware pattern described in §3.3.
+package app
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+
+	"scooter"
+)
+
+// Spec is the application schema and policies.
+const Spec = `
+AddStaticPrincipal(Admin);
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated, Admin],
+  delete: _ -> [Admin],
+  ident: String { read: public, write: none },
+  email: String { read: x -> [x, Admin], write: x -> [x] },
+  school: String { read: x -> [x, Admin], write: x -> [x] },
+  admin: Bool { read: public, write: _ -> [Admin] },
+});
+CreateModel(Contest {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  title: String { read: public, write: _ -> [Admin] },
+  buildStart: DateTime { read: public, write: _ -> [Admin] },
+  buildEnd: DateTime { read: public, write: _ -> [Admin] },
+});
+CreateModel(Announcement {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  contest: Id(Contest) { read: public, write: none },
+  title: String { read: public, write: _ -> [Admin] },
+  markdown: String { read: public, write: _ -> [Admin] },
+  timestamp: DateTime { read: public, write: none },
+});
+`
+
+// Server is the BIBIFI web application.
+type Server struct {
+	W   *scooter.Workspace
+	mux *http.ServeMux
+}
+
+var announcementsTmpl = template.Must(template.New("announcements").Parse(`<!doctype html>
+<title>BIBIFI — Announcements</title>
+<h1>Announcements</h1>
+{{range .Announcements}}<article><h2>{{.Title}}</h2><p>{{.Body}}</p></article>
+{{end}}
+<h1>Schedule</h1>
+<ul>{{range .Contests}}<li>{{.Title}}: {{.Start}} – {{.End}}</li>{{end}}</ul>
+`))
+
+var profileTmpl = template.Must(template.New("profile").Parse(`<!doctype html>
+<title>BIBIFI — Profile</title>
+<h1>{{.Ident}}</h1>
+<dl><dt>Email</dt><dd>{{.Email}}</dd><dt>School</dt><dd>{{.School}}</dd></dl>
+`))
+
+// New builds the application on a fresh workspace, applying the schema
+// migration and seeding demo data.
+func New() (*Server, error) {
+	w := scooter.NewWorkspace()
+	if err := w.Migrate(Spec); err != nil {
+		return nil, err
+	}
+	s := &Server{W: w, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/announcements", s.handleAnnouncements)
+	s.mux.HandleFunc("/profile", s.handleProfile)
+	return s, nil
+}
+
+// Seed inserts n users, one contest, and a set of announcements, and
+// returns the created user ids.
+func (s *Server) Seed(users, announcements int) []scooter.ID {
+	contest := s.W.InsertRaw("Contest", scooter.Doc{
+		"title": "Fall Contest", "buildStart": int64(1_600_000_000), "buildEnd": int64(1_600_600_000),
+	})
+	for i := 0; i < announcements; i++ {
+		s.W.InsertRaw("Announcement", scooter.Doc{
+			"contest":   contest,
+			"title":     fmt.Sprintf("Announcement %d", i),
+			"markdown":  "The build round opens soon.",
+			"timestamp": int64(1_600_000_000 + i),
+		})
+	}
+	ids := make([]scooter.ID, users)
+	for i := range ids {
+		ids[i] = s.W.InsertRaw("User", scooter.Doc{
+			"ident": fmt.Sprintf("user%d", i), "email": fmt.Sprintf("user%d@example.com", i),
+			"school": "UCSD", "admin": false,
+		})
+	}
+	return ids
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(rw http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(rw, r) }
+
+// principal selects the request principal from the X-User-Id header.
+func (s *Server) principal(r *http.Request) scooter.Principal {
+	if v := r.Header.Get("X-User-Id"); v != "" {
+		if id, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return scooter.Instance("User", scooter.ID(id))
+		}
+	}
+	return scooter.Static("Unauthenticated")
+}
+
+func (s *Server) handleAnnouncements(rw http.ResponseWriter, r *http.Request) {
+	pr := s.W.AsPrinc(s.principal(r))
+	anns, err := pr.Find("Announcement")
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	contests, err := pr.Find("Contest")
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type annView struct{ Title, Body string }
+	type contestView struct {
+		Title      string
+		Start, End int64
+	}
+	data := struct {
+		Announcements []annView
+		Contests      []contestView
+	}{}
+	for _, a := range anns {
+		title, _ := a.Get("title")
+		body, _ := a.Get("markdown")
+		data.Announcements = append(data.Announcements, annView{Title: str(title), Body: str(body)})
+	}
+	for _, c := range contests {
+		title, _ := c.Get("title")
+		start, _ := c.Get("buildStart")
+		end, _ := c.Get("buildEnd")
+		data.Contests = append(data.Contests, contestView{Title: str(title), Start: i64(start), End: i64(end)})
+	}
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := announcementsTmpl.Execute(rw, data); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleProfile(rw http.ResponseWriter, r *http.Request) {
+	p := s.principal(r)
+	if p.Static != "" {
+		// Unauthenticated users have no profile: 403, the production-mode
+		// response the paper suggests for policy failures (§3.3).
+		http.Error(rw, "Forbidden", http.StatusForbidden)
+		return
+	}
+	pr := s.W.AsPrinc(p)
+	obj, err := pr.FindByID("User", p.ID)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if obj == nil {
+		http.Error(rw, "Not Found", http.StatusNotFound)
+		return
+	}
+	ident, _ := obj.Get("ident")
+	email, _ := obj.Get("email")
+	school, _ := obj.Get("school")
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	err = profileTmpl.Execute(rw, struct{ Ident, Email, School string }{
+		Ident: str(ident), Email: str(email), School: str(school),
+	})
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func str(v scooter.Value) string {
+	s, _ := v.(string)
+	return s
+}
+
+func i64(v scooter.Value) int64 {
+	n, _ := v.(int64)
+	return n
+}

@@ -1,0 +1,24 @@
+// Command bibifi-web serves the BIBIFI slice on :8080.
+//
+//	go run ./examples/bibifi-web
+//	curl localhost:8080/announcements
+//	curl -H 'X-User-Id: 5' localhost:8080/profile
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	"scooter/examples/bibifi-web/app"
+)
+
+func main() {
+	srv, err := app.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := srv.Seed(10, 5)
+	fmt.Printf("seeded %d users (ids %v..%v); listening on :8080\n", len(ids), ids[0], ids[len(ids)-1])
+	log.Fatal(http.ListenAndServe(":8080", srv))
+}

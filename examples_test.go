@@ -1,0 +1,43 @@
+package scooter_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes each runnable example end to end (skipped under
+// -short: each invocation compiles and runs a main package).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		pkg  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"unsafe migration rejected", "CAN NOW ACCESS", "displayName = alice",
+		}},
+		{"./examples/chitter", []string{
+			"bio migration that leaks pronouns", "CAN NOW ACCESS",
+			"explicit, audited weakening", "adminLevel",
+		}},
+		{"./examples/visitday", []string{
+			"student's schedule", "resetToken present=true", "<nil>",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.pkg, func(t *testing.T) {
+			out, err := exec.Command("go", "run", c.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", c.pkg, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.pkg, want, out)
+				}
+			}
+		})
+	}
+}

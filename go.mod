@@ -1,0 +1,3 @@
+module scooter
+
+go 1.22

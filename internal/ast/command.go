@@ -1,0 +1,192 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"scooter/internal/token"
+)
+
+// Command is a single Scooter_m migration command.
+type Command interface {
+	commandNode()
+	// CmdPos returns the command's source position.
+	CmdPos() token.Pos
+	// Name returns the command's action name (e.g. "AddField"), used in
+	// diagnostics and the Figure-5 "migration actions" metric.
+	Name() string
+	fmt.Stringer
+}
+
+type CmdBase struct{ pos token.Pos }
+
+func (c CmdBase) commandNode()      {}
+func (c CmdBase) CmdPos() token.Pos { return c.pos }
+
+// CreateModel creates a new model with full policies.
+type CreateModel struct {
+	CmdBase
+	Model *ModelDecl
+}
+
+// DeleteModel removes a model; fails if other policies reference it.
+type DeleteModel struct {
+	CmdBase
+	ModelName string
+}
+
+// AddField adds a field to a model. Init populates existing rows and is
+// required (paper §3.2).
+type AddField struct {
+	CmdBase
+	ModelName string
+	Field     *FieldDecl
+	Init      *FuncLit
+}
+
+// RemoveField removes a field; fails if other policies reference it.
+type RemoveField struct {
+	CmdBase
+	ModelName string
+	FieldName string
+}
+
+// UpdatePolicy replaces a model-level (create/delete) policy; the verifier
+// proves the new policy at least as strict as the old.
+type UpdatePolicy struct {
+	CmdBase
+	ModelName string
+	Op        Operation
+	NewPolicy Policy
+}
+
+// WeakenPolicy replaces a model-level policy without a strictness proof; a
+// reason is required to aid auditing.
+type WeakenPolicy struct {
+	CmdBase
+	ModelName string
+	Op        Operation
+	NewPolicy Policy
+	Reason    string
+}
+
+// UpdateFieldPolicy replaces one or both field policies with strictness
+// proofs. Read/Write are optional; unset ones keep the old policy.
+type UpdateFieldPolicy struct {
+	CmdBase
+	ModelName string
+	FieldName string
+	Read      *Policy
+	Write     *Policy
+}
+
+// WeakenFieldPolicy replaces field policies without strictness proofs.
+type WeakenFieldPolicy struct {
+	CmdBase
+	ModelName string
+	FieldName string
+	Read      *Policy
+	Write     *Policy
+	Reason    string
+}
+
+// AddStaticPrincipal declares a new static principal.
+type AddStaticPrincipal struct {
+	CmdBase
+	PrincipalName string
+}
+
+// RemoveStaticPrincipal removes a static principal; fails if any policy
+// references it.
+type RemoveStaticPrincipal struct {
+	CmdBase
+	PrincipalName string
+}
+
+// AddPrincipal marks an existing model as a dynamic principal.
+type AddPrincipal struct {
+	CmdBase
+	ModelName string
+}
+
+// RemovePrincipal unmarks a model as a dynamic principal; fails if its ids
+// are used as principals in any policy.
+type RemovePrincipal struct {
+	CmdBase
+	ModelName string
+}
+
+// MigrationScript is a parsed Scooter_m file: an ordered command list that
+// is verified as a whole before any of it executes.
+type MigrationScript struct {
+	Commands []Command
+}
+
+func (c *CreateModel) Name() string           { return "CreateModel" }
+func (c *DeleteModel) Name() string           { return "DeleteModel" }
+func (c *AddField) Name() string              { return "AddField" }
+func (c *RemoveField) Name() string           { return "RemoveField" }
+func (c *UpdatePolicy) Name() string          { return "UpdatePolicy" }
+func (c *WeakenPolicy) Name() string          { return "WeakenPolicy" }
+func (c *UpdateFieldPolicy) Name() string     { return "UpdateFieldPolicy" }
+func (c *WeakenFieldPolicy) Name() string     { return "WeakenFieldPolicy" }
+func (c *AddStaticPrincipal) Name() string    { return "AddStaticPrincipal" }
+func (c *RemoveStaticPrincipal) Name() string { return "RemoveStaticPrincipal" }
+func (c *AddPrincipal) Name() string          { return "AddPrincipal" }
+func (c *RemovePrincipal) Name() string       { return "RemovePrincipal" }
+
+func (c *CreateModel) String() string {
+	return fmt.Sprintf("CreateModel(%s);", strings.TrimSuffix(c.Model.String(), "\n"))
+}
+
+func (c *DeleteModel) String() string { return fmt.Sprintf("DeleteModel(%s);", c.ModelName) }
+
+func (c *AddField) String() string {
+	return fmt.Sprintf("%s::AddField(%s, %s);", c.ModelName, c.Field, c.Init)
+}
+
+func (c *RemoveField) String() string {
+	return fmt.Sprintf("%s::RemoveField(%s);", c.ModelName, c.FieldName)
+}
+
+func (c *UpdatePolicy) String() string {
+	return fmt.Sprintf("%s::UpdatePolicy(%s, %s);", c.ModelName, c.Op, c.NewPolicy)
+}
+
+func (c *WeakenPolicy) String() string {
+	return fmt.Sprintf("%s::WeakenPolicy(%s, %s, %q);", c.ModelName, c.Op, c.NewPolicy, c.Reason)
+}
+
+func fieldPolicyBody(read, write *Policy) string {
+	var parts []string
+	if read != nil {
+		parts = append(parts, fmt.Sprintf("read: %s", *read))
+	}
+	if write != nil {
+		parts = append(parts, fmt.Sprintf("write: %s", *write))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (c *UpdateFieldPolicy) String() string {
+	return fmt.Sprintf("%s::UpdateFieldPolicy(%s, %s);", c.ModelName, c.FieldName, fieldPolicyBody(c.Read, c.Write))
+}
+
+func (c *WeakenFieldPolicy) String() string {
+	return fmt.Sprintf("%s::WeakenFieldPolicy(%s, %s, %q);", c.ModelName, c.FieldName, fieldPolicyBody(c.Read, c.Write), c.Reason)
+}
+
+func (c *AddStaticPrincipal) String() string {
+	return fmt.Sprintf("AddStaticPrincipal(%s);", c.PrincipalName)
+}
+
+func (c *RemoveStaticPrincipal) String() string {
+	return fmt.Sprintf("RemoveStaticPrincipal(%s);", c.PrincipalName)
+}
+
+func (c *AddPrincipal) String() string { return fmt.Sprintf("AddPrincipal(%s);", c.ModelName) }
+
+func (c *RemovePrincipal) String() string { return fmt.Sprintf("RemovePrincipal(%s);", c.ModelName) }
+
+// NewCmdBase constructs the embedded base for a command at pos.
+func NewCmdBase(pos token.Pos) CmdBase { return CmdBase{pos: pos} }

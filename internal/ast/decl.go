@@ -1,0 +1,136 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"scooter/internal/token"
+)
+
+// Policy is a policy function: `public`, `none`, or `var -> expr` with type
+// m -> Set(Principal) for the model m it is attached to.
+type Policy struct {
+	// Kind discriminates the three forms.
+	Kind PolicyKind
+	// Fn is set when Kind == PolicyFunc.
+	Fn  *FuncLit
+	Pos token.Pos
+}
+
+// PolicyKind discriminates policy forms.
+type PolicyKind int
+
+// Policy forms: public (all principals), none (no principals), or an
+// explicit function.
+const (
+	PolicyPublic PolicyKind = iota
+	PolicyNone
+	PolicyFunc
+)
+
+// PublicPolicy returns the `public` policy.
+func PublicPolicy(pos token.Pos) Policy { return Policy{Kind: PolicyPublic, Pos: pos} }
+
+// NonePolicy returns the `none` policy.
+func NonePolicy(pos token.Pos) Policy { return Policy{Kind: PolicyNone, Pos: pos} }
+
+// FuncPolicy returns a function policy.
+func FuncPolicy(fn *FuncLit) Policy { return Policy{Kind: PolicyFunc, Fn: fn, Pos: fn.Pos()} }
+
+func (p Policy) String() string {
+	switch p.Kind {
+	case PolicyPublic:
+		return "public"
+	case PolicyNone:
+		return "none"
+	default:
+		return p.Fn.String()
+	}
+}
+
+// IsZero reports whether p is the zero Policy (unset).
+func (p Policy) IsZero() bool { return p.Kind == PolicyPublic && p.Fn == nil && !p.Pos.IsValid() }
+
+// Operation names the four CRUD operations plus the model-level create and
+// delete operations policies attach to.
+type Operation string
+
+// The operations a policy can govern. Create and Delete attach to models;
+// Read and Write attach to fields.
+const (
+	OpCreate Operation = "create"
+	OpDelete Operation = "delete"
+	OpRead   Operation = "read"
+	OpWrite  Operation = "write"
+)
+
+// FieldDecl declares a field: name, type, and read/write policies.
+type FieldDecl struct {
+	Name  string
+	Type  Type
+	Read  Policy
+	Write Policy
+	Pos   token.Pos
+}
+
+func (f *FieldDecl) String() string {
+	return fmt.Sprintf("%s: %s { read: %s, write: %s }", f.Name, f.Type, f.Read, f.Write)
+}
+
+// ModelDecl declares a model with its create/delete policies and fields.
+type ModelDecl struct {
+	Name      string
+	Principal bool // annotated @principal
+	Create    Policy
+	Delete    Policy
+	Fields    []*FieldDecl
+	Pos       token.Pos
+}
+
+// Field returns the declared field with the given name, or nil.
+func (m *ModelDecl) Field(name string) *FieldDecl {
+	for _, f := range m.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func (m *ModelDecl) String() string {
+	var sb strings.Builder
+	if m.Principal {
+		sb.WriteString("@principal\n")
+	}
+	fmt.Fprintf(&sb, "%s {\n", m.Name)
+	fmt.Fprintf(&sb, "  create: %s,\n", m.Create)
+	fmt.Fprintf(&sb, "  delete: %s,\n", m.Delete)
+	for _, f := range m.Fields {
+		fmt.Fprintf(&sb, "  %s,\n", f)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// StaticPrincipalDecl declares a static principal (e.g. Unauthenticated).
+type StaticPrincipalDecl struct {
+	Name string
+	Pos  token.Pos
+}
+
+// PolicyFile is a parsed Scooter_p file: the authoritative specification of
+// static principals and models.
+type PolicyFile struct {
+	Statics []*StaticPrincipalDecl
+	Models  []*ModelDecl
+}
+
+// Model returns the model with the given name, or nil.
+func (f *PolicyFile) Model(name string) *ModelDecl {
+	for _, m := range f.Models {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

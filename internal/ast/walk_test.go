@@ -1,0 +1,214 @@
+package ast_test
+
+import (
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+)
+
+func typedExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(`
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: none },
+  boss: Id(User) { read: public, write: none },
+  level: I64 { read: public, write: none },
+  friends: Set(Id(User)) { read: public, write: none },
+  nick: Option(String) { read: public, write: none }}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := parser.ParsePolicy("u -> " + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(s).CheckPolicy("User", p); err != nil {
+		t.Fatal(err)
+	}
+	return p.Fn.Body
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	e := typedExpr(t, `(if u.level > 0 then [u] else [u.boss]) + User::Find({name: "x"}).map(v -> v.id)`)
+	count := 0
+	ast.Walk(e, func(ast.Expr) bool {
+		count++
+		return true
+	})
+	if count < 10 {
+		t.Errorf("walk visited only %d nodes", count)
+	}
+	// Early termination.
+	count = 0
+	ast.Walk(e, func(ast.Expr) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("pruned walk visited %d nodes", count)
+	}
+}
+
+func TestReferencedModels(t *testing.T) {
+	e := typedExpr(t, `User::Find({level: 1}) + [User::ById(u.boss)]`)
+	got := ast.ReferencedModels(e)
+	if !got["User"] || len(got) != 1 {
+		t.Errorf("models: %v", got)
+	}
+}
+
+func TestReferencedFields(t *testing.T) {
+	e := typedExpr(t, `(if u.level > 0 then [u] else [u.boss]) + User::Find({name: "x"})`)
+	got := ast.ReferencedFields(e)
+	for _, want := range []ast.FieldRef{
+		{Model: "User", Field: "level"},
+		{Model: "User", Field: "boss"},
+		{Model: "User", Field: "name"},
+	} {
+		if !got[want] {
+			t.Errorf("missing %v in %v", want, got)
+		}
+	}
+}
+
+func TestReferencedVars(t *testing.T) {
+	// v is bound by map; u and Admin-ish frees are reported.
+	p, err := parser.ParsePolicy(`u -> u.friends.flat_map(v -> User::ById(v).friends) + [w]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := ast.ReferencedVars(p.Fn.Body)
+	if !free["u"] || !free["w"] {
+		t.Errorf("free vars: %v", free)
+	}
+	if free["v"] {
+		t.Errorf("bound var reported free: %v", free)
+	}
+	// Match binder scoping.
+	p, err = parser.ParsePolicy(`u -> match u.nick as n in [x] else [n]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free = ast.ReferencedVars(p.Fn.Body)
+	if !free["x"] || !free["n"] {
+		// n is free in the else arm (only bound in the some arm).
+		t.Errorf("free vars: %v", free)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[string]string{
+		`public`:                     "public",
+		`none`:                       "none",
+		`u -> [u.boss]`:              "u -> [u.boss]",
+		`_ -> [u] - [u]`:             "_ -> ([u] - [u])",
+		`u -> Some(u.level) == None`: "u -> (Some(u.level) == None)",
+	}
+	for src, want := range cases {
+		p, err := parser.ParsePolicy(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := p.String(); got != want {
+			t.Errorf("String(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestTypeStringAndEqual(t *testing.T) {
+	cases := map[string]ast.Type{
+		"String":         ast.StringType,
+		"I64":            ast.I64Type,
+		"F64":            ast.F64Type,
+		"Bool":           ast.BoolType,
+		"DateTime":       ast.DateTimeType,
+		"Id(User)":       ast.IdType("User"),
+		"Set(Id(User))":  ast.SetType(ast.IdType("User")),
+		"Option(String)": ast.OptionType(ast.StringType),
+		"Set(Set(I64))":  ast.SetType(ast.SetType(ast.I64Type)),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+		if !typ.Equal(typ) {
+			t.Errorf("%v not equal to itself", typ)
+		}
+	}
+	if ast.IdType("A").Equal(ast.IdType("B")) {
+		t.Error("distinct id types compare equal")
+	}
+	if ast.SetType(ast.I64Type).Equal(ast.SetType(ast.F64Type)) {
+		t.Error("distinct set types compare equal")
+	}
+}
+
+func TestExprPrintingCoverage(t *testing.T) {
+	// Every expression form prints and re-parses.
+	srcs := []string{
+		`"s"`, `42`, `-7`, `2.5`, `true`, `false`, `now`, `public`,
+		`d12-31-1999-23:59:59`,
+		`[a, b]`, `[]`,
+		`(a + b)`, `(a - b)`, `(a < b)`, `(a <= b)`, `(a > b)`, `(a >= b)`,
+		`(a == b)`, `(a != b)`,
+		`(if c then a else b)`,
+		`(match o as v in [v] else [])`,
+		`None`, `Some(x)`,
+		`xs.map(v -> v)`, `xs.flat_map(v -> v.ys)`,
+		`r.field`, `M::ById(i)`,
+		`M::Find({f: 1, g >= 2, h < 3})`,
+	}
+	for _, src := range srcs {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := e.String()
+		if _, err := parser.ParseExpr(printed); err != nil {
+			t.Errorf("printed form of %q does not re-parse: %q: %v", src, printed, err)
+		}
+	}
+}
+
+func TestCommandPrintingCoverage(t *testing.T) {
+	script := `
+CreateModel(M { create: public, delete: none, f: I64 { read: public, write: none } });
+DeleteModel(M);
+M::AddField(g: String { read: public, write: none }, _ -> "");
+M::RemoveField(g);
+M::UpdatePolicy(create, none);
+M::WeakenPolicy(create, public, "why");
+M::UpdateFieldPolicy(f, { read: public, write: none });
+M::WeakenFieldPolicy(f, { read: public }, "why");
+AddStaticPrincipal(P);
+RemoveStaticPrincipal(P);
+AddPrincipal(M);
+RemovePrincipal(M);
+`
+	s, err := parser.ParseMigration(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Commands) != 12 {
+		t.Fatalf("commands: %d", len(s.Commands))
+	}
+	for _, cmd := range s.Commands {
+		if cmd.String() == "" || cmd.Name() == "" {
+			t.Errorf("command %T prints empty", cmd)
+		}
+		if !cmd.CmdPos().IsValid() {
+			t.Errorf("command %T lost its position", cmd)
+		}
+	}
+}

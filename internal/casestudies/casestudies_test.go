@@ -1,0 +1,85 @@
+package casestudies
+
+import (
+	"testing"
+
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/specfmt"
+	"scooter/internal/typer"
+)
+
+// TestCorpusVerifies builds every case study through the verifier; the
+// whole corpus must verify and every study's structural metrics must land
+// on the paper's Figure-5 numbers (see EXPERIMENTS.md for the comparison
+// policy on LOC, which depends on formatting).
+func TestCorpusVerifies(t *testing.T) {
+	rows, err := Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("studies: %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-18s models=%d fields=%d migr=%d loc=%d policies=%d actions=%d/%d",
+			r.Study.Name, r.Models, r.Fields, r.Migrations, r.MigrLOC,
+			r.UniquePolicies, r.ActionsOK, r.ActionsTotal)
+		p := r.Study.Paper
+		if r.Models != p.Models {
+			t.Errorf("%s: models %d, paper %d", r.Study.Name, r.Models, p.Models)
+		}
+		if r.Fields != p.Fields {
+			t.Errorf("%s: fields %d, paper %d", r.Study.Name, r.Fields, p.Fields)
+		}
+		if r.Migrations != p.Migrations {
+			t.Errorf("%s: migrations %d, paper %d", r.Study.Name, r.Migrations, p.Migrations)
+		}
+		if r.ActionsTotal != p.ActionsTotal {
+			t.Errorf("%s: actions %d, paper %d", r.Study.Name, r.ActionsTotal, p.ActionsTotal)
+		}
+	}
+}
+
+func TestFormatFigure5(t *testing.T) {
+	rows, err := Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatFigure5(rows)
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestCorpusSpecRoundTrip: the authoritative spec emitted after each study
+// re-parses, re-checks, and reformats to a fixpoint — including the
+// 46-model BIBIFI schema.
+func TestCorpusSpecRoundTrip(t *testing.T) {
+	studies, err := Studies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, study := range studies {
+		final, _, err := study.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := specfmt.Format(final)
+		f, err := parser.ParsePolicyFile(text)
+		if err != nil {
+			t.Fatalf("%s: spec does not re-parse: %v", study.Key, err)
+		}
+		s2 := schema.FromPolicyFile(f)
+		if err := typer.New(s2).CheckSchema(); err != nil {
+			t.Fatalf("%s: spec does not re-check: %v", study.Key, err)
+		}
+		if got := specfmt.Format(s2); got != text {
+			t.Errorf("%s: formatting is not a fixpoint", study.Key)
+		}
+		if len(s2.Models) != len(final.Models) {
+			t.Errorf("%s: model count changed in round trip", study.Key)
+		}
+	}
+}

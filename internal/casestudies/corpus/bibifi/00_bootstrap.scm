@@ -1,0 +1,799 @@
+# BIBIFI (LWeb): the Build-it Break-it Fix-it contest platform. The paper
+# ports the production Yesod application; this corpus reconstructs its data
+# model from the public bibifi-code repository. LWeb policies are
+# disjunctions of static principals and record fields, which map directly
+# onto Scooter policy functions. Three static principals: Admin (contest
+# operators), Login (authentication middleware, reads credential data), and
+# Unauthenticated (signup).
+AddStaticPrincipal(Admin);
+AddStaticPrincipal(Login);
+AddStaticPrincipal(Unauthenticated);
+
+
+# Accounts. Passwords are readable only by the Login principal.
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated, Admin],
+  delete: none,
+  ident: String {
+    read: public,
+    write: none },
+  email: String {
+    read: x -> [x, Admin],
+    write: x -> [x, Admin] },
+  password: String {
+    read: _ -> [Login],
+    write: x -> [x, Login] },
+  admin: Bool {
+    read: public,
+    write: _ -> [Admin] },
+  created: DateTime {
+    read: public,
+    write: none },
+});
+
+CreateModel(UserInformation {
+  create: x -> [x.owner, Admin],
+  delete: _ -> [Admin],
+  owner: Id(User) {
+    read: public,
+    write: none },
+  school: String {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+  degree: String {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+  experience: I64 {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+});
+
+# Contests and their rounds are public; only operators manage them.
+CreateModel(Contest {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  url: String {
+    read: public,
+    write: _ -> [Admin] },
+  title: String {
+    read: public,
+    write: _ -> [Admin] },
+  buildStart: DateTime {
+    read: public,
+    write: _ -> [Admin] },
+  buildEnd: DateTime {
+    read: public,
+    write: _ -> [Admin] },
+  breakEnd: DateTime {
+    read: public,
+    write: _ -> [Admin] },
+});
+
+CreateModel(Course {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  name: String {
+    read: public,
+    write: _ -> [Admin] },
+  instructor: Id(User) {
+    read: public,
+    write: _ -> [Admin] },
+});
+
+CreateModel(CourseraUser {
+  create: x -> [x.owner, Admin],
+  delete: _ -> [Admin],
+  owner: Id(User) {
+    read: public,
+    write: none },
+  courseraId: String {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+  token: String {
+    read: x -> [x.owner, Login],
+    write: x -> [x.owner, Login] },
+});
+
+# Teams; membership lives in the TeamMember join table.
+CreateModel(Team {
+  create: public,
+  delete: _ -> [Admin],
+  name: String {
+    read: public,
+    write: x -> [x.leader, Admin] },
+  leader: Id(User) {
+    read: public,
+    write: _ -> [Admin] },
+});
+
+CreateModel(TeamMember {
+  create: x -> [Team::ById(x.team).leader, Admin],
+  delete: x -> [Team::ById(x.team).leader, Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  owner: Id(User) {
+    read: public,
+    write: none },
+});
+
+CreateModel(TeamInvite {
+  create: x -> [Team::ById(x.team).leader, Admin],
+  delete: _ -> [Admin],
+  invite: String {
+    read: x -> [Team::ById(x.team).leader, Admin],
+    write: none },
+  team: Id(Team) {
+    read: public,
+    write: none },
+  email: String {
+    read: x -> [Team::ById(x.team).leader, Admin],
+    write: none },
+  created: DateTime {
+    read: public,
+    write: none },
+});
+
+CreateModel(TeamContest {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  gitUrl: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin] },
+  languages: String {
+    read: public,
+    write: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin] },
+  professional: Bool {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(ContestCoreTest {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  name: String {
+    read: public,
+    write: _ -> [Admin] },
+  inputFile: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  outputFile: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  testScript: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(ContestPerformanceTest {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  name: String {
+    read: public,
+    write: _ -> [Admin] },
+  inputFile: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  outputFile: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  testScript: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  optional: Bool {
+    read: public,
+    write: _ -> [Admin] },
+});
+
+CreateModel(ContestOptionalTest {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  name: String {
+    read: public,
+    write: _ -> [Admin] },
+  inputFile: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  outputFile: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  testScript: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(OracleSubmission {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  timestamp: DateTime {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  name: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  input: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  output: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  status: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BuildSubmission {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  timestamp: DateTime {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  commitHash: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  status: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  coreScore: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  perfScore: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BreakSubmission {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  targetTeam: Id(Team) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  timestamp: DateTime {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  commitHash: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  name: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  status: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  message: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  json: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  valid: Bool {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(FixSubmission {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  timestamp: DateTime {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  commitHash: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  name: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  status: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  message: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BuildCoreResult {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(BuildSubmission) {
+    read: public,
+    write: none },
+  test: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  pass: Bool {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  message: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BuildPerformanceResult {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(BuildSubmission) {
+    read: public,
+    write: none },
+  test: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  pass: Bool {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  time: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BuildOptionalResult {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(BuildSubmission) {
+    read: public,
+    write: none },
+  test: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  pass: Bool {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  message: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BreakOracleSubmission {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  timestamp: DateTime {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  description: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  valid: Bool {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(Judge {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  owner: Id(User) {
+    read: public,
+    write: none },
+  contest: Id(Contest) {
+    read: public,
+    write: _ -> [Admin] },
+  assignedCount: I64 {
+    read: x -> [x.owner, Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(BuildJudgement {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(BuildSubmission) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  judge: Id(Judge) {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  ruling: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+  comments: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+});
+
+CreateModel(BreakJudgement {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(BreakSubmission) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  judge: Id(Judge) {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  ruling: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+  comments: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+});
+
+CreateModel(FixJudgement {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(FixSubmission) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  judge: Id(Judge) {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  ruling: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+  comments: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+});
+
+CreateModel(JudgeConflict {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  judge: Id(Judge) {
+    read: _ -> [Admin],
+    write: none },
+  team: Id(Team) {
+    read: _ -> [Admin],
+    write: none },
+});
+
+CreateModel(BreakDispute {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  submission: Id(BreakSubmission) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  justification: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin] },
+});
+
+CreateModel(BreakFixSubmission {
+  create: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  breakSubmission: Id(BreakSubmission) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  fixSubmission: Id(FixSubmission) {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: none },
+  status: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  result: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(TeamBuildScore {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  buildScore: I64 {
+    read: public,
+    write: _ -> [Admin] },
+  breakScore: I64 {
+    read: public,
+    write: _ -> [Admin] },
+  fixScore: I64 {
+    read: public,
+    write: _ -> [Admin] },
+  timestamp: DateTime {
+    read: public,
+    write: none },
+});
+
+CreateModel(TeamBreakScore {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  buildScore: I64 {
+    read: public,
+    write: _ -> [Admin] },
+  breakScore: I64 {
+    read: public,
+    write: _ -> [Admin] },
+  fixScore: I64 {
+    read: public,
+    write: _ -> [Admin] },
+});
+
+CreateModel(Announcement {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  title: String {
+    read: public,
+    write: _ -> [Admin] },
+  markdown: String {
+    read: public,
+    write: _ -> [Admin] },
+  timestamp: DateTime {
+    read: public,
+    write: none },
+});
+
+CreateModel(Post {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  title: String {
+    read: public,
+    write: _ -> [Admin] },
+  markdown: String {
+    read: public,
+    write: _ -> [Admin] },
+  contest: Id(Contest) {
+    read: public,
+    write: _ -> [Admin] },
+  timestamp: DateTime {
+    read: public,
+    write: none },
+  draft: Bool {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(PostDependency {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  post: Id(Post) {
+    read: public,
+    write: none },
+  dependency: Id(Post) {
+    read: public,
+    write: none },
+});
+
+CreateModel(Configuration {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  key: String {
+    read: _ -> [Admin],
+    write: none },
+  value: String {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(CacheExpiration {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  key: String {
+    read: _ -> [Admin],
+    write: none },
+  expiration: DateTime {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(StoredFile {
+  create: x -> [x.owner, Admin],
+  delete: x -> [x.owner, Admin],
+  owner: Id(User) {
+    read: public,
+    write: none },
+  name: String {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+  contentType: String {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+  content: String {
+    read: x -> [x.owner, Admin],
+    write: x -> [x.owner, Admin] },
+});
+
+CreateModel(PasswordResetInvite {
+  create: _ -> [Login, Admin],
+  delete: _ -> [Login, Admin],
+  owner: Id(User) {
+    read: _ -> [Login, Admin],
+    write: none },
+  invite: String {
+    read: _ -> [Login],
+    write: none },
+  expiration: DateTime {
+    read: _ -> [Login],
+    write: none },
+});
+
+CreateModel(UserConfirmEmail {
+  create: _ -> [Login, Admin],
+  delete: _ -> [Login, Admin],
+  owner: Id(User) {
+    read: _ -> [Login, Admin],
+    write: none },
+  email: String {
+    read: _ -> [Login],
+    write: none },
+  confirmation: String {
+    read: _ -> [Login],
+    write: none },
+});
+
+CreateModel(RateLimitLog {
+  create: _ -> [Login, Admin],
+  delete: _ -> [Admin],
+  owner: Id(User) {
+    read: _ -> [Admin],
+    write: none },
+  action: String {
+    read: _ -> [Admin],
+    write: none },
+  timestamp: DateTime {
+    read: _ -> [Admin],
+    write: none },
+});
+
+CreateModel(ScorePending {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  contest: Id(Contest) {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+  round: I64 {
+    read: _ -> [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(OauthToken {
+  create: _ -> [Login],
+  delete: _ -> [Login, Admin],
+  owner: Id(User) {
+    read: _ -> [Login, Admin],
+    write: none },
+  provider: String {
+    read: _ -> [Login],
+    write: none },
+  token: String {
+    read: _ -> [Login],
+    write: _ -> [Login] },
+});
+
+CreateModel(SessionLog {
+  create: _ -> [Login],
+  delete: _ -> [Admin],
+  owner: Id(User) {
+    read: _ -> [Admin],
+    write: none },
+  ip: String {
+    read: _ -> [Admin],
+    write: none },
+  timestamp: DateTime {
+    read: _ -> [Admin],
+    write: none },
+});
+
+CreateModel(ErrorLog {
+  create: public,
+  delete: _ -> [Admin],
+  message: String {
+    read: _ -> [Admin],
+    write: none },
+  timestamp: DateTime {
+    read: _ -> [Admin],
+    write: none },
+  handled: Bool {
+    read: _ -> [Admin],
+    write: public },
+});
+
+CreateModel(ContestJudgement {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  contest: Id(Contest) {
+    read: _ -> [Admin],
+    write: none },
+  judge: Id(Judge) {
+    read: _ -> [Admin],
+    write: none },
+  complete: Bool {
+    read: _ -> [Admin],
+    write: x -> [Judge::ById(x.judge).owner, Admin] },
+});
+
+CreateModel(TeamScoreAdjustment {
+  create: _ -> [Admin],
+  delete: _ -> [Admin],
+  team: Id(Team) {
+    read: public,
+    write: none },
+  contest: Id(Contest) {
+    read: public,
+    write: none },
+  adjustment: I64 {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+  reason: String {
+    read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+    write: _ -> [Admin] },
+});
+
+CreateModel(WebauthnCredential {
+  create: _ -> [Login],
+  delete: _ -> [Login, Admin],
+  owner: Id(User) {
+    read: _ -> [Login, Admin],
+    write: none },
+  credentialId: String {
+    read: _ -> [Login],
+    write: none },
+  publicKey: String {
+    read: _ -> [Login],
+    write: none },
+  counter: I64 {
+    read: _ -> [Login],
+    write: _ -> [Login] },
+});
+
+CreateModel(AgreementAcceptance {
+  create: x -> [x.owner, Admin],
+  delete: _ -> [Admin],
+  owner: Id(User) {
+    read: x -> [x.owner, Admin],
+    write: none },
+  contest: Id(Contest) {
+    read: x -> [x.owner, Admin],
+    write: none },
+  timestamp: DateTime {
+    read: x -> [x.owner, Admin],
+    write: none },
+});

@@ -1,0 +1,19 @@
+# LWeb-style automatic migration: capture build/break tool output. New
+# fields arrive with default values, exactly as BIBIFI's automatic schema
+# migrations do (paper §5.1).
+BreakSubmission::AddField(stdout: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");
+BreakSubmission::AddField(stderr: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");
+FixSubmission::AddField(result: I64 {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> 0);
+BuildPerformanceResult::AddField(message: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");

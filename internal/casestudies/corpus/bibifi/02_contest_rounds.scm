@@ -1,0 +1,13 @@
+# The break/fix round gets its own start date; registration windows open.
+Contest::AddField(breakFixStart: DateTime {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> d1-1-2015-00:00:00);
+Contest::AddField(registrationOpen: Bool {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> false);
+Contest::AddField(judgesAssigned: Bool {
+  read: _ -> [Admin],
+  write: _ -> [Admin]
+}, _ -> false);

@@ -1,0 +1,13 @@
+# Account lifecycle fields for the operations team.
+User::AddField(lastLogin: DateTime {
+  read: x -> [x, Admin],
+  write: _ -> [Login]
+}, _ -> d1-1-2015-00:00:00);
+User::AddField(resetRequired: Bool {
+  read: _ -> [Login, Admin],
+  write: _ -> [Login, Admin]
+}, _ -> false);
+User::AddField(consentedAt: DateTime {
+  read: x -> [x, Admin],
+  write: x -> [x]
+}, _ -> d1-1-2015-00:00:00);

@@ -1,0 +1,13 @@
+# Git hook bookkeeping on contest registrations.
+TeamContest::AddField(githookBuild: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");
+TeamContest::AddField(githookRun: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");
+TeamContest::AddField(languagesApproved: Bool {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> false);

@@ -1,0 +1,17 @@
+# Richer judging data on build submissions and withdrawals for breaks.
+BuildSubmission::AddField(buildTime: I64 {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> 0);
+BuildSubmission::AddField(judgeComments: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");
+BreakSubmission::AddField(withdrawn: Bool {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin]
+}, _ -> false);
+FixSubmission::AddField(timedOut: Bool {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> false);

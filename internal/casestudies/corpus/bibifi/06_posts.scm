@@ -1,0 +1,13 @@
+# Sticky announcements and post scheduling.
+Post::AddField(sticky: Bool {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> false);
+Post::AddField(publishedAt: DateTime {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> d1-1-2015-00:00:00);
+Announcement::AddField(author: Option(Id(User)) {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> None);

@@ -1,0 +1,13 @@
+# Operational metadata: oracle errors, file sizes, error context.
+OracleSubmission::AddField(errorMessage: String {
+  read: x -> TeamMember::Find({team: x.team}).map(m -> m.owner) + [Admin],
+  write: _ -> [Admin]
+}, _ -> "");
+StoredFile::AddField(size: I64 {
+  read: x -> [x.owner, Admin],
+  write: _ -> [Admin]
+}, _ -> 0);
+ErrorLog::AddField(userAgent: String {
+  read: _ -> [Admin],
+  write: none
+}, _ -> "");

@@ -1,0 +1,17 @@
+# Score recomputation tracking.
+TeamBuildScore::AddField(stale: Bool {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> false);
+TeamBreakScore::AddField(stale: Bool {
+  read: public,
+  write: _ -> [Admin]
+}, _ -> false);
+TeamBreakScore::AddField(timestamp: DateTime {
+  read: public,
+  write: none
+}, _ -> now);
+ScorePending::AddField(complete: Bool {
+  read: _ -> [Admin],
+  write: _ -> [Admin]
+}, _ -> false);

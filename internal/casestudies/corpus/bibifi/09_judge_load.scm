@@ -1,0 +1,13 @@
+# Per-round judge load balancing and conflict notes.
+Judge::AddField(assignedCountBreak: I64 {
+  read: x -> [x.owner, Admin],
+  write: _ -> [Admin]
+}, _ -> 0);
+Judge::AddField(assignedCountFix: I64 {
+  read: x -> [x.owner, Admin],
+  write: _ -> [Admin]
+}, _ -> 0);
+JudgeConflict::AddField(reason: String {
+  read: _ -> [Admin],
+  write: _ -> [Admin]
+}, _ -> "");

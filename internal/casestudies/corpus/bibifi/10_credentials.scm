@@ -1,0 +1,14 @@
+# Security hardening: webauthn usage tracking, session context, coursera
+# token refresh.
+WebauthnCredential::AddField(lastUsed: DateTime {
+  read: _ -> [Login],
+  write: _ -> [Login]
+}, _ -> d1-1-2015-00:00:00);
+SessionLog::AddField(userAgent: String {
+  read: _ -> [Admin],
+  write: none
+}, _ -> "");
+CourseraUser::AddField(refreshToken: String {
+  read: x -> [x.owner, Login],
+  write: x -> [x.owner, Login]
+}, _ -> "");

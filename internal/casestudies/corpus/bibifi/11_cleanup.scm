@@ -1,0 +1,7 @@
+# Cleanup: retired columns are dropped (LWeb's other automatic migration
+# shape), and the world-writable ErrorLog.handled flag from the prototype
+# era is locked down — a strengthening, so no weaken annotation is needed.
+Contest::RemoveField(judgesAssigned);
+User::RemoveField(resetRequired);
+TeamContest::RemoveField(languagesApproved);
+ErrorLog::UpdateFieldWritePolicy(handled, _ -> [Admin]);

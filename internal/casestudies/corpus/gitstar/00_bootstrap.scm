@@ -1,0 +1,25 @@
+# GitStar (Hails): a lightweight GitHub-like application.
+# The Hails `reader` field (set of users OR the special `public` value) is
+# encoded as two fields, is_public and readers, since Scooter has no sum
+# types (paper §5.1).
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+});
+CreateModel(Project {
+  create: public,
+  delete: p -> [p.owner],
+  owner: Id(User) { read: public, write: none },
+  name: String { read: public, write: p -> [p.owner] },
+  is_public: Bool { read: public, write: p -> [p.owner] },
+  readers: Set(Id(User)) {
+    read: p -> [p.owner] + p.readers,
+    write: p -> [p.owner] },
+});
+CreateModel(App {
+  create: public,
+  delete: a -> [a.owner],
+  owner: Id(User) { read: public, write: none },
+});

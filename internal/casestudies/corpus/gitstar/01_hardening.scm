@@ -1,0 +1,8 @@
+# The single GitStar migration: project/app descriptions plus a hardening
+# pass locking down deletion and ownership transfer.
+Project::AddField(description: String { read: public, write: p -> [p.owner] }, _ -> "");
+App::AddField(url: String { read: public, write: a -> [a.owner] }, _ -> "");
+Project::UpdatePolicy(delete, none);
+App::UpdatePolicy(delete, none);
+Project::UpdateFieldWritePolicy(name, none);
+App::UpdateFieldWritePolicy(owner, none);

@@ -1,0 +1,15 @@
+# LambdaChair (Hails): a lightweight conference review system with PC
+# members, regular users, and a root principal that can edit anything.
+AddStaticPrincipal(Root);
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Root],
+  delete: _ -> [Root],
+  name: String { read: public, write: u -> [u, Root] },
+  isPC: Bool { read: public, write: _ -> [Root] },
+});
+CreateModel(Settings {
+  create: _ -> [Root],
+  delete: _ -> [Root],
+  phase: I64 { read: public, write: _ -> [Root] },
+});

@@ -1,0 +1,27 @@
+# The historical LambdaChair evolution: papers and permissions arrive after
+# users and PC members (paper §5.1). Authors are held in a set field so a
+# paper and its author list are created in one action (§6.3: set fields
+# provide the one transaction shape Scooter supports).
+CreateModel(Paper {
+  create: p -> p.authors + [Root],
+  delete: _ -> [Root],
+  title: String {
+    read: p -> p.authors + User::Find({isPC: true}) + [Root],
+    write: p -> p.authors + [Root] },
+  authors: Set(Id(User)) {
+    read: p -> p.authors + User::Find({isPC: true}) + [Root],
+    write: p -> p.authors + [Root] },
+  draft: Bool {
+    read: p -> p.authors + User::Find({isPC: true}) + [Root],
+    write: p -> p.authors + [Root] },
+});
+CreateModel(Review {
+  create: _ -> User::Find({isPC: true}) + [Root],
+  delete: _ -> [Root],
+  paper: Id(Paper) {
+    read: _ -> User::Find({isPC: true}) + [Root],
+    write: none },
+  content: String {
+    read: _ -> User::Find({isPC: true}) + [Root],
+    write: _ -> User::Find({isPC: true}) + [Root] },
+});

@@ -1,0 +1,18 @@
+# Learn-by-Hacking (Hails): code-centric tutorials and blog posts. The
+# bootstrap captures the project's permissive early schema; the recorded
+# migrations then evolve and harden it, mirroring the original history.
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  email: String { read: public, write: public },
+});
+CreateModel(Post {
+  create: public,
+  delete: public,
+  author: Id(User) { read: public, write: none },
+  title: String { read: public, write: public },
+  body: String { read: public, write: public },
+  published: Bool { read: public, write: public },
+});

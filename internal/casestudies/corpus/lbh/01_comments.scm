@@ -1,0 +1,8 @@
+# Migration 1: reader comments on posts.
+CreateModel(Comment {
+  create: public,
+  delete: public,
+  post: Id(Post) { read: public, write: none },
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: public },
+});

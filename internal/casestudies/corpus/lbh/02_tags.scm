@@ -1,0 +1,11 @@
+# Migration 2: tags (short categories) on posts, plus creation timestamps.
+# The original app also populated a database of existing tag objects here;
+# that action queries and creates objects, which Scooter migrations cannot
+# express — it runs at the application level through the ORM (§6.2) and is
+# counted as the one inexpressible action of this case study.
+Post::AddField(tags: Set(String) {
+  read: public,
+  write: public }, _ -> []);
+Post::AddField(createdAt: DateTime {
+  read: public,
+  write: none }, _ -> now);

@@ -1,0 +1,7 @@
+# Migration 3: comment timestamps and author bios.
+Comment::AddField(createdAt: DateTime {
+  read: public,
+  write: none }, _ -> now);
+User::AddField(bio: String {
+  read: public,
+  write: public }, _ -> "");

@@ -1,0 +1,12 @@
+# Migration 4: the hardening pass — the permissive prototype policies are
+# strengthened to owner-only writes. Every change here tightens access, so
+# plain Update commands verify without weaken annotations.
+AddStaticPrincipal(Moderator);
+Post::UpdatePolicy(delete, p -> [p.author]);
+Post::UpdatePolicy(create, p -> [p.author]);
+Comment::UpdatePolicy(delete, c -> [c.author]);
+Comment::UpdatePolicy(create, c -> [c.author]);
+Post::UpdateFieldWritePolicy(title, p -> [p.author]);
+Post::UpdateFieldWritePolicy(body, p -> [p.author]);
+Comment::UpdateFieldWritePolicy(body, c -> [c.author]);
+User::UpdateFieldWritePolicy(email, u -> [u]);

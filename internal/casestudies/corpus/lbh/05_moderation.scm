@@ -1,0 +1,21 @@
+# Migration 5: moderators may edit and remove content. These changes widen
+# access on purpose, so they use explicit weaken commands with reasons; the
+# remaining commands keep tightening leftover prototype policies.
+Post::WeakenFieldWritePolicy(title,
+  p -> [p.author, Moderator],
+  "moderators may fix inappropriate titles");
+Post::WeakenFieldWritePolicy(body,
+  p -> [p.author, Moderator],
+  "moderators may redact inappropriate content");
+Comment::WeakenFieldWritePolicy(body,
+  c -> [c.author, Moderator],
+  "moderators may redact inappropriate comments");
+Post::WeakenPolicy(delete,
+  p -> [p.author, Moderator],
+  "moderators may take down posts");
+Comment::WeakenPolicy(delete,
+  c -> [c.author, Moderator],
+  "moderators may take down comments");
+Post::UpdateFieldWritePolicy(tags, p -> [p.author]);
+Post::UpdateFieldWritePolicy(published, p -> [p.author]);
+User::UpdateFieldWritePolicy(bio, u -> [u]);

@@ -1,0 +1,70 @@
+# Lifty Conference: a conference manager ported from the Lifty project.
+# Lifty is not an ORM — it operates on in-language values — so the ported
+# models mirror its record types; its singleton becomes a database object
+# added by the migration (paper §5.1).
+AddStaticPrincipal(Chair);
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: _ -> [Chair],
+  name: String { read: public, write: u -> [u, Chair] },
+  email: String { read: u -> [u, Chair], write: u -> [u, Chair] },
+  affiliation: String { read: public, write: u -> [u, Chair] },
+  isPC: Bool { read: public, write: _ -> [Chair] },
+  pwHash: String { read: none, write: u -> [u] },
+});
+CreateModel(Paper {
+  create: public,
+  delete: _ -> [Chair],
+  title: String {
+    read: public,
+    write: _ -> [Chair] },
+  abstract: String {
+    read: p -> User::Find({isPC: true}) + [Chair],
+    write: _ -> [Chair] },
+  status: I64 {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: _ -> [Chair] },
+  session: I64 {
+    read: public,
+    write: _ -> [Chair] },
+  cameraReady: Bool {
+    read: public,
+    write: _ -> [Chair] },
+  submittedAt: DateTime {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: none },
+});
+CreateModel(Author {
+  create: _ -> [Chair],
+  delete: _ -> [Chair],
+  paper: Id(Paper) { read: public, write: none },
+  user: Id(User) { read: public, write: none },
+  position: I64 { read: public, write: _ -> [Chair] },
+  confirmed: Bool { read: public, write: a -> [a.user, Chair] },
+});
+CreateModel(Review {
+  create: _ -> User::Find({isPC: true}) + [Chair],
+  delete: _ -> [Chair],
+  paper: Id(Paper) {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: none },
+  reviewer: Id(User) {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: none },
+  score: I64 {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: r -> [r.reviewer, Chair] },
+  content: String {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: r -> [r.reviewer, Chair] },
+  confidence: I64 {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: r -> [r.reviewer, Chair] },
+});
+CreateModel(Conflict {
+  create: _ -> [Chair],
+  delete: _ -> [Chair],
+  user: Id(User) { read: _ -> User::Find({isPC: true}) + [Chair], write: none },
+  paper: Id(Paper) { read: _ -> User::Find({isPC: true}) + [Chair], write: none },
+});

@@ -1,0 +1,18 @@
+# The Lifty benchmark's phase singleton, translated into a database object
+# (paper §5.1): one migration action creating the ConferencePhase model.
+CreateModel(ConferencePhase {
+  create: _ -> [Chair],
+  delete: none,
+  phase: I64 {
+    read: public,
+    write: _ -> [Chair] },
+  submissionDeadline: DateTime {
+    read: public,
+    write: _ -> [Chair] },
+  notificationSent: Bool {
+    read: _ -> User::Find({isPC: true}) + [Chair],
+    write: _ -> [Chair] },
+  activeSession: I64 {
+    read: public,
+    write: _ -> [Chair] },
+});

@@ -1,0 +1,10 @@
+# Ur-Calendar (UrFlow): users with private calendars. UrFlow states policies
+# as SQL-based eDSL queries; Scooter expresses the same access sets as
+# policy functions (paper §5.1).
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  email: String { read: u -> [u], write: u -> [u] },
+});

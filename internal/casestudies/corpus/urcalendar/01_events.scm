@@ -1,0 +1,25 @@
+# The calendar itself: a single migration introducing events. Times and the
+# description are visible to the owner and anyone the event is shared with;
+# the title is public so that free/busy time shows on shared calendars.
+CreateModel(Event {
+  create: e -> [e.owner],
+  delete: e -> [e.owner],
+  owner: Id(User) {
+    read: public,
+    write: none },
+  title: String {
+    read: public,
+    write: e -> [e.owner] },
+  startTime: DateTime {
+    read: e -> [e.owner] + e.attendees,
+    write: e -> [e.owner] },
+  endTime: DateTime {
+    read: e -> [e.owner] + e.attendees,
+    write: e -> [e.owner] },
+  description: String {
+    read: e -> [e.owner] + e.attendees,
+    write: e -> [e.owner] },
+  attendees: Set(Id(User)) {
+    read: e -> [e.owner] + e.attendees,
+    write: e -> [e.owner] },
+});

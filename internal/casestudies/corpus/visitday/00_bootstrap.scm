@@ -1,0 +1,20 @@
+# Visit Days: a production Ruby on Rails application scheduling meetings
+# between prospective PhD students and faculty (paper §5.1). Rails has no
+# policy language; these policies are reverse-engineered from application
+# behaviour. The Login static principal reads password data on behalf of
+# the authentication middleware, a pattern the paper calls out as common.
+AddStaticPrincipal(Unauthenticated);
+AddStaticPrincipal(Login);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated, Login],
+  delete: u -> User::Find({admin: true}),
+  email: String {
+    read: u -> [u, Login] + User::Find({admin: true}),
+    write: u -> [u] },
+  passwordDigest: String {
+    read: _ -> [Login],
+    write: u -> [u, Login] },
+  admin: Bool {
+    read: public,
+    write: _ -> User::Find({admin: true}) },
+});

@@ -1,0 +1,12 @@
+# ActiveRecord migration 1: visiting students.
+CreateModel(Student {
+  create: _ -> User::Find({admin: true}),
+  delete: _ -> User::Find({admin: true}),
+  account: Id(User) { read: public, write: none },
+  name: String {
+    read: public,
+    write: s -> [s.account] + User::Find({admin: true}) },
+  interests: String {
+    read: public,
+    write: s -> [s.account] + User::Find({admin: true}) },
+});

@@ -1,0 +1,12 @@
+# ActiveRecord migration 2: faculty hosts.
+CreateModel(Faculty {
+  create: _ -> User::Find({admin: true}),
+  delete: _ -> User::Find({admin: true}),
+  account: Id(User) { read: public, write: none },
+  name: String {
+    read: public,
+    write: f -> [f.account] + User::Find({admin: true}) },
+  department: String {
+    read: public,
+    write: f -> [f.account] + User::Find({admin: true}) },
+});

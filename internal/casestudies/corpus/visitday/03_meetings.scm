@@ -1,0 +1,14 @@
+# ActiveRecord migration 3: the meeting schedule. Times are visible to the
+# two participants and administrators only.
+CreateModel(Meeting {
+  create: _ -> User::Find({admin: true}),
+  delete: _ -> User::Find({admin: true}),
+  student: Id(Student) { read: public, write: none },
+  faculty: Id(Faculty) { read: public, write: none },
+  startTime: DateTime {
+    read: m -> [Student::ById(m.student).account, Faculty::ById(m.faculty).account] + User::Find({admin: true}),
+    write: _ -> User::Find({admin: true}) },
+  endTime: DateTime {
+    read: m -> [Student::ById(m.student).account, Faculty::ById(m.faculty).account] + User::Find({admin: true}),
+    write: _ -> User::Find({admin: true}) },
+});

@@ -1,0 +1,7 @@
+# ActiveRecord migration 4: password reset tokens.
+User::AddField(resetToken: Option(String) {
+  read: _ -> [Login],
+  write: u -> [u, Login] }, _ -> None);
+User::AddField(resetSentAt: Option(DateTime) {
+  read: _ -> [Login],
+  write: u -> [u, Login] }, _ -> None);

@@ -1,0 +1,7 @@
+# ActiveRecord migration 5: RSVP tracking for the visit weekend.
+Student::AddField(visiting: Bool {
+  read: public,
+  write: s -> [s.account] + User::Find({admin: true}) }, _ -> false);
+Student::AddField(arrival: DateTime {
+  read: public,
+  write: s -> [s.account] + User::Find({admin: true}) }, _ -> d3-15-2019-09:00:00);

@@ -1,0 +1,7 @@
+# ActiveRecord migration 6: physical locations for the schedule.
+Faculty::AddField(office: String {
+  read: public,
+  write: f -> [f.account] + User::Find({admin: true}) }, _ -> "TBD");
+Meeting::AddField(location: String {
+  read: public,
+  write: _ -> User::Find({admin: true}) }, _ -> "TBD");

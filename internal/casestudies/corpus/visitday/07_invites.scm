@@ -1,0 +1,7 @@
+# ActiveRecord migration 7: users can invite other users.
+User::AddField(inviteToken: Option(String) {
+  read: _ -> [Login],
+  write: u -> [u, Login] }, _ -> None);
+User::AddField(invitedBy: Option(Id(User)) {
+  read: _ -> User::Find({admin: true}),
+  write: _ -> [Login] }, _ -> None);

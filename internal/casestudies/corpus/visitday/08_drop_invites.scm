@@ -1,0 +1,4 @@
+# ActiveRecord migration 8: the invite feature was retired; its columns are
+# dropped, exactly as the Rails history does.
+User::RemoveField(inviteToken);
+User::RemoveField(invitedBy);

@@ -1,0 +1,6 @@
+# ActiveRecord migration 9: a hardening pass after a near-miss — schedule
+# times, rooms, and office strings become admin-managed or immutable.
+Meeting::UpdateFieldWritePolicy(startTime, none);
+Meeting::UpdateFieldWritePolicy(endTime, none);
+Meeting::UpdateFieldWritePolicy(location, none);
+Faculty::UpdateFieldWritePolicy(office, none);

@@ -1,0 +1,11 @@
+# ActiveRecord migration 10: self-service schedule viewing. Students see
+# meeting locations tied to their visit; both weakenings are explicit and
+# carry audit reasons. The remaining commands tighten account deletion.
+Meeting::WeakenFieldWritePolicy(location,
+  _ -> User::Find({admin: true}),
+  "coordinators may fix room assignments after publishing");
+Faculty::WeakenFieldWritePolicy(office,
+  f -> [f.account] + User::Find({admin: true}),
+  "faculty keep their own office field current");
+User::UpdatePolicy(delete, none);
+Student::UpdatePolicy(delete, none);

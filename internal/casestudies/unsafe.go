@@ -1,0 +1,214 @@
+package casestudies
+
+// This file models the unsafe migrations of paper §5.2: beyond the Chitter
+// examples of §2 (covered in the verifier's own tests), the paper models
+// two real-world incidents and shows Sidecar catching both:
+//
+//  1. HotCRP: a refactor of the policy code inadvertently granted
+//     unauthenticated users administrator rights (kohler/hotcrp 6559c0c,
+//     fixed in 1e10f49).
+//  2. Hails Task: a policy change made projects readable to all users
+//     (a-shen/task 9d9d806).
+
+// UnsafeCase is a schema plus a migration that must be rejected.
+type UnsafeCase struct {
+	Key  string
+	Name string
+	// Spec is the pre-migration policy file.
+	Spec string
+	// Migration is the unsafe script Sidecar must reject.
+	Migration string
+	// Fix is a corrected script that must verify.
+	Fix string
+	// WantPrincipal is a substring expected in the counterexample's
+	// principal line.
+	WantPrincipal string
+}
+
+// UnsafeCases returns the §5.2 unsafe-migration models.
+func UnsafeCases() []UnsafeCase {
+	return []UnsafeCase{
+		{
+			Key:  "hotcrp",
+			Name: "HotCRP privilege escalation",
+			// A conference system where chairs manage the site. The
+			// original bug: a refactor of the permission check made the
+			// "is administrator" test pass for the unauthenticated user
+			// object. In Scooter terms the refactored policy accidentally
+			// includes the Unauthenticated static principal.
+			Spec: `
+@static-principal
+Unauthenticated
+
+@principal
+Account {
+  create: _ -> [Unauthenticated],
+  delete: a -> Account::Find({isChair: true}),
+  email: String {
+    read: a -> [a] + Account::Find({isChair: true}),
+    write: a -> [a] },
+  isChair: Bool {
+    read: public,
+    write: _ -> Account::Find({isChair: true}) },
+  siteSettings: String {
+    read: _ -> Account::Find({isChair: true}),
+    write: _ -> Account::Find({isChair: true}) },
+}
+`,
+			// The refactor: "simplify" the settings policy. The new
+			// policy adds Unauthenticated — in the real bug the refactored
+			// check treated the logged-out user as a contact with
+			// administrator rights.
+			Migration: `
+Account::UpdateFieldPolicy(siteSettings, {
+  read: _ -> Account::Find({isChair: true}) + [Unauthenticated],
+  write: _ -> Account::Find({isChair: true}) + [Unauthenticated]
+});
+`,
+			Fix: `
+Account::UpdateFieldPolicy(siteSettings, {
+  read: _ -> Account::Find({isChair: true}),
+  write: _ -> Account::Find({isChair: true})
+});
+`,
+			WantPrincipal: "Unauthenticated",
+		},
+		{
+			Key:  "hails-task",
+			Name: "Hails Task project leak",
+			// The task manager where moving addUsers into the policy
+			// module inadvertently made projects readable to all users.
+			Spec: `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+}
+
+Project {
+  create: public,
+  delete: p -> [p.owner],
+  owner: Id(User) { read: public, write: none },
+  title: String {
+    read: p -> [p.owner] + p.members,
+    write: p -> [p.owner] + p.members },
+  tasks: String {
+    read: p -> [p.owner] + p.members,
+    write: p -> [p.owner] + p.members },
+  members: Set(Id(User)) {
+    read: p -> [p.owner] + p.members,
+    write: p -> [p.owner] },
+}
+`,
+			// The refactor dropped the membership restriction on reads.
+			Migration: `
+Project::UpdateFieldPolicy(title, {
+  read: public
+});
+Project::UpdateFieldPolicy(tasks, {
+  read: public
+});
+`,
+			Fix: `
+Project::UpdateFieldPolicy(title, {
+  read: p -> [p.owner] + p.members
+});
+Project::UpdateFieldPolicy(tasks, {
+  read: p -> [p.owner] + p.members
+});
+`,
+			WantPrincipal: "User",
+		},
+		{
+			Key:  "chitter-bio",
+			Name: "Chitter bio data leak (§2.1)",
+			Spec: `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] + User::Find({isAdmin: true}) },
+  pronouns: String {
+    read: u -> [u] + u.followers,
+    write: u -> [u] + User::Find({isAdmin: true}) },
+  isAdmin: Bool {
+    read: u -> [u] + User::Find({isAdmin: true}),
+    write: u -> User::Find({isAdmin: true}) },
+  followers: Set(Id(User)) {
+    read: u -> [u] + u.followers,
+    write: u -> [u] + User::Find({isAdmin: true}) },
+}
+`,
+			Migration: `
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u] + User::Find({isAdmin:true})
+}, u -> "I'm " + u.name + "(" + u.pronouns + ")");
+`,
+			Fix: `
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u] + User::Find({isAdmin:true})
+}, u -> "I'm " + u.name);
+`,
+			WantPrincipal: "User",
+		},
+		{
+			Key:  "chitter-moderators",
+			Name: "Chitter moderator policy weakening (§2.2)",
+			Spec: `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] + User::Find({isAdmin: true}) },
+  bio: String { read: public, write: u -> [u] + User::Find({isAdmin: true}) },
+  email: String {
+    read: u -> [u] + User::Find({isAdmin: true}),
+    write: u -> [u] + User::Find({isAdmin: true}) },
+  isAdmin: Bool {
+    read: u -> [u] + User::Find({isAdmin: true}),
+    write: u -> User::Find({isAdmin: true}) },
+}
+`,
+			Migration: `
+User::AddField(
+  adminLevel : I64 {
+    read: u -> [u] + User::Find({adminLevel: 2}),
+    write: u -> User::Find({adminLevel: 2})
+  }, u -> if u.isAdmin then 2 else 0);
+User::UpdateFieldPolicy(email, {
+  read: u -> [u] + User::Find({adminLevel: 2}),
+  write: u -> [u] + User::Find({adminLevel: 2})
+});
+User::UpdateFieldWritePolicy(bio,
+  u -> [u] + User::Find({adminLevel >= 0}));
+`,
+			Fix: `
+User::AddField(
+  adminLevel : I64 {
+    read: u -> [u] + User::Find({adminLevel: 2}),
+    write: u -> User::Find({adminLevel: 2})
+  }, u -> if u.isAdmin then 2 else 0);
+User::UpdateFieldPolicy(email, {
+  read: u -> [u] + User::Find({adminLevel: 2}),
+  write: u -> [u] + User::Find({adminLevel: 2})
+});
+User::WeakenFieldWritePolicy(bio,
+  u -> [u] + User::Find({adminLevel > 0}),
+  "Reason: allow moderators to update bios.");
+`,
+			WantPrincipal: "User",
+		},
+	}
+}

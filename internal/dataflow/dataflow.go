@@ -1,0 +1,42 @@
+// Package dataflow implements the static analysis Sidecar uses to detect
+// data leaks in migrations (paper §4, "Detecting Data Leaks"): it computes
+// which fields flow into an AddField initialiser, so the verifier can check
+// that the new field's read policy is at least as strict as each source's.
+package dataflow
+
+import (
+	"sort"
+
+	"scooter/internal/ast"
+	"scooter/internal/verify"
+)
+
+// Sources returns the model fields whose data flows into the initialiser
+// expression of a new field dstModel.dstField. The analysis is a
+// conservative may-flow: every field read anywhere in the expression —
+// directly, through ById chains, through Find criteria, or inside
+// map/flat_map bodies — is a source. Find-criteria fields are included
+// because the result of a query reveals information about the fields it
+// filters on.
+func Sources(init *ast.FuncLit, dstModel, dstField string) []verify.FieldFlow {
+	if init == nil {
+		return nil
+	}
+	refs := ast.ReferencedFields(init.Body)
+	flows := make([]verify.FieldFlow, 0, len(refs))
+	for ref := range refs {
+		flows = append(flows, verify.FieldFlow{
+			SrcModel: ref.Model,
+			SrcField: ref.Field,
+			DstModel: dstModel,
+			DstField: dstField,
+		})
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].SrcModel != flows[j].SrcModel {
+			return flows[i].SrcModel < flows[j].SrcModel
+		}
+		return flows[i].SrcField < flows[j].SrcField
+	})
+	return flows
+}

@@ -1,0 +1,132 @@
+package dataflow
+
+import (
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+	"scooter/internal/verify"
+)
+
+func setup(t *testing.T) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(`
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: none },
+  pronouns: String { read: u -> [u], write: none },
+  age: I64 { read: public, write: none },
+  bestFriend: Id(User) { read: public, write: none },
+  nickname: Option(String) { read: public, write: none }}
+
+Peep {
+  create: public,
+  delete: none,
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: none }}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sourcesOf(t *testing.T, s *schema.Schema, model, src string, ft ast.Type) []verify.FieldFlow {
+	t.Helper()
+	p, err := parser.ParsePolicy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(s).CheckInitFn(model, p.Fn, ft); err != nil {
+		t.Fatal(err)
+	}
+	return Sources(p.Fn, model, "newField")
+}
+
+func flowSet(flows []verify.FieldFlow) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range flows {
+		out[f.SrcModel+"."+f.SrcField] = true
+	}
+	return out
+}
+
+func TestDirectFieldReads(t *testing.T) {
+	s := setup(t)
+	flows := sourcesOf(t, s, "User", `u -> "I'm " + u.name + "(" + u.pronouns + ")"`, ast.StringType)
+	got := flowSet(flows)
+	if !got["User.name"] || !got["User.pronouns"] || len(got) != 2 {
+		t.Errorf("flows: %v", flows)
+	}
+}
+
+func TestConstantInitHasNoFlows(t *testing.T) {
+	s := setup(t)
+	if flows := sourcesOf(t, s, "User", `_ -> "hello"`, ast.StringType); len(flows) != 0 {
+		t.Errorf("flows: %v", flows)
+	}
+	if flows := sourcesOf(t, s, "User", `_ -> 42`, ast.I64Type); len(flows) != 0 {
+		t.Errorf("flows: %v", flows)
+	}
+}
+
+func TestConditionFieldsFlow(t *testing.T) {
+	s := setup(t)
+	// The branch condition reads age; both branches read name/pronouns.
+	flows := sourcesOf(t, s, "User", `u -> if u.age >= 18 then u.name else u.pronouns`, ast.StringType)
+	got := flowSet(flows)
+	for _, want := range []string{"User.age", "User.name", "User.pronouns"} {
+		if !got[want] {
+			t.Errorf("missing flow from %s: %v", want, flows)
+		}
+	}
+}
+
+func TestCrossModelFlowThroughById(t *testing.T) {
+	s := setup(t)
+	flows := sourcesOf(t, s, "Peep", `p -> "by " + User::ById(p.author).name`, ast.StringType)
+	got := flowSet(flows)
+	if !got["Peep.author"] || !got["User.name"] {
+		t.Errorf("flows: %v", flows)
+	}
+}
+
+func TestFindCriteriaCountAsSources(t *testing.T) {
+	s := setup(t)
+	// Aggregating a query result reveals the filtered field.
+	flows := sourcesOf(t, s, "User", `u -> if u.age > 0 then "x" else "y"`, ast.StringType)
+	if !flowSet(flows)["User.age"] {
+		t.Errorf("flows: %v", flows)
+	}
+}
+
+func TestOptionMatchFlows(t *testing.T) {
+	s := setup(t)
+	flows := sourcesOf(t, s, "User", `u -> match u.nickname as n in n else u.name`, ast.StringType)
+	got := flowSet(flows)
+	if !got["User.nickname"] || !got["User.name"] {
+		t.Errorf("flows: %v", flows)
+	}
+}
+
+func TestNilInit(t *testing.T) {
+	if flows := Sources(nil, "User", "x"); flows != nil {
+		t.Errorf("nil init: %v", flows)
+	}
+}
+
+func TestFlowsAreSorted(t *testing.T) {
+	s := setup(t)
+	flows := sourcesOf(t, s, "User", `u -> u.pronouns + u.name`, ast.StringType)
+	if len(flows) != 2 || flows[0].SrcField != "name" || flows[1].SrcField != "pronouns" {
+		t.Errorf("flows not deterministic: %v", flows)
+	}
+}

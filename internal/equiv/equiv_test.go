@@ -1,0 +1,110 @@
+package equiv
+
+import (
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+)
+
+func fn(t *testing.T, s *schema.Schema, model, src string, ft ast.Type) *ast.FuncLit {
+	t.Helper()
+	p, err := parser.ParsePolicy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(s).CheckInitFn(model, p.Fn, ft); err != nil {
+		t.Fatal(err)
+	}
+	return p.Fn
+}
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(`
+@principal
+User {
+  create: public,
+  delete: none,
+  isAdmin: Bool { read: public, write: none },
+  adminLevel: I64 { read: public, write: none },
+  tier: I64 { read: public, write: none }}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	s := testSchema(t)
+	d := New()
+	init := fn(t, s, "User", `u -> if u.isAdmin then 2 else 0`, ast.I64Type)
+	d.Record("User", "adminLevel", init)
+	if got, ok := d.Lookup("User", "adminLevel"); !ok || got != init {
+		t.Fatal("lookup after record")
+	}
+	if _, ok := d.Lookup("User", "other"); ok {
+		t.Fatal("unexpected definition")
+	}
+	if _, ok := d.Lookup("Peep", "adminLevel"); ok {
+		t.Fatal("wrong model")
+	}
+}
+
+func TestDisabledLookup(t *testing.T) {
+	s := testSchema(t)
+	d := New()
+	d.Record("User", "adminLevel", fn(t, s, "User", `_ -> 0`, ast.I64Type))
+	d.SetEnabled(false)
+	if _, ok := d.Lookup("User", "adminLevel"); ok {
+		t.Fatal("disabled tracker must not answer")
+	}
+	d.SetEnabled(true)
+	if _, ok := d.Lookup("User", "adminLevel"); !ok {
+		t.Fatal("re-enabled tracker must answer")
+	}
+	var nilDefs *Defs
+	if _, ok := nilDefs.Lookup("User", "adminLevel"); ok {
+		t.Fatal("nil tracker must be silent")
+	}
+}
+
+func TestInvalidateField(t *testing.T) {
+	s := testSchema(t)
+	d := New()
+	// adminLevel is defined from isAdmin; tier is defined from adminLevel.
+	d.Record("User", "adminLevel", fn(t, s, "User", `u -> if u.isAdmin then 2 else 0`, ast.I64Type))
+	d.Record("User", "tier", fn(t, s, "User", `u -> u.adminLevel + 1`, ast.I64Type))
+
+	// Removing isAdmin kills the adminLevel definition (it references the
+	// removed field) but keeps tier's (defined from adminLevel).
+	d.Invalidate("User", "isAdmin")
+	if _, ok := d.Lookup("User", "adminLevel"); ok {
+		t.Fatal("definition referencing a removed field must die")
+	}
+	if _, ok := d.Lookup("User", "tier"); !ok {
+		t.Fatal("unrelated definition must survive")
+	}
+	// Removing adminLevel kills tier's definition too.
+	d.Invalidate("User", "adminLevel")
+	if _, ok := d.Lookup("User", "tier"); ok {
+		t.Fatal("definition referencing a removed field must die")
+	}
+}
+
+func TestInvalidateModel(t *testing.T) {
+	s := testSchema(t)
+	d := New()
+	d.Record("User", "adminLevel", fn(t, s, "User", `u -> if u.isAdmin then 2 else 0`, ast.I64Type))
+	d.InvalidateModel("User")
+	if _, ok := d.Lookup("User", "adminLevel"); ok {
+		t.Fatal("definitions on a deleted model must die")
+	}
+}

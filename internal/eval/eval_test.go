@@ -1,0 +1,310 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/store"
+	"scooter/internal/typer"
+)
+
+const spec = `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  age: I64 { read: public, write: u -> [u] },
+  score: F64 { read: public, write: u -> [u] },
+  joined: DateTime { read: public, write: u -> [u] },
+  isAdmin: Bool { read: public, write: none },
+  bestFriend: Id(User) { read: public, write: u -> [u] },
+  followers: Set(Id(User)) { read: public, write: u -> [u] },
+  nickname: Option(String) { read: public, write: u -> [u] }}
+
+Peep {
+  create: p -> [p.author],
+  delete: none,
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: p -> [p.author] }}
+`
+
+type fixture struct {
+	ev    *Evaluator
+	db    *store.DB
+	s     *schema.Schema
+	alice store.ID
+	bob   store.ID
+	carol store.ID
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	db := store.Open()
+	users := db.Collection("User")
+	mk := func(name string, age int64, admin bool) store.ID {
+		return users.Insert(store.Doc{
+			"name": name, "age": age, "score": 1.5, "joined": int64(1_000_000),
+			"isAdmin": admin, "followers": []store.Value{},
+			"nickname": store.None(),
+		})
+	}
+	fx := &fixture{ev: New(s, db), db: db, s: s}
+	fx.alice = mk("alice", 30, false)
+	fx.bob = mk("bob", 25, false)
+	fx.carol = mk("carol", 40, true)
+	users.UpdateAll(nil, func(d store.Doc) store.Doc {
+		return store.Doc{"bestFriend": fx.alice}
+	})
+	users.Update(fx.alice, store.Doc{"followers": []store.Value{fx.bob}})
+	return fx
+}
+
+// allowed evaluates a policy source against an instance for a principal.
+func (fx *fixture) allowed(t *testing.T, model string, id store.ID, p Principal, policySrc string) bool {
+	t.Helper()
+	pol, err := parser.ParsePolicy(policySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(fx.s).CheckPolicy(model, pol); err != nil {
+		t.Fatalf("%s: %v", policySrc, err)
+	}
+	doc, ok := fx.db.Collection(model).Get(id)
+	if !ok {
+		t.Fatalf("no doc %v", id)
+	}
+	got, err := fx.ev.Allowed(p, model, doc, pol)
+	if err != nil {
+		t.Fatalf("%s: %v", policySrc, err)
+	}
+	return got
+}
+
+func TestAllowedBasics(t *testing.T) {
+	fx := newFixture(t)
+	alice := InstancePrincipal("User", fx.alice)
+	bob := InstancePrincipal("User", fx.bob)
+	anon := StaticPrincipal("Unauthenticated")
+
+	cases := []struct {
+		policy string
+		p      Principal
+		want   bool
+	}{
+		{`public`, anon, true},
+		{`none`, alice, false},
+		{`u -> [u]`, alice, true},
+		{`u -> [u]`, bob, false},
+		{`u -> [u.bestFriend]`, alice, true}, // everyone's best friend is alice
+		{`u -> u.followers`, bob, true},      // bob follows alice
+		{`u -> u.followers`, alice, false},
+		{`u -> [u] + u.followers`, bob, true},
+		{`u -> User::Find({isAdmin: true})`, InstancePrincipal("User", fx.carol), true},
+		{`u -> User::Find({isAdmin: true})`, alice, false},
+		{`u -> User::Find({age >= 28})`, alice, true},
+		{`u -> User::Find({age >= 28})`, bob, false},
+		{`u -> User::Find({isAdmin: true}).map(x -> x.id)`, InstancePrincipal("User", fx.carol), true},
+		{`u -> if u.isAdmin then public else [u]`, bob, false},
+		{`u -> public - u.followers`, bob, false},
+		{`u -> public - u.followers`, InstancePrincipal("User", fx.carol), true},
+		{`_ -> [Unauthenticated]`, anon, true},
+		{`_ -> [Unauthenticated]`, alice, false},
+		{`u -> match u.nickname as n in public else [u]`, bob, false}, // nickname is None
+		{`u -> User::Find({joined < now})`, alice, true},
+		{`u -> User::Find({score > 1.0})`, alice, true},
+		{`u -> User::Find({score > 2.0})`, alice, false},
+		{`u -> User::Find({followers > u.id})`, bob, false}, // bob has no followers
+	}
+	for _, c := range cases {
+		// The instance is alice's record throughout.
+		if got := fx.allowed(t, "User", fx.alice, c.p, c.policy); got != c.want {
+			t.Errorf("policy %q for %v: got %v, want %v", c.policy, c.p, got, c.want)
+		}
+	}
+}
+
+func TestAllowedFlatMap(t *testing.T) {
+	fx := newFixture(t)
+	// Followers-of-followers: bob follows alice; give bob a follower carol.
+	fx.db.Collection("User").Update(fx.bob, store.Doc{"followers": []store.Value{fx.carol}})
+	pol := `u -> u.followers.flat_map(f -> User::ById(f).followers)`
+	if !fx.allowed(t, "User", fx.alice, InstancePrincipal("User", fx.carol), pol) {
+		t.Error("carol follows bob who follows alice")
+	}
+	if fx.allowed(t, "User", fx.alice, InstancePrincipal("User", fx.bob), pol) {
+		t.Error("bob is a direct follower, not a follower-of-follower")
+	}
+}
+
+func TestAllowedFindContains(t *testing.T) {
+	fx := newFixture(t)
+	// Users whose followers include bob: alice.
+	pol := `u -> User::Find({followers > u.id})`
+	// Instance is bob's record so u.id = bob; the found set is {alice}.
+	if !fx.allowed(t, "User", fx.bob, InstancePrincipal("User", fx.alice), pol) {
+		t.Error("alice's followers contain bob")
+	}
+}
+
+func TestEvalInit(t *testing.T) {
+	fx := newFixture(t)
+	doc, _ := fx.db.Collection("User").Get(fx.alice)
+	cases := []struct {
+		src  string
+		want store.Value
+	}{
+		{`u -> u.name`, "alice"},
+		{`u -> "Hi " + u.name`, "Hi alice"},
+		{`u -> u.age + 12`, int64(42)},
+		{`u -> u.age - 5`, int64(25)},
+		{`u -> if u.isAdmin then 1 else 0`, int64(0)},
+		{`_ -> true`, true},
+		{`u -> u.bestFriend`, fx.alice},
+		{`_ -> None`, store.None()},
+		{`u -> Some(u.name)`, store.Some("alice")},
+		{`u -> match u.nickname as n in n else u.name`, "alice"},
+		{`u -> if u.age >= 18 then "adult" else "minor"`, "adult"},
+		{`u -> if u.age == 30 then "thirty" else "other"`, "thirty"},
+		{`u -> if u.name != "bob" then 1 else 0`, int64(1)},
+	}
+	for _, c := range cases {
+		init, err := parser.ParsePolicy(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Type-check with an inferred result type by running the checker
+		// against the obvious target types; EvalInit itself is untyped.
+		got, err := fx.ev.EvalInit("User", doc, mustTypedFn(t, fx.s, init.Fn, c.src))
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if opt, ok := c.want.(store.Optional); ok {
+			gopt, gok := got.(store.Optional)
+			if !gok || gopt.Present != opt.Present || (opt.Present && gopt.Value != opt.Value) {
+				t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+// mustTypedFn type-checks the function body loosely (the evaluator relies
+// on node types only for set-element model resolution).
+func mustTypedFn(t *testing.T, s *schema.Schema, fn *ast.FuncLit, src string) *ast.FuncLit {
+	t.Helper()
+	for _, target := range []ast.Type{
+		ast.StringType, ast.I64Type, ast.BoolType, ast.IdType("User"),
+		ast.OptionType(ast.StringType), ast.F64Type, ast.DateTimeType,
+	} {
+		if err := typer.New(s).CheckInitFn("User", fn, target); err == nil {
+			return fn
+		}
+	}
+	t.Fatalf("init %q does not typecheck at any target type", src)
+	return nil
+}
+
+func TestDanglingByIdErrors(t *testing.T) {
+	fx := newFixture(t)
+	doc, _ := fx.db.Collection("User").Get(fx.alice)
+	fx.db.Collection("User").Update(fx.alice, store.Doc{"bestFriend": store.ID(424242)})
+	doc, _ = fx.db.Collection("User").Get(fx.alice)
+	init, err := parser.ParsePolicy(`u -> User::ById(u.bestFriend).name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(fx.s).CheckInitFn("User", init.Fn, ast.StringType); err != nil {
+		t.Fatal(err)
+	}
+	_, err = fx.ev.EvalInit("User", doc, init.Fn)
+	if err == nil || !strings.Contains(err.Error(), "no such document") {
+		t.Fatalf("dangling reference should error, got %v", err)
+	}
+}
+
+func TestPrincipalString(t *testing.T) {
+	if got := StaticPrincipal("Login").String(); got != "Login" {
+		t.Errorf("static: %s", got)
+	}
+	if got := InstancePrincipal("User", 7).String(); !strings.Contains(got, "User") {
+		t.Errorf("instance: %s", got)
+	}
+}
+
+func TestEvalSetOperations(t *testing.T) {
+	fx := newFixture(t)
+	doc, _ := fx.db.Collection("User").Get(fx.alice)
+	cases := []struct {
+		src  string
+		want int // expected cardinality of the resulting set
+	}{
+		{`u -> u.followers + [u.bestFriend]`, 2},
+		{`u -> u.followers - u.followers`, 0},
+		{`u -> User::Find({isAdmin: false}).map(x -> x.id)`, 2},
+		{`u -> User::Find({age >= 0}).map(x -> x.bestFriend)`, 3},
+		{`u -> u.followers.flat_map(f -> User::ById(f).followers)`, 0},
+		{`u -> []`, 0},
+	}
+	for _, c := range cases {
+		pol, err := parser.ParsePolicy(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := typer.New(fx.s).CheckPolicy("User", pol); err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		v, err := fx.ev.EvalInit("User", doc, pol.Fn)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		set, ok := v.([]store.Value)
+		if !ok && v != nil {
+			t.Errorf("%s: result %T", c.src, v)
+			continue
+		}
+		if len(set) != c.want {
+			t.Errorf("%s: |set| = %d, want %d (%v)", c.src, len(set), c.want, set)
+		}
+	}
+}
+
+func TestEvalErrorsAreExplicit(t *testing.T) {
+	fx := newFixture(t)
+	doc, _ := fx.db.Collection("User").Get(fx.alice)
+	// public cannot be materialised as a value.
+	pol, err := parser.ParsePolicy(`_ -> public`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(fx.s).CheckPolicy("User", pol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.ev.EvalInit("User", doc, pol.Fn); err == nil {
+		t.Error("materialising public must error")
+	}
+	// But Allowed handles it.
+	ok, err := fx.ev.Allowed(InstancePrincipal("User", fx.bob), "User", doc, pol)
+	if err != nil || !ok {
+		t.Errorf("Allowed(public) = %v, %v", ok, err)
+	}
+}

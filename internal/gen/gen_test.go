@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	scparser "scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+)
+
+const spec = `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  age: I64 { read: public, write: u -> [u] },
+  height: F64 { read: public, write: u -> [u] },
+  joined: DateTime { read: public, write: u -> [u] },
+  isAdmin: Bool { read: public, write: none },
+  bestFriend: Id(User) { read: public, write: u -> [u] },
+  followers: Set(Id(User)) { read: public, write: u -> [u] },
+  nickname: Option(String) { read: public, write: u -> [u] }}
+
+Peep {
+  create: p -> [p.author],
+  delete: p -> [p.author],
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: p -> [p.author] }}
+`
+
+func genSource(t *testing.T) string {
+	t.Helper()
+	f, err := scparser.ParsePolicyFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(s, "chitterorm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestGeneratedSourceParses(t *testing.T) {
+	src := genSource(t)
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGeneratedDeclarations(t *testing.T) {
+	src := genSource(t)
+	for _, want := range []string{
+		"type User struct",
+		"type UserData struct",
+		"type UserPatch struct",
+		"type UserHandle struct",
+		"func Users(pr *scooter.Princ) UserHandle",
+		"func (h UserHandle) ByID(id scooter.ID)",
+		"func (h UserHandle) Find(filters ...scooter.Filter)",
+		"func (h UserHandle) Insert(data UserData)",
+		"func (h UserHandle) Update(id scooter.ID, patch UserPatch)",
+		"func (h UserHandle) Delete(id scooter.ID)",
+		"type Peep struct",
+		"func Unauthenticated() scooter.Principal",
+		"Followers *[]scooter.ID",
+		"Nickname *scooter.Opt[string]",
+		"BestFriend *scooter.ID",
+		"Joined *int64",
+		"Height *float64",
+	} {
+		if !strings.Contains(collapseSpaces(src), collapseSpaces(want)) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+// collapseSpaces normalises gofmt's column alignment for matching.
+func collapseSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func TestGoNames(t *testing.T) {
+	cases := map[string]string{
+		"name":        "Name",
+		"isAdmin":     "IsAdmin",
+		"admin_level": "AdminLevel",
+		"x":           "X",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

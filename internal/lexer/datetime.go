@@ -1,0 +1,66 @@
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseDateTime parses a Scooter datetime literal of the form
+// d<month>-<day>-<year>-<hour>:<minute>:<second> into a UNIX timestamp.
+// Scooter models DateTime values as UNIX timestamps (seconds, UTC), which is
+// also how Sidecar encodes them for the solver.
+func ParseDateTime(lit string) (int64, error) {
+	if !strings.HasPrefix(lit, "d") {
+		return 0, fmt.Errorf("datetime literal must start with 'd'")
+	}
+	body := lit[1:]
+	// Split date from time on the final '-'.
+	dash := strings.LastIndexByte(body, '-')
+	if dash < 0 {
+		return 0, fmt.Errorf("missing time component")
+	}
+	datePart, timePart := body[:dash], body[dash+1:]
+	dp := strings.Split(datePart, "-")
+	if len(dp) != 3 {
+		return 0, fmt.Errorf("date must be <month>-<day>-<year>")
+	}
+	tp := strings.Split(timePart, ":")
+	if len(tp) != 3 {
+		return 0, fmt.Errorf("time must be <hour>:<minute>:<second>")
+	}
+	nums := make([]int, 6)
+	for i, s := range append(dp, tp...) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("invalid number %q", s)
+		}
+		nums[i] = n
+	}
+	month, day, year, hour, minute, second := nums[0], nums[1], nums[2], nums[3], nums[4], nums[5]
+	if month < 1 || month > 12 {
+		return 0, fmt.Errorf("month %d out of range", month)
+	}
+	if day < 1 || day > 31 {
+		return 0, fmt.Errorf("day %d out of range", day)
+	}
+	if hour < 0 || hour > 23 {
+		return 0, fmt.Errorf("hour %d out of range", hour)
+	}
+	if minute < 0 || minute > 59 {
+		return 0, fmt.Errorf("minute %d out of range", minute)
+	}
+	if second < 0 || second > 59 {
+		return 0, fmt.Errorf("second %d out of range", second)
+	}
+	t := time.Date(year, time.Month(month), day, hour, minute, second, 0, time.UTC)
+	return t.Unix(), nil
+}
+
+// FormatDateTime renders a UNIX timestamp as a Scooter datetime literal.
+func FormatDateTime(unix int64) string {
+	t := time.Unix(unix, 0).UTC()
+	return fmt.Sprintf("d%d-%d-%d-%02d:%02d:%02d",
+		int(t.Month()), t.Day(), t.Year(), t.Hour(), t.Minute(), t.Second())
+}

@@ -1,0 +1,309 @@
+// Package lexer tokenizes Scooter policy files and migration scripts.
+//
+// The two surface languages (Scooter_p and Scooter_m) share a lexical
+// grammar: identifiers, integer/float/string/datetime literals, a small
+// operator set, and `#`-to-end-of-line comments.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"scooter/internal/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src   string
+	off   int // byte offset of next rune
+	line  int
+	col   int
+	errs  []*Error
+	toks  []token.Token
+	begin token.Pos // position of the token currently being scanned
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning the token stream (terminated by
+// an EOF token) and the first error encountered, if any.
+func Tokenize(src string) ([]token.Token, error) {
+	l := New(src)
+	toks := l.All()
+	if len(l.errs) > 0 {
+		return toks, l.errs[0]
+	}
+	return toks, nil
+}
+
+// All scans the entire input and returns all tokens including a final EOF.
+func (l *Lexer) All() []token.Token {
+	for {
+		t := l.next()
+		l.toks = append(l.toks, t)
+		if t.Kind == token.EOF {
+			return l.toks
+		}
+	}
+}
+
+// Errors returns all lexical errors encountered.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return 0
+	}
+	r2, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r2
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) next() token.Token {
+	l.skipSpaceAndComments()
+	l.begin = l.pos()
+	r := l.peek()
+	switch {
+	case r == 0:
+		return l.make(token.EOF, "")
+	case isIdentStart(r):
+		return l.scanIdent()
+	case unicode.IsDigit(r):
+		return l.scanNumber()
+	case r == '"':
+		return l.scanString()
+	}
+	l.advance()
+	switch r {
+	case '+':
+		return l.make(token.PLUS, "+")
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return l.make(token.ARROW, "->")
+		}
+		return l.make(token.MINUS, "-")
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return l.make(token.LE, "<=")
+		}
+		return l.make(token.LT, "<")
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return l.make(token.GE, ">=")
+		}
+		return l.make(token.GT, ">")
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return l.make(token.EQ, "==")
+		}
+		l.errorf(l.begin, "unexpected '='; Scooter uses '==' for equality")
+		return l.make(token.ILLEGAL, "=")
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return l.make(token.NE, "!=")
+		}
+		l.errorf(l.begin, "unexpected '!'")
+		return l.make(token.ILLEGAL, "!")
+	case ':':
+		if l.peek() == ':' {
+			l.advance()
+			return l.make(token.DOUBLECOL, "::")
+		}
+		return l.make(token.COLON, ":")
+	case ',':
+		return l.make(token.COMMA, ",")
+	case ';':
+		return l.make(token.SEMI, ";")
+	case '.':
+		return l.make(token.DOT, ".")
+	case '(':
+		return l.make(token.LPAREN, "(")
+	case ')':
+		return l.make(token.RPAREN, ")")
+	case '{':
+		return l.make(token.LBRACE, "{")
+	case '}':
+		return l.make(token.RBRACE, "}")
+	case '[':
+		return l.make(token.LBRACKET, "[")
+	case ']':
+		return l.make(token.RBRACKET, "]")
+	case '@':
+		return l.make(token.AT, "@")
+	}
+	l.errorf(l.begin, "unexpected character %q", r)
+	return l.make(token.ILLEGAL, string(r))
+}
+
+func (l *Lexer) make(k token.Kind, text string) token.Token {
+	return token.Token{Kind: k, Text: text, Pos: l.begin}
+}
+
+func (l *Lexer) scanIdent() token.Token {
+	// A datetime literal looks like d<month>-<day>-<year>-<h>:<m>:<s>.
+	// Disambiguate from identifiers: a datetime is a leading 'd' followed
+	// immediately by a digit.
+	if l.peek() == 'd' && unicode.IsDigit(l.peek2()) {
+		l.advance() // 'd'
+		return l.scanDateTime()
+	}
+	var sb strings.Builder
+	for isIdentCont(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	if text == "_" {
+		return l.make(token.UNDER, "_")
+	}
+	if k, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: k, Text: text, Pos: l.begin}
+	}
+	return token.Token{Kind: token.IDENT, Text: text, Pos: l.begin}
+}
+
+// scanDateTime scans the remainder of d<month>-<day>-<year>-<hour>:<minute>:<second>.
+// The leading 'd' has already been consumed.
+func (l *Lexer) scanDateTime() token.Token {
+	var sb strings.Builder
+	sb.WriteByte('d')
+	for {
+		r := l.peek()
+		if unicode.IsDigit(r) || r == '-' || r == ':' {
+			sb.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	text := sb.String()
+	if _, err := ParseDateTime(text); err != nil {
+		l.errorf(l.begin, "invalid datetime literal %q: %v", text, err)
+		return token.Token{Kind: token.ILLEGAL, Text: text, Pos: l.begin}
+	}
+	return token.Token{Kind: token.DATETIME, Text: text, Pos: l.begin}
+}
+
+func (l *Lexer) scanNumber() token.Token {
+	var sb strings.Builder
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		sb.WriteRune(l.advance()) // '.'
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		return token.Token{Kind: token.FLOAT, Text: sb.String(), Pos: l.begin}
+	}
+	return token.Token{Kind: token.INT, Text: sb.String(), Pos: l.begin}
+}
+
+func (l *Lexer) scanString() token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		switch r {
+		case 0, '\n':
+			l.errorf(l.begin, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Text: sb.String(), Pos: l.begin}
+		case '"':
+			l.advance()
+			return token.Token{Kind: token.STRING, Text: sb.String(), Pos: l.begin}
+		case '\\':
+			l.advance()
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				l.errorf(l.begin, "invalid escape sequence \\%c", esc)
+			}
+		default:
+			sb.WriteRune(l.advance())
+		}
+	}
+}

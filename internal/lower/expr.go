@@ -1,0 +1,297 @@
+package lower
+
+import (
+	"scooter/internal/ast"
+	"scooter/internal/smt/term"
+)
+
+// value is a lowered Scooter value: a scalar term, or an Option represented
+// as an (isSome, val) pair.
+type value struct {
+	typ    ast.Type
+	scalar term.T
+	isSome term.T
+	optVal term.T
+}
+
+// env binds Scooter variables to lowered values.
+type env struct {
+	name   string
+	val    value
+	parent *env
+}
+
+func newEnv() *env { return nil }
+
+func (e *env) bind(name string, v value) *env {
+	return &env{name: name, val: v, parent: e}
+}
+
+func (e *env) lookup(name string) (value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.name == name {
+			return cur.val, true
+		}
+	}
+	return value{}, false
+}
+
+// lowerScalar lowers a scalar-typed expression (Bool, I64, F64, DateTime,
+// String, Id, instance) to a term.
+func (c *Context) lowerScalar(e *env, x ast.Expr) (term.T, error) {
+	v, err := c.lowerValue(e, x)
+	if err != nil {
+		return term.NilTerm, err
+	}
+	if v.typ.Kind == ast.TOption {
+		return term.NilTerm, errf("expected scalar, found Option expression %s", x)
+	}
+	return v.scalar, nil
+}
+
+// lowerValue lowers any non-set expression.
+func (c *Context) lowerValue(e *env, x ast.Expr) (value, error) {
+	switch n := x.(type) {
+	case *ast.StringLit:
+		return value{typ: ast.StringType, scalar: c.stringLit(n.Value)}, nil
+	case *ast.IntLit:
+		return value{typ: ast.I64Type, scalar: c.B.IntLit(n.Value)}, nil
+	case *ast.FloatLit:
+		return value{typ: ast.F64Type, scalar: c.B.FloatLit(n.Value)}, nil
+	case *ast.BoolLit:
+		return value{typ: ast.BoolType, scalar: c.B.BoolLit(n.Value)}, nil
+	case *ast.DateTimeLit:
+		return value{typ: ast.DateTimeType, scalar: c.B.IntLit(n.Unix)}, nil
+	case *ast.Now:
+		// One shared unconstrained value for every occurrence (§4).
+		return value{typ: ast.DateTimeType, scalar: c.nowTerm}, nil
+	case *ast.Var:
+		if v, ok := e.lookup(n.Name); ok {
+			return v, nil
+		}
+		if c.Schema.HasStatic(n.Name) {
+			return value{typ: ast.PrincipalType, scalar: c.static(n.Name)}, nil
+		}
+		return value{}, errf("unbound variable %s during lowering", n.Name)
+	case *ast.Binary:
+		return c.lowerBinary(e, n)
+	case *ast.If:
+		cond, err := c.lowerScalar(e, n.Cond)
+		if err != nil {
+			return value{}, err
+		}
+		tv, err := c.lowerValue(e, n.Then)
+		if err != nil {
+			return value{}, err
+		}
+		ev, err := c.lowerValue(e, n.Else)
+		if err != nil {
+			return value{}, err
+		}
+		if tv.typ.Kind == ast.TOption || ev.typ.Kind == ast.TOption {
+			tv = c.asOption(tv)
+			ev = c.asOption(ev)
+			return value{
+				typ:    n.Type(),
+				isSome: c.B.Ite(cond, tv.isSome, ev.isSome),
+				optVal: c.B.Ite(cond, tv.optVal, ev.optVal),
+			}, nil
+		}
+		return value{typ: n.Type(), scalar: c.B.Ite(cond, tv.scalar, ev.scalar)}, nil
+	case *ast.Match:
+		scrut, err := c.lowerValue(e, n.Scrutinee)
+		if err != nil {
+			return value{}, err
+		}
+		scrut = c.asOption(scrut)
+		inner := e.bind(n.Binder, value{typ: elemType(scrut.typ), scalar: scrut.optVal})
+		sv, err := c.lowerValue(inner, n.SomeArm)
+		if err != nil {
+			return value{}, err
+		}
+		nv, err := c.lowerValue(e, n.NoneArm)
+		if err != nil {
+			return value{}, err
+		}
+		if sv.typ.Kind == ast.TOption || nv.typ.Kind == ast.TOption {
+			sv = c.asOption(sv)
+			nv = c.asOption(nv)
+			return value{
+				typ:    n.Type(),
+				isSome: c.B.Ite(scrut.isSome, sv.isSome, nv.isSome),
+				optVal: c.B.Ite(scrut.isSome, sv.optVal, nv.optVal),
+			}, nil
+		}
+		return value{typ: n.Type(), scalar: c.B.Ite(scrut.isSome, sv.scalar, nv.scalar)}, nil
+	case *ast.NoneLit:
+		// The payload of None is irrelevant; use a fresh unconstrained term.
+		c.fresh++
+		elem := n.Type().Elem
+		sort := term.Int
+		if elem != nil && elem.Kind != ast.TInvalid {
+			var err error
+			sort, err = sortForType(*elem)
+			if err != nil {
+				return value{}, err
+			}
+		}
+		return value{
+			typ:    n.Type(),
+			isSome: c.B.False(),
+			optVal: c.B.Const(nameFresh("$none", c.fresh), sort),
+		}, nil
+	case *ast.SomeLit:
+		av, err := c.lowerScalar(e, n.Arg)
+		if err != nil {
+			return value{}, err
+		}
+		return value{typ: n.Type(), isSome: c.B.True(), optVal: av}, nil
+	case *ast.FieldAccess:
+		recv, err := c.lowerScalar(e, n.Recv)
+		if err != nil {
+			return value{}, err
+		}
+		rt := n.Recv.Type()
+		if rt.Kind != ast.TModel {
+			return value{}, errf("field access on non-instance during lowering: %s", x)
+		}
+		ft := n.Type()
+		if ft.Kind == ast.TOption {
+			isSome, val, err := c.optionApps(rt.Model, n.Field, *ft.Elem, recv)
+			if err != nil {
+				return value{}, err
+			}
+			return value{typ: ft, isSome: isSome, optVal: val}, nil
+		}
+		if ft.Kind == ast.TSet {
+			return value{}, errf("set field %s.%s outside a membership context", rt.Model, n.Field)
+		}
+		app, err := c.fieldApp(rt.Model, n.Field, recv)
+		if err != nil {
+			return value{}, err
+		}
+		c.noteInstance(ft, app)
+		return value{typ: ft, scalar: app}, nil
+	case *ast.ById:
+		// id-as-identity: resolving an id to its instance is the identity.
+		arg, err := c.lowerScalar(e, n.Arg)
+		if err != nil {
+			return value{}, err
+		}
+		return value{typ: ast.ModelType(n.Model), scalar: arg}, nil
+	}
+	return value{}, errf("expression %s cannot be lowered as a value", x)
+}
+
+// nameFresh builds a fresh constant name.
+func nameFresh(prefix string, n int) string { return prefix + itoa(n) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// noteInstance records instance-sorted application terms so counterexample
+// rendering and bounded instantiation can enumerate them.
+func (c *Context) noteInstance(t ast.Type, tm term.T) {
+	model := ""
+	switch t.Kind {
+	case ast.TId, ast.TModel:
+		model = t.Model
+	default:
+		return
+	}
+	for _, existing := range c.instances[model] {
+		if existing == tm {
+			return
+		}
+	}
+	c.instances[model] = append(c.instances[model], tm)
+}
+
+// asOption adapts a value to Option representation (used where typing
+// allowed a bare None to unify with a concrete Option).
+func (c *Context) asOption(v value) value {
+	if v.typ.Kind == ast.TOption {
+		return v
+	}
+	return value{typ: ast.OptionType(v.typ), isSome: c.B.True(), optVal: v.scalar}
+}
+
+func elemType(t ast.Type) ast.Type {
+	if t.Elem != nil {
+		return *t.Elem
+	}
+	return ast.Type{}
+}
+
+func (c *Context) lowerBinary(e *env, n *ast.Binary) (value, error) {
+	lt, rt := n.Left.Type(), n.Right.Type()
+	if n.Op == ast.OpEq || n.Op == ast.OpNe {
+		eq, err := c.lowerEquality(e, n.Left, n.Right)
+		if err != nil {
+			return value{}, err
+		}
+		if n.Op == ast.OpNe {
+			eq = c.B.Not(eq)
+		}
+		return value{typ: ast.BoolType, scalar: eq}, nil
+	}
+	l, err := c.lowerScalar(e, n.Left)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := c.lowerScalar(e, n.Right)
+	if err != nil {
+		return value{}, err
+	}
+	switch n.Op {
+	case ast.OpAdd:
+		if lt.Kind == ast.TString {
+			return value{typ: ast.StringType, scalar: c.B.App("$concat", stringSort, l, r)}, nil
+		}
+		return value{typ: n.Type(), scalar: c.B.Add(l, r)}, nil
+	case ast.OpSub:
+		return value{typ: n.Type(), scalar: c.B.Sub(l, r)}, nil
+	case ast.OpLt:
+		return value{typ: ast.BoolType, scalar: c.B.Lt(l, r)}, nil
+	case ast.OpLe:
+		return value{typ: ast.BoolType, scalar: c.B.Le(l, r)}, nil
+	case ast.OpGt:
+		return value{typ: ast.BoolType, scalar: c.B.Gt(l, r)}, nil
+	case ast.OpGe:
+		return value{typ: ast.BoolType, scalar: c.B.Ge(l, r)}, nil
+	}
+	_ = rt
+	return value{}, errf("operator %s cannot be lowered", n.Op)
+}
+
+// lowerEquality handles == between scalars and between Options.
+func (c *Context) lowerEquality(e *env, left, right ast.Expr) (term.T, error) {
+	lv, err := c.lowerValue(e, left)
+	if err != nil {
+		return term.NilTerm, err
+	}
+	rv, err := c.lowerValue(e, right)
+	if err != nil {
+		return term.NilTerm, err
+	}
+	if lv.typ.Kind == ast.TOption || rv.typ.Kind == ast.TOption {
+		lv, rv = c.asOption(lv), c.asOption(rv)
+		// Equal iff same presence and, when present, same payload.
+		return c.B.And(
+			c.B.Eq(lv.isSome, rv.isSome),
+			c.B.Or(c.B.Not(lv.isSome), c.B.Eq(lv.optVal, rv.optVal)),
+		), nil
+	}
+	return c.B.Eq(lv.scalar, rv.scalar), nil
+}

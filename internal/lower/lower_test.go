@@ -1,0 +1,203 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/equiv"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/smt/solver"
+	"scooter/internal/smt/term"
+	"scooter/internal/typer"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(`
+@static-principal
+Admin
+
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: none },
+  isAdmin: Bool { read: public, write: none },
+  level: I64 { read: public, write: none },
+  score: F64 { read: public, write: none },
+  joined: DateTime { read: public, write: none },
+  friend: Id(User) { read: public, write: none },
+  followers: Set(Id(User)) { read: public, write: none },
+  nick: Option(String) { read: public, write: none }}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func policy(t *testing.T, s *schema.Schema, src string) ast.Policy {
+	t.Helper()
+	p, err := parser.ParsePolicy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(s).CheckPolicy("User", p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// solveLeak builds and solves the leakage query for the dynamic User kind.
+func solveLeak(t *testing.T, s *schema.Schema, oldSrc, newSrc string) (solver.Status, *Query) {
+	t.Helper()
+	ctx := NewContext(s, equiv.New())
+	q, err := BuildLeakageQuery(ctx, "User", policy(t, s, oldSrc), policy(t, s, newSrc), PrincipalKind{Model: "User"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := solver.New(q.B)
+	sv.Assert(q.Formula)
+	return sv.Check(), q
+}
+
+func TestPrincipalKinds(t *testing.T) {
+	s := testSchema(t)
+	kinds := PrincipalKinds(s)
+	if len(kinds) != 2 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	if kinds[0].Model != "User" || kinds[1].Static != "Admin" {
+		t.Errorf("kinds: %v", kinds)
+	}
+	if kinds[0].String() != "User" || kinds[1].String() != "Admin" {
+		t.Errorf("kind names: %v %v", kinds[0], kinds[1])
+	}
+}
+
+func TestSortForType(t *testing.T) {
+	cases := map[string]ast.Type{
+		"Bool":    ast.BoolType,
+		"Int":     ast.I64Type,
+		"Real":    ast.F64Type,
+		"$String": ast.StringType,
+		"$M_User": ast.IdType("User"),
+	}
+	for want, typ := range cases {
+		sort, err := SortForType(typ)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if sort.String() != want {
+			t.Errorf("SortForType(%v) = %v, want %v", typ, sort, want)
+		}
+	}
+	// DateTime shares the Int sort.
+	sort, err := SortForType(ast.DateTimeType)
+	if err != nil || sort.Kind != term.SortInt {
+		t.Errorf("DateTime sort: %v %v", sort, err)
+	}
+	// Sets and Options have no scalar sort.
+	if _, err := SortForType(ast.SetType(ast.I64Type)); err == nil {
+		t.Error("set must have no scalar sort")
+	}
+}
+
+func TestLeakageFormulaShapes(t *testing.T) {
+	s := testSchema(t)
+	// public vs public: formula contains (not true) => unsat trivially.
+	st, _ := solveLeak(t, s, `public`, `public`)
+	if st != solver.Unsat {
+		t.Errorf("public/public: %v", st)
+	}
+	// none -> public: trivially sat.
+	st, _ = solveLeak(t, s, `none`, `public`)
+	if st != solver.Sat {
+		t.Errorf("none->public: %v", st)
+	}
+	// The instance var and principal term are tracked per model.
+	_, q := solveLeak(t, s, `u -> [u]`, `u -> [u.friend]`)
+	if len(q.Instances["User"]) < 2 {
+		t.Errorf("instances: %v", q.Instances)
+	}
+	if q.InstanceModel != "User" || q.Kind.Model != "User" {
+		t.Errorf("query meta: %+v", q)
+	}
+}
+
+func TestStringLitsInterned(t *testing.T) {
+	s := testSchema(t)
+	_, q := solveLeak(t, s,
+		`u -> User::Find({name: "alice"})`,
+		`u -> User::Find({name: "alice"}) + User::Find({name: "bob"})`)
+	if len(q.StringLits) != 2 {
+		t.Errorf("string literals: %v", q.StringLits)
+	}
+}
+
+func TestIncompleteFlagPropagates(t *testing.T) {
+	s := testSchema(t)
+	// Non-identity map under negation (old side).
+	_, q := solveLeak(t, s,
+		`u -> User::Find({isAdmin: true}).map(x -> x.friend)`,
+		`u -> [u]`)
+	if !q.Incomplete {
+		t.Error("bounded instantiation must set Incomplete")
+	}
+	// On the positive (new) side the skolemisation is exact.
+	_, q = solveLeak(t, s,
+		`public`,
+		`u -> User::Find({isAdmin: true}).map(x -> x.friend)`)
+	if q.Incomplete {
+		t.Error("skolemisation must not set Incomplete")
+	}
+}
+
+func TestStaticKindQueries(t *testing.T) {
+	s := testSchema(t)
+	ctx := NewContext(s, equiv.New())
+	q, err := BuildLeakageQuery(ctx, "User",
+		policy(t, s, `u -> [u]`),
+		policy(t, s, `_ -> [Admin]`),
+		PrincipalKind{Static: "Admin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := solver.New(q.B)
+	sv.Assert(q.Formula)
+	if sv.Check() != solver.Sat {
+		t.Error("Admin gains access; the static-kind query must be sat")
+	}
+	if q.PrincipalTerm == term.NilTerm {
+		t.Error("principal term missing")
+	}
+	if len(q.Statics) == 0 {
+		t.Error("statics not tracked")
+	}
+}
+
+func TestLoweringErrors(t *testing.T) {
+	s := testSchema(t)
+	ctx := NewContext(s, equiv.New())
+	// A policy body with an unbound variable fails at lowering even if it
+	// slipped past type checking (defensive path).
+	p, err := parser.ParsePolicy(`u -> [u]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := typer.New(s).CheckPolicy("User", p); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the body to reference an unbound var.
+	p.Fn.Body = ast.NewSetLit(p.Fn.Body.Pos(), []ast.Expr{ast.NewVar(p.Fn.Body.Pos(), "ghost")})
+	_, err = BuildLeakageQuery(ctx, "User", p, policy(t, s, `public`), PrincipalKind{Model: "User"})
+	if err == nil || !strings.Contains(err.Error(), "cannot act as a principal") {
+		t.Errorf("expected principal-position error, got %v", err)
+	}
+}

@@ -1,0 +1,365 @@
+package lower
+
+import (
+	"scooter/internal/ast"
+	"scooter/internal/schema"
+	"scooter/internal/smt/term"
+)
+
+// principal is the candidate principal u of a leakage query.
+type principal struct {
+	kind PrincipalKind
+	term term.T
+}
+
+// member lowers u ∈ e for a set-typed expression e, distributing the
+// membership operator per §4. pos records the polarity of the occurrence:
+// existentials introduced by map/flat_map are skolemised exactly on the
+// positive side and bounded-instantiated on the negative side (where they
+// are universals), setting the context's incomplete flag.
+func (c *Context) member(e *env, u principal, x ast.Expr, pos bool) (term.T, error) {
+	switch n := x.(type) {
+	case *ast.Public:
+		return c.B.True(), nil
+	case *ast.SetLit:
+		var disj []term.T
+		for _, el := range n.Elems {
+			eq, err := c.principalEq(e, u, el)
+			if err != nil {
+				return term.NilTerm, err
+			}
+			disj = append(disj, eq)
+		}
+		return c.B.Or(disj...), nil
+	case *ast.Binary:
+		switch n.Op {
+		case ast.OpAdd: // set union
+			l, err := c.member(e, u, n.Left, pos)
+			if err != nil {
+				return term.NilTerm, err
+			}
+			r, err := c.member(e, u, n.Right, pos)
+			if err != nil {
+				return term.NilTerm, err
+			}
+			return c.B.Or(l, r), nil
+		case ast.OpSub: // set subtraction: u ∈ a ∧ ¬(u ∈ b)
+			l, err := c.member(e, u, n.Left, pos)
+			if err != nil {
+				return term.NilTerm, err
+			}
+			r, err := c.member(e, u, n.Right, !pos)
+			if err != nil {
+				return term.NilTerm, err
+			}
+			return c.B.And(l, c.B.Not(r)), nil
+		}
+		return term.NilTerm, errf("operator %s is not a set operation", n.Op)
+	case *ast.If:
+		cond, err := c.lowerScalar(e, n.Cond)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		tm, err := c.member(e, u, n.Then, pos)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		em, err := c.member(e, u, n.Else, pos)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.B.Or(c.B.And(cond, tm), c.B.And(c.B.Not(cond), em)), nil
+	case *ast.Match:
+		scrut, err := c.lowerValue(e, n.Scrutinee)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		scrut = c.asOption(scrut)
+		inner := e.bind(n.Binder, value{typ: elemType(scrut.typ), scalar: scrut.optVal})
+		sm, err := c.member(inner, u, n.SomeArm, pos)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		nm, err := c.member(e, u, n.NoneArm, pos)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.B.Or(c.B.And(scrut.isSome, sm), c.B.And(c.B.Not(scrut.isSome), nm)), nil
+	case *ast.Find:
+		return c.memberFind(e, u, n)
+	case *ast.Map:
+		return c.memberMap(e, u, n.Recv, n.Fn, false, pos)
+	case *ast.FlatMap:
+		return c.memberMap(e, u, n.Recv, n.Fn, true, pos)
+	case *ast.FieldAccess:
+		// Set field access: join-table membership (§4).
+		return c.memberSetField(e, u, n)
+	case *ast.Var:
+		// A set-typed variable can only come from a flat_map binder, which
+		// binds instances, not sets.
+		return term.NilTerm, errf("set-typed variable %s cannot be lowered", n.Name)
+	}
+	return term.NilTerm, errf("expression %s is not a set expression", x)
+}
+
+// memberFind lowers u ∈ M::Find({...}): u must be an instance of M meeting
+// every clause (§4, "Translating Set Expressions").
+func (c *Context) memberFind(e *env, u principal, n *ast.Find) (term.T, error) {
+	if u.kind.Model != n.Model {
+		// Static principals and instances of other models never appear in
+		// a Find over M.
+		return c.B.False(), nil
+	}
+	return c.findCriteria(e, n, u.term)
+}
+
+// findCriteria lowers the conjunction of Find clauses applied to candidate.
+func (c *Context) findCriteria(e *env, n *ast.Find, candidate term.T) (term.T, error) {
+	conj := make([]term.T, 0, len(n.Clauses))
+	for _, cl := range n.Clauses {
+		atom, err := c.findClause(e, n.Model, cl, candidate)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		conj = append(conj, atom)
+	}
+	return c.B.And(conj...), nil
+}
+
+func (c *Context) findClause(e *env, model string, cl ast.FindClause, candidate term.T) (term.T, error) {
+	m := c.Schema.Model(model)
+	var ft ast.Type
+	if cl.Field == schema.IDFieldName {
+		ft = m.IDType()
+	} else {
+		ft = m.Field(cl.Field).Type
+	}
+	switch {
+	case cl.Op == ast.FindContains:
+		// Set field containment: value ∈ candidate.field.
+		val, err := c.lowerScalar(e, cl.Value)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.memberPred(model, cl.Field, val, candidate), nil
+	case ft.Kind == ast.TOption:
+		fieldSome, fieldVal, err := c.optionApps(model, cl.Field, *ft.Elem, candidate)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		v, err := c.lowerValue(e, cl.Value)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		v = c.asOption(v)
+		if cl.Op != ast.FindEq {
+			return term.NilTerm, errf("only equality queries are supported on Option field %s.%s", model, cl.Field)
+		}
+		return c.B.And(
+			c.B.Eq(fieldSome, v.isSome),
+			c.B.Or(c.B.Not(fieldSome), c.B.Eq(fieldVal, v.optVal)),
+		), nil
+	default:
+		fv, err := c.fieldApp(model, cl.Field, candidate)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		val, err := c.lowerScalar(e, cl.Value)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		switch cl.Op {
+		case ast.FindEq:
+			return c.B.Eq(fv, val), nil
+		case ast.FindLt:
+			return c.B.Lt(fv, val), nil
+		case ast.FindLe:
+			return c.B.Le(fv, val), nil
+		case ast.FindGt:
+			return c.B.Gt(fv, val), nil
+		case ast.FindGe:
+			return c.B.Ge(fv, val), nil
+		}
+		return term.NilTerm, errf("unsupported Find operator %s", cl.Op)
+	}
+}
+
+// memberSetField lowers u ∈ recv.field for a set-typed field via the
+// join-table predicate.
+func (c *Context) memberSetField(e *env, u principal, n *ast.FieldAccess) (term.T, error) {
+	rt := n.Recv.Type()
+	if rt.Kind != ast.TModel {
+		return term.NilTerm, errf("set field access on non-instance: %s", n)
+	}
+	ft := n.Type()
+	if ft.Kind != ast.TSet {
+		return term.NilTerm, errf("%s is not a set field", n)
+	}
+	// Kind check: only id elements of u's model can match.
+	if u.kind.Model == "" || ft.Elem.Model != u.kind.Model {
+		if ft.Elem.Kind == ast.TId || ft.Elem.Kind == ast.TModel {
+			if ft.Elem.Model != u.kind.Model {
+				return c.B.False(), nil
+			}
+		}
+	}
+	recv, err := c.lowerScalar(e, n.Recv)
+	if err != nil {
+		return term.NilTerm, err
+	}
+	return c.memberPred(rt.Model, n.Field, u.term, recv), nil
+}
+
+// memberMap lowers u ∈ recv.map(x -> body) and u ∈ recv.flat_map(x -> body).
+//
+//	u ∈ e.map(x -> b)       ~>  ∃v. v ∈ e ∧ u = b[v/x]
+//	u ∈ e.flat_map(x -> b)  ~>  ∃v. v ∈ e ∧ u ∈ b[v/x]
+//
+// The identity-shaped map bodies (x -> x, x -> x.id) need no quantifier.
+// Otherwise the existential is skolemised on the positive side; on the
+// negative side it is a universal, which is instantiated over the bounded
+// pool of known instance terms (marking the query incomplete).
+func (c *Context) memberMap(e *env, u principal, recv ast.Expr, fn *ast.FuncLit, flat bool, pos bool) (term.T, error) {
+	recvType := recv.Type()
+	if recvType.Kind != ast.TSet {
+		return term.NilTerm, errf("map receiver must be a set")
+	}
+	elem := *recvType.Elem
+
+	// Identity-shaped bodies: u ∈ e.map(x -> x.id) ≡ u ∈ e.
+	if !flat && isIdentityBody(fn) {
+		return c.member(e, u, recv, pos)
+	}
+
+	apply := func(v term.T) (term.T, error) {
+		inner := e
+		if fn.Param != "_" {
+			inner = e.bind(fn.Param, value{typ: elem, scalar: v})
+		}
+		if flat {
+			return c.member(inner, u, fn.Body, pos)
+		}
+		return c.principalEq(inner, u, fn.Body)
+	}
+
+	// The element sort must be an instance sort to quantify over.
+	if elem.Kind != ast.TModel && elem.Kind != ast.TId {
+		return term.NilTerm, errf("map over non-instance elements is not supported in policies")
+	}
+	model := elem.Model
+
+	if pos {
+		// Skolemise: one fresh witness suffices.
+		v := c.freshInstance(model, "sk")
+		inRecv, err := c.memberInstance(e, v, model, recv, pos)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		app, err := apply(v)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.B.And(inRecv, app), nil
+	}
+
+	// Negative side: universal. Instantiate over the known instance pool.
+	c.incomplete = true
+	pool := append([]term.T(nil), c.instances[model]...)
+	var disj []term.T
+	for _, v := range pool {
+		inRecv, err := c.memberInstance(e, v, model, recv, pos)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		app, err := apply(v)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		disj = append(disj, c.B.And(inRecv, app))
+	}
+	return c.B.Or(disj...), nil
+}
+
+// memberInstance lowers v ∈ e where v is an instance term of the given
+// model (used for map/flat_map witnesses, which range over instances rather
+// than principals).
+func (c *Context) memberInstance(e *env, v term.T, model string, x ast.Expr, pos bool) (term.T, error) {
+	return c.member(e, principal{kind: PrincipalKind{Model: model}, term: v}, x, pos)
+}
+
+// isIdentityBody reports whether a map body is x -> x or x -> x.id.
+func isIdentityBody(fn *ast.FuncLit) bool {
+	switch b := fn.Body.(type) {
+	case *ast.Var:
+		return b.Name == fn.Param
+	case *ast.FieldAccess:
+		if v, ok := b.Recv.(*ast.Var); ok {
+			return v.Name == fn.Param && b.Field == schema.IDFieldName
+		}
+	}
+	return false
+}
+
+// principalEq lowers the comparison u ≈ elem for a principal-typed element
+// expression, dispatching on the element's kind.
+func (c *Context) principalEq(e *env, u principal, x ast.Expr) (term.T, error) {
+	switch n := x.(type) {
+	case *ast.If:
+		cond, err := c.lowerScalar(e, n.Cond)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		tq, err := c.principalEq(e, u, n.Then)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		eq, err := c.principalEq(e, u, n.Else)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.B.Or(c.B.And(cond, tq), c.B.And(c.B.Not(cond), eq)), nil
+	case *ast.Match:
+		scrut, err := c.lowerValue(e, n.Scrutinee)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		scrut = c.asOption(scrut)
+		inner := e.bind(n.Binder, value{typ: elemType(scrut.typ), scalar: scrut.optVal})
+		sq, err := c.principalEq(inner, u, n.SomeArm)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		nq, err := c.principalEq(e, u, n.NoneArm)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.B.Or(c.B.And(scrut.isSome, sq), c.B.And(c.B.Not(scrut.isSome), nq)), nil
+	case *ast.Var:
+		if _, bound := e.lookup(n.Name); !bound && c.Schema.HasStatic(n.Name) {
+			if u.kind.Static == n.Name {
+				return c.B.True(), nil
+			}
+			if u.kind.Static != "" {
+				// Distinct static principals never compare equal.
+				return c.B.False(), nil
+			}
+			return c.B.False(), nil // instance vs static
+		}
+	}
+	// General case: an id- or instance-typed expression.
+	t := x.Type()
+	switch t.Kind {
+	case ast.TId, ast.TModel:
+		if u.kind.Model != t.Model {
+			return c.B.False(), nil
+		}
+		elemTerm, err := c.lowerScalar(e, x)
+		if err != nil {
+			return term.NilTerm, err
+		}
+		return c.B.Eq(u.term, elemTerm), nil
+	case ast.TPrincipal:
+		return term.NilTerm, errf("dynamic principal-typed expression %s is not supported as a set element", x)
+	}
+	return term.NilTerm, errf("expression %s cannot act as a principal", x)
+}

@@ -1,0 +1,97 @@
+package migrate
+
+import (
+	"fmt"
+
+	"scooter/internal/ast"
+	"scooter/internal/equiv"
+	"scooter/internal/eval"
+	"scooter/internal/schema"
+	"scooter/internal/store"
+)
+
+// Execute applies a verified plan to the database. Verification has already
+// proven every command safe, so execution is straightforward: structural
+// commands adjust collections, AddField populates existing documents with
+// the initialiser, and policy commands have no data effect. Execution never
+// needs to roll back (paper §3.2): verification of the whole script
+// happened before any data was touched.
+func Execute(plan *Plan, db *store.DB) error {
+	cur := plan.Before.Clone()
+	defs := equiv.New()
+	for i, cmd := range plan.Script.Commands {
+		if err := executeCommand(cur, defs, db, cmd); err != nil {
+			return fmt.Errorf("executing command %d (%s): %w", i+1, cmd.Name(), err)
+		}
+		if err := applyCommand(cur, defs, cmd); err != nil {
+			return fmt.Errorf("recording command %d (%s): %w", i+1, cmd.Name(), err)
+		}
+	}
+	return nil
+}
+
+func executeCommand(cur *schema.Schema, defs *equiv.Defs, db *store.DB, cmd ast.Command) error {
+	switch c := cmd.(type) {
+	case *ast.CreateModel:
+		db.Collection(c.Model.Name) // materialise the collection
+		return nil
+	case *ast.DeleteModel:
+		db.DropCollection(c.ModelName)
+		return nil
+	case *ast.AddField:
+		// Populate existing rows. The initialiser runs against the schema
+		// in effect before this command.
+		ev := eval.New(cur, db)
+		coll := db.Collection(c.ModelName)
+		var evalErr error
+		coll.UpdateAll(nil, func(doc store.Doc) store.Doc {
+			if evalErr != nil {
+				return nil
+			}
+			v, err := ev.EvalInit(c.ModelName, doc, c.Init)
+			if err != nil {
+				evalErr = err
+				return nil
+			}
+			return store.Doc{c.Field.Name: normaliseForField(c.Field.Type, v)}
+		})
+		return evalErr
+	case *ast.RemoveField:
+		db.Collection(c.ModelName).RemoveField(c.FieldName)
+		return nil
+	default:
+		// Policy and principal commands do not touch data.
+		return nil
+	}
+}
+
+// normaliseForField adapts an initialiser result to the declared field
+// type: a nil set becomes the empty set, and Option fields wrap plain
+// values produced by unify-friendly initialisers.
+func normaliseForField(t ast.Type, v store.Value) store.Value {
+	switch t.Kind {
+	case ast.TSet:
+		if v == nil {
+			return []store.Value{}
+		}
+	case ast.TOption:
+		if _, ok := v.(store.Optional); !ok {
+			return store.Some(v)
+		}
+	}
+	return v
+}
+
+// VerifyAndExecute runs the full pipeline: verify the script against the
+// schema, then execute it against the database. It returns the post-
+// migration schema (the new authoritative specification).
+func VerifyAndExecute(before *schema.Schema, script *ast.MigrationScript, db *store.DB, opts Options) (*schema.Schema, error) {
+	plan, err := Verify(before, script, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := Execute(plan, db); err != nil {
+		return nil, err
+	}
+	return plan.After, nil
+}

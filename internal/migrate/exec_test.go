@@ -1,0 +1,193 @@
+package migrate
+
+import (
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/store"
+)
+
+func parseScript(src string) (*ast.MigrationScript, error) {
+	return parser.ParseMigration(src)
+}
+
+// seedChitter populates a database matching chitterBase.
+func seedChitter(t *testing.T, db *store.DB) (alice, bob, admin store.ID) {
+	t.Helper()
+	users := db.Collection("User")
+	mk := func(name string, isAdmin bool) store.ID {
+		return users.Insert(store.Doc{
+			"name": name, "email": name + "@x", "pronouns": "they/them",
+			"isAdmin": isAdmin, "followers": []store.Value{},
+		})
+	}
+	alice = mk("alice", false)
+	bob = mk("bob", false)
+	admin = mk("root", true)
+	return
+}
+
+func TestExecuteAddFieldPopulates(t *testing.T) {
+	s := loadSchema(t, chitterBase)
+	db := store.Open()
+	alice, _, _ := seedChitter(t, db)
+
+	script, err := parseScript(`
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u] + User::Find({isAdmin:true})
+}, u -> "I'm " + u.name);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := VerifyAndExecute(s, script, db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Model("User").Field("bio") == nil {
+		t.Fatal("schema missing bio")
+	}
+	doc, _ := db.Collection("User").Get(alice)
+	if doc["bio"] != "I'm alice" {
+		t.Fatalf("bio = %v", doc["bio"])
+	}
+}
+
+func TestExecuteModeratorMigration(t *testing.T) {
+	s := loadSchema(t, chitterBase)
+	db := store.Open()
+	alice, _, admin := seedChitter(t, db)
+
+	script, err := parseScript(`
+User::AddField(
+  adminLevel : I64 {
+    read: u -> [u] + User::Find({adminLevel: 2}),
+    write: u -> User::Find({adminLevel: 2})
+  }, u -> if u.isAdmin then 2 else 0);
+User::UpdateFieldPolicy(email, {
+  read: u -> [u] + User::Find({adminLevel: 2}),
+  write: u -> [u] + User::Find({adminLevel: 2})
+});
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := VerifyAndExecute(s, script, db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminDoc, _ := db.Collection("User").Get(admin)
+	if adminDoc["adminLevel"] != int64(2) {
+		t.Errorf("admin level: %v", adminDoc["adminLevel"])
+	}
+	aliceDoc, _ := db.Collection("User").Get(alice)
+	if aliceDoc["adminLevel"] != int64(0) {
+		t.Errorf("alice level: %v", aliceDoc["adminLevel"])
+	}
+	if after.Model("User").Field("adminLevel") == nil {
+		t.Error("schema missing adminLevel")
+	}
+}
+
+func TestExecuteRemoveField(t *testing.T) {
+	s := loadSchema(t, chitterBase)
+	db := store.Open()
+	alice, _, _ := seedChitter(t, db)
+
+	// pronouns is referenced by no other policy; its own policies go with it.
+	script, err := parseScript(`User::RemoveField(pronouns);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := VerifyAndExecute(s, script, db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Model("User").Field("pronouns") != nil {
+		t.Error("schema still has pronouns")
+	}
+	doc, _ := db.Collection("User").Get(alice)
+	if _, ok := doc["pronouns"]; ok {
+		t.Error("data still has pronouns")
+	}
+}
+
+func TestExecuteDeleteModelDropsData(t *testing.T) {
+	s := loadSchema(t, chitterBase)
+	db := store.Open()
+	seedChitter(t, db)
+	script, err := parseScript(`
+CreateModel(Peep {
+  create: public,
+  delete: none,
+  body: String { read: public, write: none },
+});
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := VerifyAndExecute(s, script, db, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Collection("Peep").Insert(store.Doc{"body": "hi"})
+
+	script2, err := parseScript(`DeleteModel(Peep);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyAndExecute(after, script2, db, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if db.Collection("Peep").Len() != 0 {
+		t.Error("peep data survived model deletion")
+	}
+}
+
+func TestExecuteAddSetField(t *testing.T) {
+	s := loadSchema(t, chitterBase)
+	db := store.Open()
+	alice, _, _ := seedChitter(t, db)
+	script, err := parseScript(`
+User::AddField(blocked : Set(Id(User)) {
+  read: u -> [u],
+  write: u -> [u]
+}, _ -> []);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyAndExecute(s, script, db, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := db.Collection("User").Get(alice)
+	set, ok := doc["blocked"].([]store.Value)
+	if !ok || len(set) != 0 {
+		t.Fatalf("blocked = %#v", doc["blocked"])
+	}
+}
+
+func TestExecuteAddOptionField(t *testing.T) {
+	s := loadSchema(t, chitterBase)
+	db := store.Open()
+	alice, _, _ := seedChitter(t, db)
+	script, err := parseScript(`
+User::AddField(nickname : Option(String) {
+  read: public,
+  write: u -> [u]
+}, _ -> None);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyAndExecute(s, script, db, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := db.Collection("User").Get(alice)
+	opt, ok := doc["nickname"].(store.Optional)
+	if !ok || opt.Present {
+		t.Fatalf("nickname = %#v", doc["nickname"])
+	}
+}

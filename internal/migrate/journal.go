@@ -1,0 +1,129 @@
+package migrate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"scooter/internal/store"
+)
+
+// The migration journal records applied scripts in the database itself,
+// the way production migration tools (ActiveRecord, Flyway, golang-migrate)
+// do: re-running an applied script is a no-op, and running a *different*
+// script under an already-used name is an error rather than a silent
+// re-application.
+//
+// The journal lives in a reserved collection; the "$" prefix keeps it out
+// of the model namespace (Scooter model names are identifiers).
+
+// JournalCollection is the reserved collection holding applied-migration
+// records.
+const JournalCollection = "$migrations"
+
+// JournalEntry describes one applied migration.
+type JournalEntry struct {
+	Name      string
+	Hash      string // SHA-256 of the script source
+	AppliedAt int64  // UNIX seconds
+	Commands  int
+}
+
+// scriptHash fingerprints a migration source.
+func scriptHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// Journal reads and writes the applied-migration log of a database.
+type Journal struct {
+	db *store.DB
+}
+
+// NewJournal returns the journal of db.
+func NewJournal(db *store.DB) *Journal { return &Journal{db: db} }
+
+// Lookup returns the entry for a migration name, if present.
+func (j *Journal) Lookup(name string) (*JournalEntry, bool) {
+	docs := j.db.Collection(JournalCollection).Find(store.Eq("name", name))
+	if len(docs) == 0 {
+		return nil, false
+	}
+	d := docs[0]
+	return &JournalEntry{
+		Name:      asString(d["name"]),
+		Hash:      asString(d["hash"]),
+		AppliedAt: asInt64(d["appliedAt"]),
+		Commands:  int(asInt64(d["commands"])),
+	}, true
+}
+
+// Entries lists applied migrations in application order.
+func (j *Journal) Entries() []JournalEntry {
+	docs := j.db.Collection(JournalCollection).Find()
+	out := make([]JournalEntry, 0, len(docs))
+	for _, d := range docs {
+		out = append(out, JournalEntry{
+			Name:      asString(d["name"]),
+			Hash:      asString(d["hash"]),
+			AppliedAt: asInt64(d["appliedAt"]),
+			Commands:  int(asInt64(d["commands"])),
+		})
+	}
+	return out
+}
+
+// Status classifies a named script against the journal.
+type Status int
+
+// Journal verdicts for a named script.
+const (
+	// StatusNew means the name has never been applied.
+	StatusNew Status = iota
+	// StatusApplied means this exact script already ran; skip it.
+	StatusApplied
+	// StatusConflict means a different script ran under this name.
+	StatusConflict
+)
+
+// Check classifies the (name, source) pair.
+func (j *Journal) Check(name, src string) Status {
+	entry, ok := j.Lookup(name)
+	if !ok {
+		return StatusNew
+	}
+	if entry.Hash == scriptHash(src) {
+		return StatusApplied
+	}
+	return StatusConflict
+}
+
+// Record journals a successful application.
+func (j *Journal) Record(name, src string, commands int) {
+	j.db.Collection(JournalCollection).Insert(store.Doc{
+		"name":      name,
+		"hash":      scriptHash(src),
+		"appliedAt": time.Now().Unix(),
+		"commands":  int64(commands),
+	})
+}
+
+// ErrJournalConflict reports a name reuse with different content.
+type ErrJournalConflict struct {
+	Name string
+}
+
+func (e *ErrJournalConflict) Error() string {
+	return fmt.Sprintf("migration %q was already applied with different content; rename the new script instead of editing an applied one", e.Name)
+}
+
+func asString(v store.Value) string {
+	s, _ := v.(string)
+	return s
+}
+
+func asInt64(v store.Value) int64 {
+	n, _ := v.(int64)
+	return n
+}

@@ -1,0 +1,455 @@
+// Package migrate implements the Scooter migration pipeline (paper §3.2):
+// each command of a migration script is type-checked against the
+// schema-so-far, verified safe by Sidecar, and its effect recorded on an
+// in-memory schema. Only when the whole script verifies does anything
+// execute against the database — so failed verification never requires a
+// rollback.
+package migrate
+
+import (
+	"fmt"
+
+	"scooter/internal/ast"
+	"scooter/internal/dataflow"
+	"scooter/internal/equiv"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+	"scooter/internal/verify"
+)
+
+// Options configures verification.
+type Options struct {
+	// TrackEquivalences enables prior-definition tracking (§6.4). On by
+	// default via DefaultOptions.
+	TrackEquivalences bool
+	// SkipVerification applies schema effects without strictness proofs;
+	// used by trusted bootstrap migrations in tests and benchmarks.
+	SkipVerification bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{TrackEquivalences: true}
+}
+
+// CommandReport records the verification outcome of one command.
+type CommandReport struct {
+	Index   int
+	Command ast.Command
+	// Weakened notes an explicit Weaken* command with its reason.
+	Weakened bool
+	Reason   string
+	// Flows lists the dataflow edges checked for an AddField.
+	Flows []verify.FieldFlow
+}
+
+// Plan is a fully verified migration, ready to execute.
+type Plan struct {
+	// Before is the schema the script was verified against.
+	Before *schema.Schema
+	// After is the schema once every command is applied.
+	After *schema.Schema
+	// Script holds the verified commands in order.
+	Script *ast.MigrationScript
+	// Reports collects per-command outcomes.
+	Reports []CommandReport
+}
+
+// UnsafeError reports a command that failed verification, with the
+// counterexample when one exists.
+type UnsafeError struct {
+	Index   int
+	Command ast.Command
+	Detail  string
+	Result  *verify.Result
+	Flow    *verify.FieldFlow
+}
+
+func (e *UnsafeError) Error() string {
+	msg := fmt.Sprintf("command %d (%s): %s", e.Index+1, e.Command.Name(), e.Detail)
+	if e.Result != nil && e.Result.Counterexample != nil {
+		msg += "\n" + e.Result.Counterexample.String()
+	}
+	return msg
+}
+
+// Verify checks an entire migration script against a schema, returning an
+// executable plan or the first verification failure.
+func Verify(before *schema.Schema, script *ast.MigrationScript, opts Options) (*Plan, error) {
+	cur := before.Clone()
+	defs := equiv.New()
+	defs.SetEnabled(opts.TrackEquivalences)
+	plan := &Plan{Before: before, Script: script}
+
+	for i, cmd := range script.Commands {
+		report, err := verifyCommand(cur, defs, i, cmd, opts)
+		if err != nil {
+			return nil, err
+		}
+		plan.Reports = append(plan.Reports, *report)
+		if err := applyCommand(cur, defs, cmd); err != nil {
+			return nil, &UnsafeError{Index: i, Command: cmd, Detail: err.Error()}
+		}
+	}
+	plan.After = cur
+	return plan, nil
+}
+
+// verifyCommand type-checks and verifies a single command against the
+// schema-so-far.
+func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Command, opts Options) (*CommandReport, error) {
+	report := &CommandReport{Index: idx, Command: cmd}
+	fail := func(detail string, res *verify.Result, flow *verify.FieldFlow) error {
+		return &UnsafeError{Index: idx, Command: cmd, Detail: detail, Result: res, Flow: flow}
+	}
+	tc := typer.New(cur)
+	checker := verify.New(cur, defs)
+
+	switch c := cmd.(type) {
+	case *ast.CreateModel:
+		if cur.Model(c.Model.Name) != nil {
+			return nil, fail(fmt.Sprintf("model %s already exists", c.Model.Name), nil, nil)
+		}
+		if cur.HasStatic(c.Model.Name) {
+			return nil, fail(fmt.Sprintf("name %s is already a static principal", c.Model.Name), nil, nil)
+		}
+		// Policies of a new model may reference the model itself; check
+		// them against a schema that already includes it. Only the new
+		// model's policies need checking: pre-existing policies cannot
+		// reference a model that did not exist when they were verified.
+		trial := cur.Clone()
+		newModel := modelFromDecl(c.Model)
+		if err := trial.AddModel(newModel); err != nil {
+			return nil, fail(err.Error(), nil, nil)
+		}
+		ttc := typer.New(trial)
+		if err := ttc.CheckPolicy(newModel.Name, newModel.Create); err != nil {
+			return nil, fail("create policy: "+err.Error(), nil, nil)
+		}
+		if err := ttc.CheckPolicy(newModel.Name, newModel.Delete); err != nil {
+			return nil, fail("delete policy: "+err.Error(), nil, nil)
+		}
+		for _, f := range newModel.Fields {
+			for _, mt := range f.Type.ReferencedModels() {
+				if trial.Model(mt) == nil {
+					return nil, fail(fmt.Sprintf("field %s type references unknown model %s", f.Name, mt), nil, nil)
+				}
+			}
+			if err := ttc.CheckPolicy(newModel.Name, f.Read); err != nil {
+				return nil, fail(fmt.Sprintf("%s read policy: %v", f.Name, err), nil, nil)
+			}
+			if err := ttc.CheckPolicy(newModel.Name, f.Write); err != nil {
+				return nil, fail(fmt.Sprintf("%s write policy: %v", f.Name, err), nil, nil)
+			}
+		}
+
+	case *ast.DeleteModel:
+		if cur.Model(c.ModelName) == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if refs := cur.PoliciesReferencingModel(c.ModelName); len(refs) > 0 {
+			return nil, fail(fmt.Sprintf("model %s is referenced by %s", c.ModelName, refs[0]), nil, nil)
+		}
+
+	case *ast.AddField:
+		m := cur.Model(c.ModelName)
+		if m == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if m.Field(c.Field.Name) != nil || c.Field.Name == schema.IDFieldName {
+			return nil, fail(fmt.Sprintf("field %s.%s already exists", c.ModelName, c.Field.Name), nil, nil)
+		}
+		// Policies of the new field may reference the field itself.
+		trial := cur.Clone()
+		trial.Model(c.ModelName).Fields = append(trial.Model(c.ModelName).Fields, &schema.Field{
+			Name: c.Field.Name, Type: c.Field.Type, Read: c.Field.Read, Write: c.Field.Write,
+		})
+		ttc := typer.New(trial)
+		for _, mt := range c.Field.Type.ReferencedModels() {
+			if trial.Model(mt) == nil {
+				return nil, fail(fmt.Sprintf("field type references unknown model %s", mt), nil, nil)
+			}
+		}
+		if err := ttc.CheckPolicy(c.ModelName, c.Field.Read); err != nil {
+			return nil, fail("read policy: "+err.Error(), nil, nil)
+		}
+		if err := ttc.CheckPolicy(c.ModelName, c.Field.Write); err != nil {
+			return nil, fail("write policy: "+err.Error(), nil, nil)
+		}
+		if err := tc.CheckInitFn(c.ModelName, c.Init, c.Field.Type); err != nil {
+			return nil, fail("initialiser: "+err.Error(), nil, nil)
+		}
+		if !opts.SkipVerification {
+			flows := dataflow.Sources(c.Init, c.ModelName, c.Field.Name)
+			report.Flows = flows
+			field := &schema.Field{Name: c.Field.Name, Type: c.Field.Type, Read: c.Field.Read, Write: c.Field.Write}
+			// The initialiser defines the new field in terms of existing
+			// ones; that definitional equality is available to the
+			// command's own verification (paper §4, "Using Prior
+			// Definitions") — e.g. adminLevel's read policy
+			// Find({adminLevel: 2}) verifies against isAdmin's policy via
+			// the initialiser u -> if u.isAdmin then 2 else 0.
+			defs.Record(c.ModelName, c.Field.Name, c.Init)
+			leak, err := verify.New(trial, defs).CheckAddFieldLeaks(c.ModelName, field, c.Init, flows)
+			if err != nil {
+				return nil, fail(err.Error(), nil, nil)
+			}
+			if leak != nil {
+				return nil, fail(
+					fmt.Sprintf("data leak: %s flows to %s.%s but has a stricter read policy",
+						leak.Flow.SrcModel+"."+leak.Flow.SrcField, c.ModelName, c.Field.Name),
+					leak.Result, &leak.Flow)
+			}
+		}
+
+	case *ast.RemoveField:
+		m := cur.Model(c.ModelName)
+		if m == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if m.Field(c.FieldName) == nil {
+			return nil, fail(fmt.Sprintf("field %s.%s does not exist", c.ModelName, c.FieldName), nil, nil)
+		}
+		if refs := cur.PoliciesReferencingField(c.ModelName, c.FieldName); len(refs) > 0 {
+			return nil, fail(fmt.Sprintf("field %s.%s is referenced by policy %s", c.ModelName, c.FieldName, refs[0]), nil, nil)
+		}
+
+	case *ast.UpdatePolicy:
+		m := cur.Model(c.ModelName)
+		if m == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if err := tc.CheckPolicy(c.ModelName, c.NewPolicy); err != nil {
+			return nil, fail(err.Error(), nil, nil)
+		}
+		if !opts.SkipVerification {
+			old := m.Create
+			if c.Op == ast.OpDelete {
+				old = m.Delete
+			}
+			res, err := checker.CheckStrictness(c.ModelName, old, c.NewPolicy)
+			if err != nil {
+				return nil, fail(err.Error(), nil, nil)
+			}
+			if res.Verdict != verify.Safe {
+				return nil, fail(
+					fmt.Sprintf("new %s policy is not at least as strict as the old one (use WeakenPolicy to weaken intentionally)", c.Op),
+					res, nil)
+			}
+		}
+
+	case *ast.WeakenPolicy:
+		m := cur.Model(c.ModelName)
+		if m == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if err := tc.CheckPolicy(c.ModelName, c.NewPolicy); err != nil {
+			return nil, fail(err.Error(), nil, nil)
+		}
+		if c.Reason == "" {
+			return nil, fail("WeakenPolicy requires a reason string for auditability", nil, nil)
+		}
+		report.Weakened = true
+		report.Reason = c.Reason
+
+	case *ast.UpdateFieldPolicy:
+		f, failErr := fieldFor(cur, c.ModelName, c.FieldName, fail)
+		if failErr != nil {
+			return nil, failErr
+		}
+		for _, upd := range []struct {
+			pol *ast.Policy
+			old ast.Policy
+			op  ast.Operation
+		}{{c.Read, f.Read, ast.OpRead}, {c.Write, f.Write, ast.OpWrite}} {
+			if upd.pol == nil {
+				continue
+			}
+			if err := tc.CheckPolicy(c.ModelName, *upd.pol); err != nil {
+				return nil, fail(err.Error(), nil, nil)
+			}
+			if opts.SkipVerification {
+				continue
+			}
+			res, err := checker.CheckStrictness(c.ModelName, upd.old, *upd.pol)
+			if err != nil {
+				return nil, fail(err.Error(), nil, nil)
+			}
+			if res.Verdict != verify.Safe {
+				return nil, fail(
+					fmt.Sprintf("new %s policy for %s.%s is not at least as strict as the old one (use WeakenFieldPolicy to weaken intentionally)",
+						upd.op, c.ModelName, c.FieldName),
+					res, nil)
+			}
+		}
+
+	case *ast.WeakenFieldPolicy:
+		_, failErr := fieldFor(cur, c.ModelName, c.FieldName, fail)
+		if failErr != nil {
+			return nil, failErr
+		}
+		for _, pol := range []*ast.Policy{c.Read, c.Write} {
+			if pol == nil {
+				continue
+			}
+			if err := tc.CheckPolicy(c.ModelName, *pol); err != nil {
+				return nil, fail(err.Error(), nil, nil)
+			}
+		}
+		if c.Reason == "" {
+			return nil, fail("WeakenFieldPolicy requires a reason string for auditability", nil, nil)
+		}
+		report.Weakened = true
+		report.Reason = c.Reason
+
+	case *ast.AddStaticPrincipal:
+		if cur.HasStatic(c.PrincipalName) || cur.Model(c.PrincipalName) != nil {
+			return nil, fail(fmt.Sprintf("name %s is already in use", c.PrincipalName), nil, nil)
+		}
+
+	case *ast.RemoveStaticPrincipal:
+		if !cur.HasStatic(c.PrincipalName) {
+			return nil, fail(fmt.Sprintf("static principal %s does not exist", c.PrincipalName), nil, nil)
+		}
+		if refs := cur.PoliciesReferencingStatic(c.PrincipalName); len(refs) > 0 {
+			return nil, fail(fmt.Sprintf("static principal %s is used by policy %s", c.PrincipalName, refs[0]), nil, nil)
+		}
+
+	case *ast.AddPrincipal:
+		m := cur.Model(c.ModelName)
+		if m == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if m.Principal {
+			return nil, fail(fmt.Sprintf("model %s is already a principal", c.ModelName), nil, nil)
+		}
+
+	case *ast.RemovePrincipal:
+		m := cur.Model(c.ModelName)
+		if m == nil {
+			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+		}
+		if !m.Principal {
+			return nil, fail(fmt.Sprintf("model %s is not a principal", c.ModelName), nil, nil)
+		}
+		// Removing principal-ness invalidates policies that use this
+		// model's ids as principals; require none exist. Conservatively,
+		// any policy mentioning the model blocks removal.
+		if refs := cur.PoliciesReferencingModel(c.ModelName); len(refs) > 0 {
+			return nil, fail(fmt.Sprintf("model %s is used as a principal by %s", c.ModelName, refs[0]), nil, nil)
+		}
+
+	default:
+		return nil, fail(fmt.Sprintf("unsupported command %T", cmd), nil, nil)
+	}
+	return report, nil
+}
+
+func fieldFor(cur *schema.Schema, model, field string, fail func(string, *verify.Result, *verify.FieldFlow) error) (*schema.Field, error) {
+	m := cur.Model(model)
+	if m == nil {
+		return nil, fail(fmt.Sprintf("model %s does not exist", model), nil, nil)
+	}
+	f := m.Field(field)
+	if f == nil {
+		return nil, fail(fmt.Sprintf("field %s.%s does not exist", model, field), nil, nil)
+	}
+	return f, nil
+}
+
+// applyCommand records the effect of a verified command on the schema and
+// the definition tracker.
+func applyCommand(cur *schema.Schema, defs *equiv.Defs, cmd ast.Command) error {
+	switch c := cmd.(type) {
+	case *ast.CreateModel:
+		return cur.AddModel(modelFromDecl(c.Model))
+	case *ast.DeleteModel:
+		defs.InvalidateModel(c.ModelName)
+		return cur.RemoveModel(c.ModelName)
+	case *ast.AddField:
+		m := cur.Model(c.ModelName)
+		m.Fields = append(m.Fields, &schema.Field{
+			Name: c.Field.Name, Type: c.Field.Type, Read: c.Field.Read, Write: c.Field.Write,
+		})
+		defs.Record(c.ModelName, c.Field.Name, c.Init)
+		return nil
+	case *ast.RemoveField:
+		m := cur.Model(c.ModelName)
+		defs.Invalidate(c.ModelName, c.FieldName)
+		for i, f := range m.Fields {
+			if f.Name == c.FieldName {
+				m.Fields = append(m.Fields[:i], m.Fields[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("field %s.%s vanished", c.ModelName, c.FieldName)
+	case *ast.UpdatePolicy:
+		return setModelPolicy(cur, c.ModelName, c.Op, c.NewPolicy)
+	case *ast.WeakenPolicy:
+		return setModelPolicy(cur, c.ModelName, c.Op, c.NewPolicy)
+	case *ast.UpdateFieldPolicy:
+		return setFieldPolicies(cur, c.ModelName, c.FieldName, c.Read, c.Write)
+	case *ast.WeakenFieldPolicy:
+		return setFieldPolicies(cur, c.ModelName, c.FieldName, c.Read, c.Write)
+	case *ast.AddStaticPrincipal:
+		return cur.AddStatic(c.PrincipalName)
+	case *ast.RemoveStaticPrincipal:
+		return cur.RemoveStatic(c.PrincipalName)
+	case *ast.AddPrincipal:
+		cur.Model(c.ModelName).Principal = true
+		return nil
+	case *ast.RemovePrincipal:
+		cur.Model(c.ModelName).Principal = false
+		return nil
+	}
+	return fmt.Errorf("unsupported command %T", cmd)
+}
+
+func setModelPolicy(cur *schema.Schema, model string, op ast.Operation, p ast.Policy) error {
+	m := cur.Model(model)
+	if m == nil {
+		return fmt.Errorf("model %s vanished", model)
+	}
+	switch op {
+	case ast.OpCreate:
+		m.Create = p
+	case ast.OpDelete:
+		m.Delete = p
+	default:
+		return fmt.Errorf("invalid model-level operation %s", op)
+	}
+	return nil
+}
+
+func setFieldPolicies(cur *schema.Schema, model, field string, read, write *ast.Policy) error {
+	m := cur.Model(model)
+	if m == nil {
+		return fmt.Errorf("model %s vanished", model)
+	}
+	f := m.Field(field)
+	if f == nil {
+		return fmt.Errorf("field %s.%s vanished", model, field)
+	}
+	if read != nil {
+		f.Read = *read
+	}
+	if write != nil {
+		f.Write = *write
+	}
+	return nil
+}
+
+func modelFromDecl(d *ast.ModelDecl) *schema.Model {
+	m := &schema.Model{
+		Name:      d.Name,
+		Principal: d.Principal,
+		Create:    d.Create,
+		Delete:    d.Delete,
+	}
+	for _, f := range d.Fields {
+		m.Fields = append(m.Fields, &schema.Field{
+			Name: f.Name, Type: f.Type, Read: f.Read, Write: f.Write,
+		})
+	}
+	return m
+}

@@ -1,0 +1,242 @@
+// Package orm is the policy-enforcing object-relational mapper generated
+// applications use to access persistent data (paper §3.3). Every operation
+// is performed on behalf of a principal; read policies strip fields the
+// principal may not see (partial objects), and create/update/delete
+// policies reject forbidden writes with a PolicyError, which applications
+// surface as HTTP 403 in production.
+package orm
+
+import (
+	"fmt"
+
+	"scooter/internal/ast"
+	"scooter/internal/eval"
+	"scooter/internal/schema"
+	"scooter/internal/store"
+)
+
+// Principal aliases the evaluator's principal type.
+type Principal = eval.Principal
+
+// Conn is a database connection bound to a schema.
+type Conn struct {
+	Schema *schema.Schema
+	DB     *store.DB
+	ev     *eval.Evaluator
+
+	// enforcement can be disabled in debug builds only (paper §6.2: the
+	// ORM "in debug mode also allows developers to temporarily turn off
+	// enforcement", e.g. for application-level migrations).
+	enforcement bool
+}
+
+// Open binds a schema to a database with enforcement on.
+func Open(s *schema.Schema, db *store.DB) *Conn {
+	return &Conn{Schema: s, DB: db, ev: eval.New(s, db), enforcement: true}
+}
+
+// SetEnforcement toggles policy enforcement (debug only).
+func (c *Conn) SetEnforcement(on bool) { c.enforcement = on }
+
+// SetSchema swaps the schema after a migration; the evaluator follows.
+func (c *Conn) SetSchema(s *schema.Schema) {
+	c.Schema = s
+	c.ev = eval.New(s, c.DB)
+}
+
+// AsPrinc returns a handle performing operations on behalf of p.
+func (c *Conn) AsPrinc(p Principal) *Princ {
+	return &Princ{conn: c, p: p}
+}
+
+// Princ performs policy-checked operations for one principal.
+type Princ struct {
+	conn *Conn
+	p    Principal
+}
+
+// Principal returns the principal this handle acts for.
+func (pr *Princ) Principal() Principal { return pr.p }
+
+// PolicyError reports a rejected operation.
+type PolicyError struct {
+	Op        ast.Operation
+	Principal Principal
+	Model     string
+	Field     string // set for field write rejections
+	ID        store.ID
+}
+
+func (e *PolicyError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("policy violation: %s may not %s %s.%s of %s(%v)",
+			e.Principal, e.Op, e.Model, e.Field, e.Model, e.ID)
+	}
+	return fmt.Sprintf("policy violation: %s may not %s %s(%v)",
+		e.Principal, e.Op, e.Model, e.ID)
+}
+
+// Object is a partial model instance: fields the principal may not read
+// are absent (paper §3.3 "Handling Overly Sensitive Fields").
+type Object struct {
+	Model string
+	ID    store.ID
+	// fields holds only readable values.
+	fields store.Doc
+}
+
+// Get returns a field value and whether the principal could read it.
+func (o *Object) Get(field string) (store.Value, bool) {
+	v, ok := o.fields[field]
+	return v, ok
+}
+
+// Fields returns the readable fields (do not modify).
+func (o *Object) Fields() store.Doc { return o.fields }
+
+// FindByID fetches one instance, stripping unreadable fields. A missing
+// document returns (nil, nil): absence and denial are indistinguishable to
+// the application, which avoids existence oracles.
+func (pr *Princ) FindByID(model string, id store.ID) (*Object, error) {
+	m := pr.conn.Schema.Model(model)
+	if m == nil {
+		return nil, fmt.Errorf("orm: unknown model %s", model)
+	}
+	doc, ok := pr.conn.DB.Collection(model).Get(id)
+	if !ok {
+		return nil, nil
+	}
+	return pr.strip(m, doc)
+}
+
+// Find returns the matching instances with unreadable fields stripped.
+// Filters may only mention fields the principal can read on each matching
+// document; documents with an unreadable filtered field are omitted.
+func (pr *Princ) Find(model string, filters ...store.Filter) ([]*Object, error) {
+	m := pr.conn.Schema.Model(model)
+	if m == nil {
+		return nil, fmt.Errorf("orm: unknown model %s", model)
+	}
+	docs := pr.conn.DB.Collection(model).Find(filters...)
+	out := make([]*Object, 0, len(docs))
+	for _, doc := range docs {
+		obj, err := pr.strip(m, doc)
+		if err != nil {
+			return nil, err
+		}
+		// Enforce that the query itself did not observe unreadable
+		// fields: if any filtered field was stripped, hide the document.
+		visible := true
+		for _, f := range filters {
+			if f.Field == schema.IDFieldName {
+				continue
+			}
+			if _, ok := obj.Get(f.Field); !ok {
+				visible = false
+				break
+			}
+		}
+		if visible {
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}
+
+// strip applies read policies, producing a partial object.
+func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
+	obj := &Object{Model: m.Name, ID: doc.ID(), fields: store.Doc{}}
+	if !pr.conn.enforcement {
+		obj.fields = doc
+		return obj, nil
+	}
+	for _, f := range m.Fields {
+		ok, err := pr.conn.ev.Allowed(pr.p, m.Name, doc, f.Read)
+		if err != nil {
+			return nil, fmt.Errorf("orm: evaluating %s.%s read policy: %w", m.Name, f.Name, err)
+		}
+		if ok {
+			obj.fields[f.Name] = doc[f.Name]
+		}
+	}
+	return obj, nil
+}
+
+// Insert creates an instance after checking the model's create policy. All
+// declared fields must be present.
+func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
+	m := pr.conn.Schema.Model(model)
+	if m == nil {
+		return store.Nil, fmt.Errorf("orm: unknown model %s", model)
+	}
+	for _, f := range m.Fields {
+		if _, ok := fields[f.Name]; !ok {
+			return store.Nil, fmt.Errorf("orm: missing field %s.%s on insert", model, f.Name)
+		}
+	}
+	if pr.conn.enforcement {
+		// The create policy is evaluated on the candidate document.
+		ok, err := pr.conn.ev.Allowed(pr.p, model, fields, m.Create)
+		if err != nil {
+			return store.Nil, err
+		}
+		if !ok {
+			return store.Nil, &PolicyError{Op: ast.OpCreate, Principal: pr.p, Model: model}
+		}
+	}
+	return pr.conn.DB.Collection(model).Insert(fields), nil
+}
+
+// Update overwrites fields after checking each one's write policy against
+// the stored document.
+func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
+	m := pr.conn.Schema.Model(model)
+	if m == nil {
+		return fmt.Errorf("orm: unknown model %s", model)
+	}
+	doc, ok := pr.conn.DB.Collection(model).Get(id)
+	if !ok {
+		return fmt.Errorf("orm: no %s with id %v", model, id)
+	}
+	if pr.conn.enforcement {
+		for name := range fields {
+			f := m.Field(name)
+			if f == nil {
+				return fmt.Errorf("orm: unknown field %s.%s", model, name)
+			}
+			allowed, err := pr.conn.ev.Allowed(pr.p, model, doc, f.Write)
+			if err != nil {
+				return err
+			}
+			if !allowed {
+				return &PolicyError{Op: ast.OpWrite, Principal: pr.p, Model: model, Field: name, ID: id}
+			}
+		}
+	}
+	return pr.conn.DB.Collection(model).Update(id, fields)
+}
+
+// Delete removes an instance after checking the model's delete policy.
+func (pr *Princ) Delete(model string, id store.ID) error {
+	m := pr.conn.Schema.Model(model)
+	if m == nil {
+		return fmt.Errorf("orm: unknown model %s", model)
+	}
+	doc, ok := pr.conn.DB.Collection(model).Get(id)
+	if !ok {
+		return fmt.Errorf("orm: no %s with id %v", model, id)
+	}
+	if pr.conn.enforcement {
+		allowed, err := pr.conn.ev.Allowed(pr.p, model, doc, m.Delete)
+		if err != nil {
+			return err
+		}
+		if !allowed {
+			return &PolicyError{Op: ast.OpDelete, Principal: pr.p, Model: model, ID: id}
+		}
+	}
+	if !pr.conn.DB.Collection(model).Delete(id) {
+		return fmt.Errorf("orm: no %s with id %v", model, id)
+	}
+	return nil
+}

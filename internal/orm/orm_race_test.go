@@ -1,0 +1,75 @@
+package orm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"scooter/internal/eval"
+	"scooter/internal/store"
+)
+
+// TestConcurrentORMAccess hammers the ORM from many goroutines: reads with
+// policy stripping, policy-checked writes, inserts, and deletes. Run with
+// -race; the store is the only shared mutable state and must serialise
+// correctly beneath concurrent policy evaluation.
+func TestConcurrentORMAccess(t *testing.T) {
+	fx := newFixture(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			who := fx.alice
+			if w%2 == 0 {
+				who = fx.bob
+			}
+			pr := fx.conn.AsPrinc(eval.InstancePrincipal("User", who))
+			for i := 0; i < 100; i++ {
+				if _, err := pr.FindByID("User", fx.alice); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := pr.Find("User", store.Eq("name", "alice")); err != nil {
+					errs <- err
+					return
+				}
+				// Policy-checked write to own profile.
+				if err := pr.Update("User", who, store.Doc{"pronouns": fmt.Sprintf("p%d", i)}); err != nil {
+					errs <- err
+					return
+				}
+				// Insert + delete own peeps.
+				id, err := pr.Insert("Peep", store.Doc{"author": who, "body": "x"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%2 == 0 {
+					if err := pr.Delete("Peep", id); err != nil {
+						errs <- err
+						return
+					}
+				}
+				// Forbidden write must fail deterministically.
+				other := fx.alice
+				if who == fx.alice {
+					other = fx.bob
+				}
+				err = pr.Update("User", other, store.Doc{"email": "evil@x"})
+				var perr *PolicyError
+				if !errors.As(err, &perr) {
+					errs <- fmt.Errorf("expected PolicyError, got %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+package parser
+
+import (
+	"strconv"
+
+	"scooter/internal/ast"
+	"scooter/internal/lexer"
+	"scooter/internal/token"
+)
+
+// expr parses a full expression: a comparison over additive terms.
+// Comparisons are non-associative, matching the paper's grammar.
+func (p *parser) expr() (ast.Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOp(p.cur().Kind); ok {
+		opTok := p.advance()
+		right, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return ast.NewBinary(opTok.Pos, op, left, right), nil
+	}
+	return left, nil
+}
+
+func cmpOp(k token.Kind) (ast.BinOp, bool) {
+	switch k {
+	case token.LT:
+		return ast.OpLt, true
+	case token.LE:
+		return ast.OpLe, true
+	case token.GT:
+		return ast.OpGt, true
+	case token.GE:
+		return ast.OpGe, true
+	case token.EQ:
+		return ast.OpEq, true
+	case token.NE:
+		return ast.OpNe, true
+	}
+	return 0, false
+}
+
+// additive parses `unary (('+'|'-') unary)*`, left-associative.
+func (p *parser) additive() (ast.Expr, error) {
+	left, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.PLUS) || p.at(token.MINUS) {
+		opTok := p.advance()
+		op := ast.OpAdd
+		if opTok.Kind == token.MINUS {
+			op = ast.OpSub
+		}
+		right, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		left = ast.NewBinary(opTok.Pos, op, left, right)
+	}
+	return left, nil
+}
+
+// postfix parses an optional unary minus (numeric literals only), then a
+// primary followed by `.field`, `.map(f)`, `.flat_map(f)`.
+func (p *parser) postfix() (ast.Expr, error) {
+	if p.at(token.MINUS) {
+		minus := p.advance()
+		switch p.cur().Kind {
+		case token.INT:
+			t := p.advance()
+			v, err := strconv.ParseInt(t.Text, 10, 64)
+			if err != nil {
+				return nil, &Error{Pos: t.Pos, Msg: "integer literal out of range"}
+			}
+			return ast.NewIntLit(minus.Pos, -v), nil
+		case token.FLOAT:
+			t := p.advance()
+			v, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, &Error{Pos: t.Pos, Msg: "invalid float literal"}
+			}
+			return ast.NewFloatLit(minus.Pos, -v), nil
+		default:
+			return nil, &Error{Pos: minus.Pos, Msg: "unary minus applies only to numeric literals"}
+		}
+	}
+	return p.postfixNoMinus()
+}
+
+func (p *parser) postfixNoMinus() (ast.Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.DOT) {
+		dot := p.advance()
+		name, err := p.expectIdent("field or method name")
+		if err != nil {
+			return nil, err
+		}
+		switch name.Text {
+		case "map", "flat_map":
+			if _, err := p.expect(token.LPAREN); err != nil {
+				return nil, err
+			}
+			fn, err := p.funcLit()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			if name.Text == "map" {
+				e = ast.NewMap(dot.Pos, e, fn)
+			} else {
+				e = ast.NewFlatMap(dot.Pos, e, fn)
+			}
+		default:
+			e = ast.NewFieldAccess(dot.Pos, e, name.Text)
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.STRING:
+		p.advance()
+		return ast.NewStringLit(t.Pos, t.Text), nil
+	case token.INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "integer literal out of range"}
+		}
+		return ast.NewIntLit(t.Pos, v), nil
+	case token.FLOAT:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "invalid float literal"}
+		}
+		return ast.NewFloatLit(t.Pos, v), nil
+	case token.DATETIME:
+		p.advance()
+		unix, err := lexer.ParseDateTime(t.Text)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: err.Error()}
+		}
+		return ast.NewDateTimeLit(t.Pos, unix, t.Text), nil
+	case token.KwTrue:
+		p.advance()
+		return ast.NewBoolLit(t.Pos, true), nil
+	case token.KwFalse:
+		p.advance()
+		return ast.NewBoolLit(t.Pos, false), nil
+	case token.KwNow:
+		p.advance()
+		return ast.NewNow(t.Pos), nil
+	case token.KwPublic:
+		p.advance()
+		return ast.NewPublic(t.Pos), nil
+	case token.KwNoneOpt:
+		p.advance()
+		return ast.NewNoneLit(t.Pos), nil
+	case token.KwSome:
+		p.advance()
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return ast.NewSomeLit(t.Pos, arg), nil
+	case token.KwIf:
+		return p.ifExpr()
+	case token.KwMatch:
+		return p.matchExpr()
+	case token.LBRACKET:
+		return p.setLit()
+	case token.LPAREN:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.IDENT:
+		if p.peek().Kind == token.DOUBLECOL {
+			return p.modelOp()
+		}
+		p.advance()
+		return ast.NewVar(t.Pos, t.Text), nil
+	}
+	return nil, p.errorf("expected expression, found %s", t)
+}
+
+func (p *parser) ifExpr() (ast.Expr, error) {
+	t, err := p.expect(token.KwIf)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwThen); err != nil {
+		return nil, err
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwElse); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return ast.NewIf(t.Pos, cond, then, els), nil
+}
+
+func (p *parser) matchExpr() (ast.Expr, error) {
+	t, err := p.expect(token.KwMatch)
+	if err != nil {
+		return nil, err
+	}
+	scrut, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwAs); err != nil {
+		return nil, err
+	}
+	binder, err := p.expectIdent("match binder")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwIn); err != nil {
+		return nil, err
+	}
+	someArm, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwElse); err != nil {
+		return nil, err
+	}
+	noneArm, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return ast.NewMatch(t.Pos, scrut, binder.Text, someArm, noneArm), nil
+}
+
+func (p *parser) setLit() (ast.Expr, error) {
+	t, err := p.expect(token.LBRACKET)
+	if err != nil {
+		return nil, err
+	}
+	var elems []ast.Expr
+	for !p.at(token.RBRACKET) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RBRACKET); err != nil {
+		return nil, err
+	}
+	return ast.NewSetLit(t.Pos, elems), nil
+}
+
+// modelOp parses Model::ById(e) and Model::Find({...}).
+func (p *parser) modelOp() (ast.Expr, error) {
+	model, err := p.expectIdent("model name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.DOUBLECOL); err != nil {
+		return nil, err
+	}
+	op, err := p.expectIdent("ById or Find")
+	if err != nil {
+		return nil, err
+	}
+	switch op.Text {
+	case "ById":
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return ast.NewById(model.Pos, model.Text, arg), nil
+	case "Find":
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		clauses, err := p.findClauses()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return ast.NewFind(model.Pos, model.Text, clauses), nil
+	default:
+		return nil, &Error{Pos: op.Pos, Msg: "expected ById or Find after ::, found " + op.Text}
+	}
+}
+
+// findClauses parses `{ field fop expr, ... }`.
+func (p *parser) findClauses() ([]ast.FindClause, error) {
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	var clauses []ast.FindClause
+	for !p.at(token.RBRACE) {
+		field, err := p.expectIdent("field name")
+		if err != nil {
+			return nil, err
+		}
+		var op ast.FindOp
+		switch p.cur().Kind {
+		case token.COLON:
+			op = ast.FindEq
+		case token.GT:
+			op = ast.FindGt // contains vs greater-than is resolved by the checker
+		case token.LT:
+			op = ast.FindLt
+		case token.LE:
+			op = ast.FindLe
+		case token.GE:
+			op = ast.FindGe
+		default:
+			return nil, p.errorf("expected Find operator (:, <, <=, >, >=), found %s", p.cur())
+		}
+		opTok := p.advance()
+		value, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, ast.FindClause{Field: field.Text, Op: op, Value: value, Pos: opTok.Pos})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	return clauses, nil
+}

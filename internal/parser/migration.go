@@ -1,0 +1,307 @@
+package parser
+
+import (
+	"scooter/internal/ast"
+	"scooter/internal/token"
+)
+
+// migrationScript parses a Scooter_m file: a sequence of commands, each
+// terminated by a semicolon.
+func (p *parser) migrationScript() (*ast.MigrationScript, error) {
+	script := &ast.MigrationScript{}
+	for !p.at(token.EOF) {
+		cmd, err := p.command()
+		if err != nil {
+			return nil, err
+		}
+		script.Commands = append(script.Commands, cmd)
+		if _, err := p.expect(token.SEMI); err != nil {
+			return nil, err
+		}
+	}
+	return script, nil
+}
+
+func (p *parser) command() (ast.Command, error) {
+	name, err := p.expectIdent("command or model name")
+	if err != nil {
+		return nil, err
+	}
+	// Global commands: Name(arg).
+	switch name.Text {
+	case "CreateModel":
+		return p.createModel(name.Pos)
+	case "DeleteModel":
+		arg, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DeleteModel{CmdBase: ast.NewCmdBase(name.Pos), ModelName: arg}, nil
+	case "AddStaticPrincipal":
+		arg, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AddStaticPrincipal{CmdBase: ast.NewCmdBase(name.Pos), PrincipalName: arg}, nil
+	case "RemoveStaticPrincipal":
+		arg, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.RemoveStaticPrincipal{CmdBase: ast.NewCmdBase(name.Pos), PrincipalName: arg}, nil
+	case "AddPrincipal":
+		arg, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AddPrincipal{CmdBase: ast.NewCmdBase(name.Pos), ModelName: arg}, nil
+	case "RemovePrincipal":
+		arg, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.RemovePrincipal{CmdBase: ast.NewCmdBase(name.Pos), ModelName: arg}, nil
+	}
+	// Model-scoped commands: Model::Action(args).
+	if _, err := p.expect(token.DOUBLECOL); err != nil {
+		return nil, err
+	}
+	action, err := p.expectIdent("migration action")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var cmd ast.Command
+	switch action.Text {
+	case "AddField":
+		cmd, err = p.addField(name)
+	case "RemoveField":
+		var field token.Token
+		field, err = p.expectIdent("field name")
+		if err == nil {
+			cmd = &ast.RemoveField{CmdBase: ast.NewCmdBase(name.Pos), ModelName: name.Text, FieldName: field.Text}
+		}
+	case "UpdatePolicy":
+		cmd, err = p.updatePolicy(name, false)
+	case "WeakenPolicy":
+		cmd, err = p.updatePolicy(name, true)
+	case "UpdateFieldPolicy":
+		cmd, err = p.updateFieldPolicy(name, false)
+	case "WeakenFieldPolicy":
+		cmd, err = p.updateFieldPolicy(name, true)
+	case "UpdateFieldReadPolicy":
+		cmd, err = p.updateOneFieldPolicy(name, ast.OpRead, false)
+	case "UpdateFieldWritePolicy":
+		cmd, err = p.updateOneFieldPolicy(name, ast.OpWrite, false)
+	case "WeakenFieldReadPolicy":
+		cmd, err = p.updateOneFieldPolicy(name, ast.OpRead, true)
+	case "WeakenFieldWritePolicy":
+		cmd, err = p.updateOneFieldPolicy(name, ast.OpWrite, true)
+	default:
+		return nil, &Error{Pos: action.Pos, Msg: "unknown migration action " + action.Text}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}
+
+func (p *parser) parenIdent() (string, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return "", err
+	}
+	name, err := p.expectIdent("name")
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return "", err
+	}
+	return name.Text, nil
+}
+
+func (p *parser) createModel(pos token.Pos) (ast.Command, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	// CreateModel takes an optional @principal annotation then a model decl.
+	isStatic, isPrincipal, err := p.annotations()
+	if err != nil {
+		return nil, err
+	}
+	if isStatic {
+		return nil, p.errorf("use AddStaticPrincipal to declare static principals in migrations")
+	}
+	m, err := p.modelDecl()
+	if err != nil {
+		return nil, err
+	}
+	m.Principal = isPrincipal
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return &ast.CreateModel{CmdBase: ast.NewCmdBase(pos), Model: m}, nil
+}
+
+// addField parses `field: Type { read: ..., write: ... }, initFn`.
+func (p *parser) addField(model token.Token) (ast.Command, error) {
+	fieldName, err := p.expectIdent("field name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	field, err := p.fieldDeclRest(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COMMA); err != nil {
+		return nil, err
+	}
+	init, err := p.funcLit()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.AddField{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, Field: field, Init: init}, nil
+}
+
+// updatePolicy parses `(create|delete, policy [, reason])`.
+func (p *parser) updatePolicy(model token.Token, weaken bool) (ast.Command, error) {
+	opTok, err := p.expectIdent("create or delete")
+	if err != nil {
+		return nil, err
+	}
+	var op ast.Operation
+	switch opTok.Text {
+	case "create":
+		op = ast.OpCreate
+	case "delete":
+		op = ast.OpDelete
+	default:
+		return nil, &Error{Pos: opTok.Pos, Msg: "model-level policies are create and delete; use UpdateFieldPolicy for fields"}
+	}
+	if _, err := p.expect(token.COMMA); err != nil {
+		return nil, err
+	}
+	pol, err := p.policy()
+	if err != nil {
+		return nil, err
+	}
+	if !weaken {
+		return &ast.UpdatePolicy{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, Op: op, NewPolicy: pol}, nil
+	}
+	reason, err := p.optionalReason()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WeakenPolicy{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, Op: op, NewPolicy: pol, Reason: reason}, nil
+}
+
+// updateFieldPolicy parses `(field, { read: ..., write: ... } [, reason])`.
+func (p *parser) updateFieldPolicy(model token.Token, weaken bool) (ast.Command, error) {
+	fieldTok, err := p.expectIdent("field name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COMMA); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	var read, write *ast.Policy
+	for !p.at(token.RBRACE) {
+		word, err := p.expectIdent("read or write")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		pol, err := p.policy()
+		if err != nil {
+			return nil, err
+		}
+		switch word.Text {
+		case "read":
+			if read != nil {
+				return nil, &Error{Pos: word.Pos, Msg: "duplicate read policy"}
+			}
+			read = &pol
+		case "write":
+			if write != nil {
+				return nil, &Error{Pos: word.Pos, Msg: "duplicate write policy"}
+			}
+			write = &pol
+		default:
+			return nil, &Error{Pos: word.Pos, Msg: "expected read or write, found " + word.Text}
+		}
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	if read == nil && write == nil {
+		return nil, &Error{Pos: fieldTok.Pos, Msg: "field policy update must set read or write"}
+	}
+	if !weaken {
+		return &ast.UpdateFieldPolicy{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, FieldName: fieldTok.Text, Read: read, Write: write}, nil
+	}
+	reason, err := p.optionalReason()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WeakenFieldPolicy{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, FieldName: fieldTok.Text, Read: read, Write: write, Reason: reason}, nil
+}
+
+// updateOneFieldPolicy parses `(field, policy [, reason])` for the
+// single-operation convenience commands.
+func (p *parser) updateOneFieldPolicy(model token.Token, op ast.Operation, weaken bool) (ast.Command, error) {
+	fieldTok, err := p.expectIdent("field name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COMMA); err != nil {
+		return nil, err
+	}
+	pol, err := p.policy()
+	if err != nil {
+		return nil, err
+	}
+	var read, write *ast.Policy
+	if op == ast.OpRead {
+		read = &pol
+	} else {
+		write = &pol
+	}
+	if !weaken {
+		return &ast.UpdateFieldPolicy{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, FieldName: fieldTok.Text, Read: read, Write: write}, nil
+	}
+	reason, err := p.optionalReason()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WeakenFieldPolicy{CmdBase: ast.NewCmdBase(model.Pos), ModelName: model.Text, FieldName: fieldTok.Text, Read: read, Write: write, Reason: reason}, nil
+}
+
+// optionalReason parses `, "reason"` if present. Weaken commands require a
+// reason; enforcement happens in the verifier so the error carries schema
+// context, but the parser accepts its absence.
+func (p *parser) optionalReason() (string, error) {
+	if !p.accept(token.COMMA) {
+		return "", nil
+	}
+	t, err := p.expect(token.STRING)
+	if err != nil {
+		return "", err
+	}
+	return t.Text, nil
+}

@@ -1,0 +1,383 @@
+// Package parser implements recursive-descent parsers for the Scooter policy
+// language (Scooter_p) and the Scooter migration language (Scooter_m). The
+// two languages share an expression grammar (Figure 3 of the paper).
+package parser
+
+import (
+	"fmt"
+
+	"scooter/internal/ast"
+	"scooter/internal/lexer"
+	"scooter/internal/token"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	i    int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+// ParsePolicyFile parses a Scooter_p policy file.
+func ParsePolicyFile(src string) (*ast.PolicyFile, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.policyFile()
+}
+
+// ParseMigration parses a Scooter_m migration script.
+func ParseMigration(src string) (*ast.MigrationScript, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.migrationScript()
+}
+
+// ParseExpr parses a standalone expression; used in tests and tools.
+func ParseExpr(src string) (ast.Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != token.EOF {
+		return nil, p.errorf("unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+// ParsePolicy parses a standalone policy function; used in tests and tools.
+func ParsePolicy(src string) (ast.Policy, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return ast.Policy{}, err
+	}
+	pol, err := p.policy()
+	if err != nil {
+		return ast.Policy{}, err
+	}
+	if p.cur().Kind != token.EOF {
+		return ast.Policy{}, p.errorf("unexpected %s after policy", p.cur())
+	}
+	return pol, nil
+}
+
+// ---- token plumbing ----
+
+func (p *parser) cur() token.Token { return p.toks[p.i] }
+func (p *parser) peek() token.Token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token.Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.at(k) {
+		return p.advance(), nil
+	}
+	return token.Token{}, p.errorf("expected %s, found %s", k, p.cur())
+}
+
+func (p *parser) expectIdent(what string) (token.Token, error) {
+	if p.at(token.IDENT) {
+		return p.advance(), nil
+	}
+	return token.Token{}, p.errorf("expected %s, found %s", what, p.cur())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---- policy files ----
+
+func (p *parser) policyFile() (*ast.PolicyFile, error) {
+	file := &ast.PolicyFile{}
+	for !p.at(token.EOF) {
+		isStatic, isPrincipal, err := p.annotations()
+		if err != nil {
+			return nil, err
+		}
+		if isStatic {
+			name, err := p.expectIdent("static principal name")
+			if err != nil {
+				return nil, err
+			}
+			file.Statics = append(file.Statics, &ast.StaticPrincipalDecl{Name: name.Text, Pos: name.Pos})
+			continue
+		}
+		m, err := p.modelDecl()
+		if err != nil {
+			return nil, err
+		}
+		m.Principal = isPrincipal
+		file.Models = append(file.Models, m)
+	}
+	return file, nil
+}
+
+// annotations parses a possibly-empty run of @-annotations preceding a
+// declaration and reports which were seen.
+func (p *parser) annotations() (isStatic, isPrincipal bool, err error) {
+	for p.accept(token.AT) {
+		name, err := p.expectIdent("annotation name")
+		if err != nil {
+			return false, false, err
+		}
+		switch name.Text {
+		case "principal":
+			isPrincipal = true
+		case "static":
+			// `@static-principal` lexes as static MINUS principal.
+			if _, err := p.expect(token.MINUS); err != nil {
+				return false, false, err
+			}
+			word, err := p.expectIdent("'principal'")
+			if err != nil {
+				return false, false, err
+			}
+			if word.Text != "principal" {
+				return false, false, p.errorf("unknown annotation @static-%s", word.Text)
+			}
+			isStatic = true
+		case "static_principal":
+			isStatic = true
+		default:
+			return false, false, p.errorf("unknown annotation @%s", name.Text)
+		}
+	}
+	return isStatic, isPrincipal, nil
+}
+
+// modelDecl parses Name { create: ..., delete: ..., field: Type {...}, ... }.
+func (p *parser) modelDecl() (*ast.ModelDecl, error) {
+	name, err := p.expectIdent("model name")
+	if err != nil {
+		return nil, err
+	}
+	m := &ast.ModelDecl{Name: name.Text, Pos: name.Pos}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	var sawCreate, sawDelete bool
+	for !p.at(token.RBRACE) {
+		item, err := p.expectIdent("field name or create/delete")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		switch item.Text {
+		case "create":
+			if sawCreate {
+				return nil, p.errorf("duplicate create policy")
+			}
+			m.Create, err = p.policy()
+			sawCreate = true
+		case "delete":
+			if sawDelete {
+				return nil, p.errorf("duplicate delete policy")
+			}
+			m.Delete, err = p.policy()
+			sawDelete = true
+		default:
+			var f *ast.FieldDecl
+			f, err = p.fieldDeclRest(item)
+			if err == nil {
+				if m.Field(f.Name) != nil {
+					return nil, p.errorf("duplicate field %s", f.Name)
+				}
+				m.Fields = append(m.Fields, f)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	if !sawCreate {
+		return nil, &Error{Pos: m.Pos, Msg: fmt.Sprintf("model %s is missing a create policy", m.Name)}
+	}
+	if !sawDelete {
+		return nil, &Error{Pos: m.Pos, Msg: fmt.Sprintf("model %s is missing a delete policy", m.Name)}
+	}
+	return m, nil
+}
+
+// fieldDeclRest parses the remainder of `name: Type { read: ..., write: ... }`
+// after the name and colon have been consumed.
+func (p *parser) fieldDeclRest(name token.Token) (*ast.FieldDecl, error) {
+	typ, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	f := &ast.FieldDecl{Name: name.Text, Type: typ, Pos: name.Pos}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	var sawRead, sawWrite bool
+	for !p.at(token.RBRACE) {
+		word, err := p.expectIdent("read or write")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		switch word.Text {
+		case "read":
+			if sawRead {
+				return nil, p.errorf("duplicate read policy")
+			}
+			f.Read, err = p.policy()
+			sawRead = true
+		case "write":
+			if sawWrite {
+				return nil, p.errorf("duplicate write policy")
+			}
+			f.Write, err = p.policy()
+			sawWrite = true
+		default:
+			return nil, p.errorf("expected read or write, found %q", word.Text)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RBRACE); err != nil {
+		return nil, err
+	}
+	if !sawRead || !sawWrite {
+		return nil, &Error{Pos: f.Pos, Msg: fmt.Sprintf("field %s must declare both read and write policies", f.Name)}
+	}
+	return f, nil
+}
+
+// typeExpr parses String | I64 | F64 | Bool | DateTime | Id(M) | Set(T) | Option(T).
+func (p *parser) typeExpr() (ast.Type, error) {
+	name, err := p.expectIdent("type name")
+	if err != nil {
+		return ast.Type{}, err
+	}
+	switch name.Text {
+	case "Id":
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return ast.Type{}, err
+		}
+		model, err := p.expectIdent("model name")
+		if err != nil {
+			return ast.Type{}, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return ast.Type{}, err
+		}
+		return ast.IdType(model.Text), nil
+	case "Set", "Option":
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return ast.Type{}, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return ast.Type{}, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return ast.Type{}, err
+		}
+		if name.Text == "Set" {
+			return ast.SetType(elem), nil
+		}
+		return ast.OptionType(elem), nil
+	default:
+		if t, ok := ast.ParseScalarType(name.Text); ok {
+			return t, nil
+		}
+		return ast.Type{}, &Error{Pos: name.Pos, Msg: fmt.Sprintf("unknown type %q (did you mean Id(%s)?)", name.Text, name.Text)}
+	}
+}
+
+// policy parses `public`, `none`, or `param -> expr`.
+func (p *parser) policy() (ast.Policy, error) {
+	switch p.cur().Kind {
+	case token.KwPublic:
+		t := p.advance()
+		return ast.PublicPolicy(t.Pos), nil
+	case token.KwNone:
+		t := p.advance()
+		return ast.NonePolicy(t.Pos), nil
+	}
+	fn, err := p.funcLit()
+	if err != nil {
+		return ast.Policy{}, err
+	}
+	return ast.FuncPolicy(fn), nil
+}
+
+// funcLit parses `param -> expr` where param is an identifier or `_`.
+func (p *parser) funcLit() (*ast.FuncLit, error) {
+	var param token.Token
+	switch p.cur().Kind {
+	case token.IDENT:
+		param = p.advance()
+	case token.UNDER:
+		param = p.advance()
+		param.Text = "_"
+	default:
+		return nil, p.errorf("expected function parameter, found %s", p.cur())
+	}
+	if _, err := p.expect(token.ARROW); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return ast.NewFuncLit(param.Pos, param.Text, body), nil
+}

@@ -1,0 +1,349 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/ast"
+)
+
+// figure4 is the policy file from Figure 4 of the paper.
+const figure4 = `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String {
+    read: public,
+    write: u -> [u.id]},
+  bestFriend: Id(User) {
+    read: u -> [u.id, u.bestFriend],
+    write: u -> [u.id]},
+  adminLevel: I64 {
+    read: public,
+    write: u -> User::Find({adminLevel: 2})
+      .map(u -> u.id)}}
+`
+
+func TestParseFigure4(t *testing.T) {
+	f, err := ParsePolicyFile(figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Statics) != 1 || f.Statics[0].Name != "Unauthenticated" {
+		t.Fatalf("statics: %v", f.Statics)
+	}
+	if len(f.Models) != 1 {
+		t.Fatalf("models: %d", len(f.Models))
+	}
+	u := f.Models[0]
+	if u.Name != "User" || !u.Principal {
+		t.Fatalf("model header wrong: %+v", u)
+	}
+	if len(u.Fields) != 3 {
+		t.Fatalf("fields: %d", len(u.Fields))
+	}
+	if u.Create.Kind != ast.PolicyFunc {
+		t.Error("create should be a function policy")
+	}
+	if u.Delete.Kind != ast.PolicyNone {
+		t.Error("delete should be none")
+	}
+	name := u.Field("name")
+	if name == nil || !name.Type.Equal(ast.StringType) {
+		t.Fatalf("name field: %+v", name)
+	}
+	if name.Read.Kind != ast.PolicyPublic {
+		t.Error("name read should be public")
+	}
+	bf := u.Field("bestFriend")
+	if bf == nil || !bf.Type.Equal(ast.IdType("User")) {
+		t.Fatalf("bestFriend field: %+v", bf)
+	}
+	admin := u.Field("adminLevel")
+	if admin == nil || !admin.Type.Equal(ast.I64Type) {
+		t.Fatalf("adminLevel field: %+v", admin)
+	}
+	// adminLevel write: Find(...).map(...)
+	if admin.Write.Kind != ast.PolicyFunc {
+		t.Fatal("adminLevel write should be a function")
+	}
+	if _, ok := admin.Write.Fn.Body.(*ast.Map); !ok {
+		t.Errorf("adminLevel write body should be a map, got %T", admin.Write.Fn.Body)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // expected String() rendering
+	}{
+		{`[u.id]`, `[u.id]`},
+		{`[u.id, u.bestFriend]`, `[u.id, u.bestFriend]`},
+		{`u.followers + [u.id]`, `(u.followers + [u.id])`},
+		{`a - b + c`, `((a - b) + c)`},
+		{`1 + 2 == 3`, `((1 + 2) == 3)`},
+		{`if u.isAdmin then 2 else 0`, `(if u.isAdmin then 2 else 0)`},
+		{`match u.email as e in [e] else []`, `(match u.email as e in [e] else [])`},
+		{`Some(42)`, `Some(42)`},
+		{`None`, `None`},
+		{`now`, `now`},
+		{`public`, `public`},
+		{`d1-2-2030-00:00:00`, `d1-2-2030-00:00:00`},
+		{`User::ById(u.bestFriend)`, `User::ById(u.bestFriend)`},
+		{`User::Find({isAdmin: true})`, `User::Find({isAdmin: true})`},
+		{`User::Find({adminLevel >= 1, name: "x"})`, `User::Find({adminLevel >= 1, name: "x"})`},
+		{`User::Find({adminLevel: 2}).map(u -> u.id)`, `User::Find({adminLevel: 2}).map(u -> u.id)`},
+		{`u.friends.flat_map(f -> f.friends)`, `u.friends.flat_map(f -> f.friends)`},
+		{`"I'm " + u.name`, `("I'm " + u.name)`},
+		{`3.5 < 4.0`, `(3.5 < 4.0)`},
+		{`(a + b)`, `(a + b)`},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("ParseExpr(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		``, `[`, `1 +`, `if x then y`, `match x as y in z`,
+		`User::`, `User::Frobnicate(1)`, `User::Find({})x`,
+		`a < b < c`, // comparisons are non-associative
+		`Some()`, `.`, `1 2`,
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestParsePolicyForms(t *testing.T) {
+	for _, src := range []string{`public`, `none`, `u -> [u.id]`, `_ -> []`} {
+		if _, err := ParsePolicy(src); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", src, err)
+		}
+	}
+}
+
+// chitterMigration is the moderator migration from Section 2.2.
+const chitterMigration = `
+User::AddField(
+  adminLevel : I64 {
+    read: u -> [u] + User::Find({adminLevel: 2}),
+    write: u -> User::Find({adminLevel: 2})
+  }, u -> if u.isAdmin then 2 else 0);
+
+User::UpdateFieldPolicy(email, {
+  read: u -> [u] + User::Find({adminLevel: 2}),
+  write: u -> [u] + User::Find({adminLevel: 2})
+});
+User::UpdateFieldWritePolicy(bio,
+  u -> [u] + User::Find({adminLevel >= 0}));
+
+User::RemoveField(isAdmin);
+`
+
+func TestParseChitterMigration(t *testing.T) {
+	s, err := ParseMigration(chitterMigration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Commands) != 4 {
+		t.Fatalf("commands: %d", len(s.Commands))
+	}
+	add, ok := s.Commands[0].(*ast.AddField)
+	if !ok {
+		t.Fatalf("cmd 0: %T", s.Commands[0])
+	}
+	if add.ModelName != "User" || add.Field.Name != "adminLevel" {
+		t.Errorf("AddField: %+v", add)
+	}
+	if _, ok := add.Init.Body.(*ast.If); !ok {
+		t.Errorf("init body: %T", add.Init.Body)
+	}
+	upd, ok := s.Commands[1].(*ast.UpdateFieldPolicy)
+	if !ok || upd.FieldName != "email" || upd.Read == nil || upd.Write == nil {
+		t.Fatalf("cmd 1: %#v", s.Commands[1])
+	}
+	updw, ok := s.Commands[2].(*ast.UpdateFieldPolicy)
+	if !ok || updw.FieldName != "bio" || updw.Read != nil || updw.Write == nil {
+		t.Fatalf("cmd 2: %#v", s.Commands[2])
+	}
+	rm, ok := s.Commands[3].(*ast.RemoveField)
+	if !ok || rm.FieldName != "isAdmin" {
+		t.Fatalf("cmd 3: %#v", s.Commands[3])
+	}
+}
+
+// peepMigration is the Peep migration from Section 3.2.
+const peepMigration = `
+CreateModel(Peep {
+  create: public,
+  delete: p -> [p.author],
+  author: Id(User) {
+    read: public,
+    write: none,
+  },
+});
+
+Peep::AddField(body: String {
+  read: public,
+  write: p -> [p.author],},
+  p -> "Peep by " + User::ById(p.author).name);
+`
+
+func TestParsePeepMigration(t *testing.T) {
+	s, err := ParseMigration(peepMigration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Commands) != 2 {
+		t.Fatalf("commands: %d", len(s.Commands))
+	}
+	cm, ok := s.Commands[0].(*ast.CreateModel)
+	if !ok {
+		t.Fatalf("cmd 0: %T", s.Commands[0])
+	}
+	if cm.Model.Name != "Peep" || len(cm.Model.Fields) != 1 {
+		t.Errorf("CreateModel: %+v", cm.Model)
+	}
+	add := s.Commands[1].(*ast.AddField)
+	fa, ok := add.Init.Body.(*ast.Binary)
+	if !ok || fa.Op != ast.OpAdd {
+		t.Fatalf("init body: %v", add.Init.Body)
+	}
+	if _, ok := fa.Right.(*ast.FieldAccess); !ok {
+		t.Errorf("expected ById(...).name access, got %T", fa.Right)
+	}
+}
+
+func TestParseWeakenWithReason(t *testing.T) {
+	src := `User::WeakenFieldWritePolicy(bio,
+    u -> [u] + User::Find({adminLevel > 0}),
+    "Reason: allow moderators to update bios.");`
+	s, err := ParseMigration(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := s.Commands[0].(*ast.WeakenFieldPolicy)
+	if !ok {
+		t.Fatalf("got %T", s.Commands[0])
+	}
+	if w.Reason == "" || !strings.Contains(w.Reason, "moderators") {
+		t.Errorf("reason: %q", w.Reason)
+	}
+	if w.Write == nil || w.Read != nil {
+		t.Error("expected write-only weaken")
+	}
+}
+
+func TestParsePrincipalCommands(t *testing.T) {
+	src := `AddStaticPrincipal(Login);
+RemoveStaticPrincipal(Login);
+AddPrincipal(User);
+RemovePrincipal(User);
+DeleteModel(Peep);`
+	s, err := ParseMigration(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"AddStaticPrincipal", "RemoveStaticPrincipal", "AddPrincipal", "RemovePrincipal", "DeleteModel"}
+	for i, w := range wantNames {
+		if s.Commands[i].Name() != w {
+			t.Errorf("cmd %d: %s, want %s", i, s.Commands[i].Name(), w)
+		}
+	}
+}
+
+func TestParseMigrationErrors(t *testing.T) {
+	bad := []string{
+		`User::AddField(x: String { read: public }, u -> "");`,              // missing write
+		`User::AddField(x: String { read: public, write: none });`,          // missing init
+		`CreateModel(User { name: String { read: public, write: none } });`, // missing create/delete
+		`User::UpdatePolicy(read, public);`,                                 // read is field-level
+		`Frobnicate(User);`,                                                 // unknown action (parses as Frobnicate::... fail)
+		`User::AddField(x: Widget { read: public, write: none }, u -> "");`, // unknown type
+		`DeleteModel(Peep)`,                                                 // missing semicolon
+	}
+	for _, src := range bad {
+		if _, err := ParseMigration(src); err == nil {
+			t.Errorf("ParseMigration(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseSetAndOptionTypes(t *testing.T) {
+	src := `
+M {
+  create: public,
+  delete: none,
+  tags: Set(String) { read: public, write: none },
+  boss: Option(Id(User)) { read: public, write: none },
+  scores: Set(Id(Game)) { read: public, write: none }}
+`
+	f, err := ParsePolicyFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Models[0]
+	if !m.Field("tags").Type.Equal(ast.SetType(ast.StringType)) {
+		t.Errorf("tags: %v", m.Field("tags").Type)
+	}
+	if !m.Field("boss").Type.Equal(ast.OptionType(ast.IdType("User"))) {
+		t.Errorf("boss: %v", m.Field("boss").Type)
+	}
+	if !m.Field("scores").Type.Equal(ast.SetType(ast.IdType("Game"))) {
+		t.Errorf("scores: %v", m.Field("scores").Type)
+	}
+}
+
+func TestParseDuplicateField(t *testing.T) {
+	src := `M { create: public, delete: none,
+  x: I64 { read: public, write: none },
+  x: I64 { read: public, write: none }}`
+	if _, err := ParsePolicyFile(src); err == nil {
+		t.Fatal("expected duplicate field error")
+	}
+}
+
+func TestNegativeLiterals(t *testing.T) {
+	e, err := ParseExpr(`-3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit, ok := e.(*ast.IntLit); !ok || lit.Value != -3 {
+		t.Fatalf("got %v", e)
+	}
+	e, err = ParseExpr(`-2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit, ok := e.(*ast.FloatLit); !ok || lit.Value != -2.5 {
+		t.Fatalf("got %v", e)
+	}
+	// Subtraction still works, and mixed forms parse.
+	e, err = ParseExpr(`a - -3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "(a - -3)" {
+		t.Fatalf("got %s", e)
+	}
+	if _, err := ParseExpr(`User::Find({adminLevel >= -1})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExpr(`-x`); err == nil {
+		t.Fatal("unary minus on identifiers should be rejected")
+	}
+}

@@ -1,0 +1,307 @@
+// Package schema defines the in-memory representation of a Scooter
+// specification: the set of static principals, models, fields, and the
+// policies that guard them. The migration engine evolves a Schema command by
+// command; the verifier and the ORM both consume it.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"scooter/internal/ast"
+)
+
+// IDFieldName is the implicit unique-identifier field present on every model.
+const IDFieldName = "id"
+
+// Field is a model field with its access policies.
+type Field struct {
+	Name  string
+	Type  ast.Type
+	Read  ast.Policy
+	Write ast.Policy
+}
+
+// Model is a collection of typed fields with create/delete policies.
+type Model struct {
+	Name      string
+	Principal bool
+	Create    ast.Policy
+	Delete    ast.Policy
+	Fields    []*Field
+}
+
+// Field returns the field with the given name, or nil. The implicit id
+// field is not included; use IDType for its type.
+func (m *Model) Field(name string) *Field {
+	for _, f := range m.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// IDType returns the type of the model's implicit id field.
+func (m *Model) IDType() ast.Type { return ast.IdType(m.Name) }
+
+// FieldNames returns the model's declared field names in order.
+func (m *Model) FieldNames() []string {
+	names := make([]string, len(m.Fields))
+	for i, f := range m.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Clone returns a deep copy of the model. Policy ASTs are immutable after
+// parsing and type checking, so they are shared.
+func (m *Model) Clone() *Model {
+	fields := make([]*Field, len(m.Fields))
+	for i, f := range m.Fields {
+		cp := *f
+		fields[i] = &cp
+	}
+	cp := *m
+	cp.Fields = fields
+	return &cp
+}
+
+// Schema is the full specification: static principals plus models.
+type Schema struct {
+	Statics []string
+	Models  []*Model
+}
+
+// New returns an empty schema.
+func New() *Schema { return &Schema{} }
+
+// Model returns the model with the given name, or nil.
+func (s *Schema) Model(name string) *Model {
+	for _, m := range s.Models {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// HasStatic reports whether a static principal with the name exists.
+func (s *Schema) HasStatic(name string) bool {
+	for _, p := range s.Statics {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PrincipalModels returns the models annotated @principal, in order.
+func (s *Schema) PrincipalModels() []*Model {
+	var out []*Model
+	for _, m := range s.Models {
+		if m.Principal {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// IsPrincipalModel reports whether the named model is a dynamic principal.
+func (s *Schema) IsPrincipalModel(name string) bool {
+	m := s.Model(name)
+	return m != nil && m.Principal
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cp := &Schema{Statics: append([]string(nil), s.Statics...)}
+	cp.Models = make([]*Model, len(s.Models))
+	for i, m := range s.Models {
+		cp.Models[i] = m.Clone()
+	}
+	return cp
+}
+
+// AddModel appends a model; it fails if the name is taken.
+func (s *Schema) AddModel(m *Model) error {
+	if s.Model(m.Name) != nil {
+		return fmt.Errorf("model %s already exists", m.Name)
+	}
+	if s.HasStatic(m.Name) {
+		return fmt.Errorf("name %s is already a static principal", m.Name)
+	}
+	s.Models = append(s.Models, m)
+	return nil
+}
+
+// RemoveModel deletes the named model.
+func (s *Schema) RemoveModel(name string) error {
+	for i, m := range s.Models {
+		if m.Name == name {
+			s.Models = append(s.Models[:i], s.Models[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("model %s does not exist", name)
+}
+
+// AddStatic appends a static principal; it fails if the name is taken.
+func (s *Schema) AddStatic(name string) error {
+	if s.HasStatic(name) {
+		return fmt.Errorf("static principal %s already exists", name)
+	}
+	if s.Model(name) != nil {
+		return fmt.Errorf("name %s is already a model", name)
+	}
+	s.Statics = append(s.Statics, name)
+	return nil
+}
+
+// RemoveStatic deletes the named static principal.
+func (s *Schema) RemoveStatic(name string) error {
+	for i, p := range s.Statics {
+		if p == name {
+			s.Statics = append(s.Statics[:i], s.Statics[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("static principal %s does not exist", name)
+}
+
+// FromPolicyFile converts a parsed (and type-checked) policy file into a
+// schema.
+func FromPolicyFile(f *ast.PolicyFile) *Schema {
+	s := New()
+	for _, sp := range f.Statics {
+		s.Statics = append(s.Statics, sp.Name)
+	}
+	for _, md := range f.Models {
+		m := &Model{
+			Name:      md.Name,
+			Principal: md.Principal,
+			Create:    md.Create,
+			Delete:    md.Delete,
+		}
+		for _, fd := range md.Fields {
+			m.Fields = append(m.Fields, &Field{
+				Name:  fd.Name,
+				Type:  fd.Type,
+				Read:  fd.Read,
+				Write: fd.Write,
+			})
+		}
+		s.Models = append(s.Models, m)
+	}
+	return s
+}
+
+// PolicyRef identifies a policy location within the schema for diagnostics:
+// either a model-level operation (create/delete) or a field operation.
+type PolicyRef struct {
+	Model string
+	Field string // empty for model-level policies
+	Op    ast.Operation
+}
+
+func (r PolicyRef) String() string {
+	if r.Field == "" {
+		return fmt.Sprintf("%s.%s", r.Model, r.Op)
+	}
+	return fmt.Sprintf("%s.%s.%s", r.Model, r.Field, r.Op)
+}
+
+// EachPolicy calls fn for every policy in the schema in declaration order.
+func (s *Schema) EachPolicy(fn func(ref PolicyRef, p ast.Policy)) {
+	for _, m := range s.Models {
+		fn(PolicyRef{Model: m.Name, Op: ast.OpCreate}, m.Create)
+		fn(PolicyRef{Model: m.Name, Op: ast.OpDelete}, m.Delete)
+		for _, f := range m.Fields {
+			fn(PolicyRef{Model: m.Name, Field: f.Name, Op: ast.OpRead}, f.Read)
+			fn(PolicyRef{Model: m.Name, Field: f.Name, Op: ast.OpWrite}, f.Write)
+		}
+	}
+}
+
+// PoliciesReferencingModel returns the locations of policies that reference
+// the named model (through Find, ById, or field types), excluding policies
+// that live on the model itself.
+func (s *Schema) PoliciesReferencingModel(name string) []PolicyRef {
+	var refs []PolicyRef
+	s.EachPolicy(func(ref PolicyRef, p ast.Policy) {
+		if ref.Model == name {
+			return
+		}
+		if p.Kind != ast.PolicyFunc {
+			return
+		}
+		if ast.ReferencedModels(p.Fn.Body)[name] {
+			refs = append(refs, ref)
+		}
+	})
+	// Field types referencing the model also count.
+	for _, m := range s.Models {
+		if m.Name == name {
+			continue
+		}
+		for _, f := range m.Fields {
+			for _, ref := range f.Type.ReferencedModels() {
+				if ref == name {
+					refs = append(refs, PolicyRef{Model: m.Name, Field: f.Name, Op: ast.OpRead})
+				}
+			}
+		}
+	}
+	return refs
+}
+
+// PoliciesReferencingField returns the locations of policies that read
+// model.field, excluding the policies of the field itself.
+func (s *Schema) PoliciesReferencingField(model, field string) []PolicyRef {
+	var refs []PolicyRef
+	s.EachPolicy(func(ref PolicyRef, p ast.Policy) {
+		if ref.Model == model && ref.Field == field {
+			return
+		}
+		if p.Kind != ast.PolicyFunc {
+			return
+		}
+		if ast.ReferencedFields(p.Fn.Body)[ast.FieldRef{Model: model, Field: field}] {
+			refs = append(refs, ref)
+		}
+	})
+	return refs
+}
+
+// PoliciesReferencingStatic returns the locations of policies that mention
+// the named static principal.
+func (s *Schema) PoliciesReferencingStatic(name string) []PolicyRef {
+	var refs []PolicyRef
+	s.EachPolicy(func(ref PolicyRef, p ast.Policy) {
+		if p.Kind != ast.PolicyFunc {
+			return
+		}
+		found := false
+		ast.Walk(p.Fn.Body, func(e ast.Expr) bool {
+			if v, ok := e.(*ast.Var); ok && v.Name == name {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			refs = append(refs, ref)
+		}
+	})
+	return refs
+}
+
+// SortedModelNames returns all model names sorted; used by deterministic
+// consumers such as the code generator.
+func (s *Schema) SortedModelNames() []string {
+	names := make([]string, len(s.Models))
+	for i, m := range s.Models {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,92 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, with an index for
+// in-place updates (the classic MiniSat order heap).
+type varHeap struct {
+	heap []Var
+	pos  []int32 // per var: index into heap, -1 if absent
+}
+
+func newVarHeap() *varHeap { return &varHeap{} }
+
+func (h *varHeap) ensure(v Var) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) insert(v Var, act []float64) {
+	h.ensure(v)
+	if h.contains(v) {
+		return
+	}
+	h.pos[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.up(int(h.pos[v]), act)
+}
+
+func (h *varHeap) update(v Var, act []float64) {
+	if !h.contains(v) {
+		return
+	}
+	i := int(h.pos[v])
+	h.up(i, act)
+	h.down(int(h.pos[v]), act)
+}
+
+func (h *varHeap) pop(act []float64) (Var, bool) {
+	if len(h.heap) == 0 {
+		return -1, false
+	}
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return top, true
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if act[h.heap[parent]] >= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.pos[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	v := h.heap[i]
+	for {
+		left := 2*i + 1
+		if left >= len(h.heap) {
+			break
+		}
+		best := left
+		if right := left + 1; right < len(h.heap) && act[h.heap[right]] > act[h.heap[left]] {
+			best = right
+		}
+		if act[h.heap[best]] <= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.pos[h.heap[i]] = int32(i)
+		i = best
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}

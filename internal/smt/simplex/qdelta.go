@@ -1,0 +1,75 @@
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// QDelta is a rational with an infinitesimal component: r + d·δ where δ is
+// an arbitrarily small positive value. Strict bounds x < c are represented
+// as x <= c - δ, the standard trick for handling strict inequalities in
+// simplex (Dutertre & de Moura).
+type QDelta struct {
+	R *big.Rat // real part
+	D *big.Rat // delta coefficient
+}
+
+// QD builds a QDelta from rational and delta parts.
+func QD(r, d *big.Rat) QDelta {
+	return QDelta{R: new(big.Rat).Set(r), D: new(big.Rat).Set(d)}
+}
+
+// QDRat builds a QDelta with no infinitesimal part.
+func QDRat(r *big.Rat) QDelta {
+	return QDelta{R: new(big.Rat).Set(r), D: new(big.Rat)}
+}
+
+// QDInt builds a QDelta from an int64.
+func QDInt(v int64) QDelta {
+	return QDelta{R: new(big.Rat).SetInt64(v), D: new(big.Rat)}
+}
+
+// Clone returns a copy.
+func (q QDelta) Clone() QDelta { return QD(q.R, q.D) }
+
+// Cmp compares lexicographically: first real parts, then delta parts.
+func (q QDelta) Cmp(o QDelta) int {
+	if c := q.R.Cmp(o.R); c != 0 {
+		return c
+	}
+	return q.D.Cmp(o.D)
+}
+
+// Add returns q + o.
+func (q QDelta) Add(o QDelta) QDelta {
+	return QDelta{
+		R: new(big.Rat).Add(q.R, o.R),
+		D: new(big.Rat).Add(q.D, o.D),
+	}
+}
+
+// Sub returns q - o.
+func (q QDelta) Sub(o QDelta) QDelta {
+	return QDelta{
+		R: new(big.Rat).Sub(q.R, o.R),
+		D: new(big.Rat).Sub(q.D, o.D),
+	}
+}
+
+// ScaleRat returns c * q for a rational c.
+func (q QDelta) ScaleRat(c *big.Rat) QDelta {
+	return QDelta{
+		R: new(big.Rat).Mul(c, q.R),
+		D: new(big.Rat).Mul(c, q.D),
+	}
+}
+
+// IsZero reports whether both parts are zero.
+func (q QDelta) IsZero() bool { return q.R.Sign() == 0 && q.D.Sign() == 0 }
+
+func (q QDelta) String() string {
+	if q.D.Sign() == 0 {
+		return q.R.RatString()
+	}
+	return fmt.Sprintf("%s+%sδ", q.R.RatString(), q.D.RatString())
+}

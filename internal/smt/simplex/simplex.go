@@ -1,0 +1,433 @@
+// Package simplex decides conjunctions of linear arithmetic constraints
+// over rationals and integers: a general simplex with variable bounds in
+// the style of Dutertre & de Moura (the algorithm inside Z3/Yices), plus
+// branch-and-bound for integer variables. Sidecar lowers Scooter's I64,
+// F64, and DateTime comparisons to this theory.
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// VarID identifies a variable.
+type VarID int
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	Le Op = iota
+	Lt
+	Ge
+	Gt
+	EqOp
+)
+
+func (o Op) String() string {
+	switch o {
+	case Le:
+		return "<="
+	case Lt:
+		return "<"
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	case EqOp:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Monomial is coeff * var.
+type Monomial struct {
+	Coeff *big.Rat
+	Var   VarID
+}
+
+// Constraint is sum(terms) op K.
+type Constraint struct {
+	Terms []Monomial
+	Op    Op
+	K     *big.Rat
+}
+
+// Solver decides a conjunction of constraints. Non-incremental: build,
+// add constraints, call Check once.
+type Solver struct {
+	numVars int
+	isInt   []bool
+
+	constraints []Constraint
+
+	// Tableau state (built in Check).
+	total int                      // structural + slack variables
+	rows  map[int]map[int]*big.Rat // basic var -> expression over nonbasic
+	basic map[int]bool
+	lower []*QDelta // per var, nil = unbounded
+	upper []*QDelta
+	beta  []QDelta // current assignment
+
+	// maxPivots bounds the pivot count as a defensive measure; Bland's
+	// rule guarantees termination, so hitting it indicates a bug.
+	maxPivots int
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{rows: map[int]map[int]*big.Rat{}, basic: map[int]bool{}, maxPivots: 200000}
+}
+
+// NewVar allocates a variable; integer variables participate in
+// branch-and-bound.
+func (s *Solver) NewVar(isInt bool) VarID {
+	v := VarID(s.numVars)
+	s.numVars++
+	s.isInt = append(s.isInt, isInt)
+	return v
+}
+
+// AddConstraint records a constraint for the next Check.
+func (s *Solver) AddConstraint(c Constraint) {
+	s.constraints = append(s.constraints, c)
+}
+
+// Check decides feasibility. On success, Value returns a model.
+func (s *Solver) Check() bool {
+	if !s.checkRational() {
+		return false
+	}
+	return s.branchAndBound(40)
+}
+
+// checkRational builds the tableau and runs the primal bounded simplex.
+func (s *Solver) checkRational() bool {
+	nSlack := len(s.constraints)
+	s.total = s.numVars + nSlack
+	s.rows = map[int]map[int]*big.Rat{}
+	s.basic = map[int]bool{}
+	s.lower = make([]*QDelta, s.total)
+	s.upper = make([]*QDelta, s.total)
+	s.beta = make([]QDelta, s.total)
+	for i := range s.beta {
+		s.beta[i] = QDInt(0)
+	}
+
+	for ci, c := range s.constraints {
+		sv := s.numVars + ci
+		// Row: sv = sum(terms).
+		row := map[int]*big.Rat{}
+		for _, m := range c.Terms {
+			if m.Coeff.Sign() == 0 {
+				continue
+			}
+			if cur, ok := row[int(m.Var)]; ok {
+				cur.Add(cur, m.Coeff)
+				if cur.Sign() == 0 {
+					delete(row, int(m.Var))
+				}
+			} else {
+				row[int(m.Var)] = new(big.Rat).Set(m.Coeff)
+			}
+		}
+		s.rows[sv] = row
+		s.basic[sv] = true
+		// Bounds on the slack var.
+		k := QDRat(c.K)
+		switch c.Op {
+		case Le:
+			s.tightenUpper(sv, k)
+		case Lt:
+			s.tightenUpper(sv, QD(c.K, big.NewRat(-1, 1)))
+		case Ge:
+			s.tightenLower(sv, k)
+		case Gt:
+			s.tightenLower(sv, QD(c.K, big.NewRat(1, 1)))
+		case EqOp:
+			s.tightenLower(sv, k)
+			s.tightenUpper(sv, k)
+		}
+	}
+	// Quick infeasibility: crossed bounds.
+	for v := 0; v < s.total; v++ {
+		if s.lower[v] != nil && s.upper[v] != nil && s.lower[v].Cmp(*s.upper[v]) > 0 {
+			return false
+		}
+	}
+	// Initialise nonbasic variables within bounds, then recompute basics.
+	for v := 0; v < s.total; v++ {
+		if s.basic[v] {
+			continue
+		}
+		if s.lower[v] != nil && s.beta[v].Cmp(*s.lower[v]) < 0 {
+			s.beta[v] = s.lower[v].Clone()
+		} else if s.upper[v] != nil && s.beta[v].Cmp(*s.upper[v]) > 0 {
+			s.beta[v] = s.upper[v].Clone()
+		}
+	}
+	for bv, row := range s.rows {
+		s.beta[bv] = s.rowValue(row)
+	}
+	return s.solve()
+}
+
+func (s *Solver) tightenLower(v int, q QDelta) {
+	if s.lower[v] == nil || q.Cmp(*s.lower[v]) > 0 {
+		qq := q.Clone()
+		s.lower[v] = &qq
+	}
+}
+
+func (s *Solver) tightenUpper(v int, q QDelta) {
+	if s.upper[v] == nil || q.Cmp(*s.upper[v]) < 0 {
+		qq := q.Clone()
+		s.upper[v] = &qq
+	}
+}
+
+func (s *Solver) rowValue(row map[int]*big.Rat) QDelta {
+	val := QDInt(0)
+	for v, coeff := range row {
+		val = val.Add(s.beta[v].ScaleRat(coeff))
+	}
+	return val
+}
+
+// solve runs the check loop with Bland's rule.
+func (s *Solver) solve() bool {
+	for pivots := 0; pivots < s.maxPivots; pivots++ {
+		// Find the smallest-index basic variable violating a bound.
+		violated := -1
+		below := false
+		for v := 0; v < s.total; v++ {
+			if !s.basic[v] {
+				continue
+			}
+			if s.lower[v] != nil && s.beta[v].Cmp(*s.lower[v]) < 0 {
+				violated, below = v, true
+				break
+			}
+			if s.upper[v] != nil && s.beta[v].Cmp(*s.upper[v]) > 0 {
+				violated, below = v, false
+				break
+			}
+		}
+		if violated == -1 {
+			return true
+		}
+		row := s.rows[violated]
+		// Find the smallest-index nonbasic variable that can compensate.
+		pivot := -1
+		for v := 0; v < s.total; v++ {
+			coeff, ok := row[v]
+			if !ok || coeff.Sign() == 0 {
+				continue
+			}
+			if below {
+				// Need to increase basic var: increase v if coeff>0 and
+				// v below upper; or decrease v if coeff<0 and v above lower.
+				if coeff.Sign() > 0 && (s.upper[v] == nil || s.beta[v].Cmp(*s.upper[v]) < 0) {
+					pivot = v
+					break
+				}
+				if coeff.Sign() < 0 && (s.lower[v] == nil || s.beta[v].Cmp(*s.lower[v]) > 0) {
+					pivot = v
+					break
+				}
+			} else {
+				if coeff.Sign() > 0 && (s.lower[v] == nil || s.beta[v].Cmp(*s.lower[v]) > 0) {
+					pivot = v
+					break
+				}
+				if coeff.Sign() < 0 && (s.upper[v] == nil || s.beta[v].Cmp(*s.upper[v]) < 0) {
+					pivot = v
+					break
+				}
+			}
+		}
+		if pivot == -1 {
+			return false // no compensating variable: infeasible
+		}
+		var target QDelta
+		if below {
+			target = s.lower[violated].Clone()
+		} else {
+			target = s.upper[violated].Clone()
+		}
+		s.pivotAndUpdate(violated, pivot, target)
+	}
+	panic("simplex: pivot budget exhausted (cycling?)")
+}
+
+// pivotAndUpdate makes `enter` basic in place of `leave`, setting the value
+// of `leave` to target.
+func (s *Solver) pivotAndUpdate(leave, enter int, target QDelta) {
+	row := s.rows[leave]
+	a := row[enter]
+	// leave = ... + a*enter + ...  =>  enter = (leave - rest)/a
+	newRow := map[int]*big.Rat{}
+	inv := new(big.Rat).Inv(a)
+	for v, c := range row {
+		if v == enter {
+			continue
+		}
+		nc := new(big.Rat).Mul(c, inv)
+		nc.Neg(nc)
+		newRow[v] = nc
+	}
+	newRow[leave] = new(big.Rat).Set(inv)
+	delete(s.rows, leave)
+	s.basic[leave] = false
+	s.rows[enter] = newRow
+	s.basic[enter] = true
+
+	// Update values: delta on enter to move leave to target.
+	delta := target.Sub(s.beta[leave]).ScaleRat(inv)
+	s.beta[enter] = s.beta[enter].Add(delta)
+	s.beta[leave] = target
+
+	// Substitute enter's definition into every other row.
+	for bv, r := range s.rows {
+		if bv == enter {
+			continue
+		}
+		c, ok := r[enter]
+		if !ok || c.Sign() == 0 {
+			continue
+		}
+		coeff := new(big.Rat).Set(c)
+		delete(r, enter)
+		for v, ec := range newRow {
+			add := new(big.Rat).Mul(coeff, ec)
+			if cur, ok := r[v]; ok {
+				cur.Add(cur, add)
+				if cur.Sign() == 0 {
+					delete(r, v)
+				}
+			} else if add.Sign() != 0 {
+				r[v] = add
+			}
+		}
+		s.beta[bv] = s.rowValue(r)
+	}
+}
+
+// concreteDelta picks a positive rational value for δ small enough that all
+// strict bounds remain satisfied when QDelta values are concretised.
+func (s *Solver) concreteDelta() *big.Rat {
+	delta := big.NewRat(1, 1)
+	consider := func(diffR, diffD *big.Rat) {
+		// Need diffR + diffD*δ >= 0 with diffR > 0, diffD < 0:
+		// δ <= diffR / -diffD.
+		if diffR.Sign() > 0 && diffD.Sign() < 0 {
+			bound := new(big.Rat).Quo(diffR, new(big.Rat).Neg(diffD))
+			if bound.Cmp(delta) < 0 {
+				delta.Set(bound)
+			}
+		}
+	}
+	for v := 0; v < s.total; v++ {
+		if s.lower[v] != nil {
+			diff := s.beta[v].Sub(*s.lower[v])
+			consider(diff.R, diff.D)
+		}
+		if s.upper[v] != nil {
+			diff := (*s.upper[v]).Sub(s.beta[v])
+			consider(diff.R, diff.D)
+		}
+	}
+	// Halve to stay strictly inside.
+	return delta.Mul(delta, big.NewRat(1, 2))
+}
+
+// Value returns the model value of v after a successful Check.
+func (s *Solver) Value(v VarID) *big.Rat {
+	delta := s.concreteDelta()
+	q := s.beta[v]
+	out := new(big.Rat).Mul(q.D, delta)
+	return out.Add(out, q.R)
+}
+
+// branchAndBound searches for an integral assignment to the integer
+// variables by recursive bound splitting.
+func (s *Solver) branchAndBound(depth int) bool {
+	v := s.fractionalIntVar()
+	if v == -1 {
+		return true
+	}
+	if depth == 0 {
+		return false
+	}
+	val := s.Value(VarID(v))
+	floor := ratFloor(val)
+
+	// Branch x <= floor.
+	lo := cloneProblem(s)
+	lo.AddConstraint(Constraint{
+		Terms: []Monomial{{Coeff: big.NewRat(1, 1), Var: VarID(v)}},
+		Op:    Le, K: new(big.Rat).SetInt(floor),
+	})
+	if lo.checkRational() && lo.branchAndBound(depth-1) {
+		s.adopt(lo)
+		return true
+	}
+	// Branch x >= floor+1.
+	hi := cloneProblem(s)
+	ceil := new(big.Int).Add(floor, big.NewInt(1))
+	hi.AddConstraint(Constraint{
+		Terms: []Monomial{{Coeff: big.NewRat(1, 1), Var: VarID(v)}},
+		Op:    Ge, K: new(big.Rat).SetInt(ceil),
+	})
+	if hi.checkRational() && hi.branchAndBound(depth-1) {
+		s.adopt(hi)
+		return true
+	}
+	return false
+}
+
+// fractionalIntVar returns a structural integer variable with a
+// non-integral model value, or -1.
+func (s *Solver) fractionalIntVar() int {
+	for v := 0; v < s.numVars; v++ {
+		if !s.isInt[v] {
+			continue
+		}
+		if !s.Value(VarID(v)).IsInt() {
+			return v
+		}
+	}
+	return -1
+}
+
+// cloneProblem copies the constraint set (not the tableau) for branching.
+func cloneProblem(s *Solver) *Solver {
+	n := New()
+	n.numVars = s.numVars
+	n.isInt = append([]bool(nil), s.isInt...)
+	n.constraints = append([]Constraint(nil), s.constraints...)
+	return n
+}
+
+// adopt copies a sub-solver's model state back into s.
+func (s *Solver) adopt(o *Solver) {
+	s.total = o.total
+	s.rows = o.rows
+	s.basic = o.basic
+	s.lower = o.lower
+	s.upper = o.upper
+	s.beta = o.beta
+	// Structural variables beyond o's slack count keep their values; Value
+	// only reads beta for structural vars which both share.
+}
+
+func ratFloor(r *big.Rat) *big.Int {
+	q := new(big.Int)
+	m := new(big.Int)
+	q.QuoRem(r.Num(), r.Denom(), m)
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}

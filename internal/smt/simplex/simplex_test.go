@@ -1,0 +1,229 @@
+package simplex
+
+import (
+	"math/big"
+	"testing"
+)
+
+func r(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func mono(c int64, v VarID) Monomial { return Monomial{Coeff: big.NewRat(c, 1), Var: v} }
+
+func con(op Op, k int64, ms ...Monomial) Constraint {
+	return Constraint{Terms: ms, Op: op, K: big.NewRat(k, 1)}
+}
+
+func TestSimpleBounds(t *testing.T) {
+	s := New()
+	x := s.NewVar(false)
+	s.AddConstraint(con(Ge, 2, mono(1, x)))
+	s.AddConstraint(con(Le, 5, mono(1, x)))
+	if !s.Check() {
+		t.Fatal("2 <= x <= 5 is feasible")
+	}
+	v := s.Value(x)
+	if v.Cmp(r(2, 1)) < 0 || v.Cmp(r(5, 1)) > 0 {
+		t.Errorf("x = %v out of [2,5]", v)
+	}
+}
+
+func TestCrossedBoundsInfeasible(t *testing.T) {
+	s := New()
+	x := s.NewVar(false)
+	s.AddConstraint(con(Ge, 5, mono(1, x)))
+	s.AddConstraint(con(Le, 2, mono(1, x)))
+	if s.Check() {
+		t.Fatal("5 <= x <= 2 is infeasible")
+	}
+}
+
+func TestStrictInequality(t *testing.T) {
+	s := New()
+	x := s.NewVar(false)
+	s.AddConstraint(con(Gt, 0, mono(1, x)))
+	s.AddConstraint(con(Lt, 1, mono(1, x)))
+	if !s.Check() {
+		t.Fatal("0 < x < 1 is feasible over rationals")
+	}
+	v := s.Value(x)
+	if v.Sign() <= 0 || v.Cmp(r(1, 1)) >= 0 {
+		t.Errorf("x = %v not strictly inside (0,1)", v)
+	}
+}
+
+func TestStrictInfeasible(t *testing.T) {
+	s := New()
+	x := s.NewVar(false)
+	s.AddConstraint(con(Gt, 3, mono(1, x)))
+	s.AddConstraint(con(Lt, 3, mono(1, x)))
+	if s.Check() {
+		t.Fatal("x > 3 and x < 3 infeasible")
+	}
+	s2 := New()
+	y := s2.NewVar(false)
+	s2.AddConstraint(con(Ge, 3, mono(1, y)))
+	s2.AddConstraint(con(Lt, 3, mono(1, y)))
+	if s2.Check() {
+		t.Fatal("x >= 3 and x < 3 infeasible")
+	}
+}
+
+func TestEquationSystem(t *testing.T) {
+	// x + y = 10, x - y = 4 => x = 7, y = 3.
+	s := New()
+	x, y := s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(con(EqOp, 10, mono(1, x), mono(1, y)))
+	s.AddConstraint(con(EqOp, 4, mono(1, x), mono(-1, y)))
+	if !s.Check() {
+		t.Fatal("system is feasible")
+	}
+	if s.Value(x).Cmp(r(7, 1)) != 0 || s.Value(y).Cmp(r(3, 1)) != 0 {
+		t.Errorf("x=%v y=%v, want 7,3", s.Value(x), s.Value(y))
+	}
+}
+
+func TestInconsistentEquations(t *testing.T) {
+	// x + y = 1, x + y = 2.
+	s := New()
+	x, y := s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(con(EqOp, 1, mono(1, x), mono(1, y)))
+	s.AddConstraint(con(EqOp, 2, mono(1, x), mono(1, y)))
+	if s.Check() {
+		t.Fatal("infeasible system accepted")
+	}
+}
+
+func TestChainedDifferences(t *testing.T) {
+	// x - y <= -1, y - z <= -1, z - x <= -1: negative cycle, infeasible.
+	s := New()
+	x, y, z := s.NewVar(false), s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(con(Le, -1, mono(1, x), mono(-1, y)))
+	s.AddConstraint(con(Le, -1, mono(1, y), mono(-1, z)))
+	s.AddConstraint(con(Le, -1, mono(1, z), mono(-1, x)))
+	if s.Check() {
+		t.Fatal("negative cycle accepted")
+	}
+	// Drop one edge: feasible.
+	s2 := New()
+	x, y, z = s2.NewVar(false), s2.NewVar(false), s2.NewVar(false)
+	s2.AddConstraint(con(Le, -1, mono(1, x), mono(-1, y)))
+	s2.AddConstraint(con(Le, -1, mono(1, y), mono(-1, z)))
+	if !s2.Check() {
+		t.Fatal("chain without cycle should be feasible")
+	}
+	if diff := new(big.Rat).Sub(s2.Value(x), s2.Value(y)); diff.Cmp(r(-1, 1)) > 0 {
+		t.Errorf("x-y = %v > -1", diff)
+	}
+}
+
+func TestIntegerBranching(t *testing.T) {
+	// 2x = 3 has no integer solution but a rational one.
+	s := New()
+	x := s.NewVar(true)
+	s.AddConstraint(con(EqOp, 3, mono(2, x)))
+	if s.Check() {
+		t.Fatal("2x=3 has no integer solution")
+	}
+	// Rational variant is fine.
+	s2 := New()
+	y := s2.NewVar(false)
+	s2.AddConstraint(con(EqOp, 3, mono(2, y)))
+	if !s2.Check() {
+		t.Fatal("2y=3 has rational solution")
+	}
+	if s2.Value(y).Cmp(r(3, 2)) != 0 {
+		t.Errorf("y = %v, want 3/2", s2.Value(y))
+	}
+}
+
+func TestIntegerInterval(t *testing.T) {
+	// 0 < x < 1 has no integer solution.
+	s := New()
+	x := s.NewVar(true)
+	s.AddConstraint(con(Gt, 0, mono(1, x)))
+	s.AddConstraint(con(Lt, 1, mono(1, x)))
+	if s.Check() {
+		t.Fatal("no integer strictly between 0 and 1")
+	}
+	// 0 < x < 2 => x = 1.
+	s2 := New()
+	x = s2.NewVar(true)
+	s2.AddConstraint(con(Gt, 0, mono(1, x)))
+	s2.AddConstraint(con(Lt, 2, mono(1, x)))
+	if !s2.Check() {
+		t.Fatal("x=1 exists")
+	}
+	if s2.Value(x).Cmp(r(1, 1)) != 0 {
+		t.Errorf("x = %v, want 1", s2.Value(x))
+	}
+}
+
+func TestIntegerCombination(t *testing.T) {
+	// x + y = 1, x - y = 0 => x = y = 1/2: no integer solution.
+	s := New()
+	x, y := s.NewVar(true), s.NewVar(true)
+	s.AddConstraint(con(EqOp, 1, mono(1, x), mono(1, y)))
+	s.AddConstraint(con(EqOp, 0, mono(1, x), mono(-1, y)))
+	if s.Check() {
+		t.Fatal("no integer solution to x+y=1, x=y")
+	}
+}
+
+func TestLargerLP(t *testing.T) {
+	// Feasible LP with several overlapping constraints.
+	s := New()
+	x, y, z := s.NewVar(false), s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(con(Le, 10, mono(1, x), mono(2, y), mono(3, z)))
+	s.AddConstraint(con(Ge, 1, mono(1, x)))
+	s.AddConstraint(con(Ge, 1, mono(1, y)))
+	s.AddConstraint(con(Ge, 1, mono(1, z)))
+	s.AddConstraint(con(Le, 4, mono(1, x), mono(1, y)))
+	if !s.Check() {
+		t.Fatal("feasible LP rejected")
+	}
+	// Verify model satisfies all constraints.
+	vx, vy, vz := s.Value(x), s.Value(y), s.Value(z)
+	sum := new(big.Rat).Add(new(big.Rat).Add(vx, new(big.Rat).Mul(r(2, 1), vy)), new(big.Rat).Mul(r(3, 1), vz))
+	if sum.Cmp(r(10, 1)) > 0 {
+		t.Errorf("x+2y+3z = %v > 10", sum)
+	}
+	if vx.Cmp(r(1, 1)) < 0 || vy.Cmp(r(1, 1)) < 0 || vz.Cmp(r(1, 1)) < 0 {
+		t.Errorf("lower bounds violated: %v %v %v", vx, vy, vz)
+	}
+}
+
+func TestZeroCoefficientDropped(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(Constraint{
+		Terms: []Monomial{{Coeff: r(0, 1), Var: x}, {Coeff: r(1, 1), Var: y}},
+		Op:    EqOp, K: r(5, 1),
+	})
+	if !s.Check() {
+		t.Fatal("feasible")
+	}
+	if s.Value(y).Cmp(r(5, 1)) != 0 {
+		t.Errorf("y = %v, want 5", s.Value(y))
+	}
+}
+
+func TestDuplicateVarInTerms(t *testing.T) {
+	// x + x = 4 => x = 2.
+	s := New()
+	x := s.NewVar(false)
+	s.AddConstraint(con(EqOp, 4, mono(1, x), mono(1, x)))
+	if !s.Check() {
+		t.Fatal("feasible")
+	}
+	if s.Value(x).Cmp(r(2, 1)) != 0 {
+		t.Errorf("x = %v, want 2", s.Value(x))
+	}
+}
+
+func TestUnconstrainedVar(t *testing.T) {
+	s := New()
+	s.NewVar(false)
+	if !s.Check() {
+		t.Fatal("empty constraint set is feasible")
+	}
+}

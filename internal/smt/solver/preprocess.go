@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"fmt"
+
+	"scooter/internal/smt/term"
+)
+
+// preprocessor rewrites asserted formulas into the fragment the theory
+// engines handle: term-level if-then-else is purified into fresh constants
+// with guard conditions, and distinct constraints expand to pairwise
+// disequalities.
+type preprocessor struct {
+	b              *term.Builder
+	memo           map[term.T]term.T
+	sideConditions []term.T
+	fresh          int
+}
+
+func newPreprocessor(b *term.Builder) *preprocessor {
+	return &preprocessor{b: b, memo: map[term.T]term.T{}}
+}
+
+func (p *preprocessor) rewrite(t term.T) term.T {
+	if out, ok := p.memo[t]; ok {
+		return out
+	}
+	b := p.b
+	var out term.T
+	switch b.Op(t) {
+	case term.OpIte:
+		args := b.Args(t)
+		cond := p.rewrite(args[0])
+		then := p.rewrite(args[1])
+		els := p.rewrite(args[2])
+		// Purify: v with (cond -> v=then) and (!cond -> v=els).
+		p.fresh++
+		v := b.Const(fmt.Sprintf("$ite%d", p.fresh), b.SortOf(then))
+		p.sideConditions = append(p.sideConditions,
+			b.Or(b.Not(cond), b.Eq(v, then)),
+			b.Or(cond, b.Eq(v, els)))
+		out = v
+	case term.OpDistinct:
+		args := b.Args(t)
+		var conj []term.T
+		for i := 0; i < len(args); i++ {
+			for j := i + 1; j < len(args); j++ {
+				conj = append(conj, b.Not(b.Eq(p.rewrite(args[i]), p.rewrite(args[j]))))
+			}
+		}
+		out = b.And(conj...)
+	case term.OpNot:
+		out = b.Not(p.rewrite(b.Args(t)[0]))
+	case term.OpAnd:
+		out = b.And(p.rewriteAll(b.Args(t))...)
+	case term.OpOr:
+		out = b.Or(p.rewriteAll(b.Args(t))...)
+	case term.OpEq:
+		args := b.Args(t)
+		out = b.Eq(p.rewrite(args[0]), p.rewrite(args[1]))
+	case term.OpLe:
+		args := b.Args(t)
+		out = b.Le(p.rewrite(args[0]), p.rewrite(args[1]))
+	case term.OpLt:
+		args := b.Args(t)
+		out = b.Lt(p.rewrite(args[0]), p.rewrite(args[1]))
+	case term.OpAdd:
+		out = b.Add(p.rewriteAll(b.Args(t))...)
+	case term.OpSub:
+		args := b.Args(t)
+		out = b.Sub(p.rewrite(args[0]), p.rewrite(args[1]))
+	case term.OpMul:
+		args := b.Args(t)
+		out = b.MulConst(p.rewrite(args[0]), p.rewrite(args[1]))
+	case term.OpApp:
+		out = b.App(b.Name(t), b.SortOf(t), p.rewriteAll(b.Args(t))...)
+	default:
+		out = t
+	}
+	p.memo[t] = out
+	return out
+}
+
+func (p *preprocessor) rewriteAll(ts []term.T) []term.T {
+	out := make([]term.T, len(ts))
+	for i, t := range ts {
+		out[i] = p.rewrite(t)
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"scooter/internal/smt/term"
+)
+
+// The property harness generates random formulas over a small vocabulary —
+// two uninterpreted constants x,y of sort U, an integer-valued function f,
+// a predicate p, and one integer constant n — and checks:
+//
+//  1. Sat verdicts are self-validating: the model must evaluate the
+//     original formula to true (Model.EvalBool).
+//  2. Unsat verdicts are cross-checked against brute-force enumeration
+//     over a bounded universe (|U| = 2, integers in [-4,4]); any model the
+//     enumeration finds would contradict the solver.
+type vocab struct {
+	b    *term.Builder
+	x, y term.T // sort U
+	n    term.T // Int const
+	fx   term.T // f(x)
+	fy   term.T // f(y)
+	px   term.T // p(x)
+	py   term.T // p(y)
+}
+
+func newVocab() *vocab {
+	b := term.NewBuilder()
+	u := term.Uninterp("U")
+	x := b.Const("x", u)
+	y := b.Const("y", u)
+	return &vocab{
+		b: b, x: x, y: y,
+		n:  b.Const("n", term.Int),
+		fx: b.App("f", term.Int, x),
+		fy: b.App("f", term.Int, y),
+		px: b.App("p", term.Bool, x),
+		py: b.App("p", term.Bool, y),
+	}
+}
+
+// randAtom picks a random atom.
+func (v *vocab) randAtom(rng *rand.Rand) term.T {
+	b := v.b
+	ints := []term.T{v.n, v.fx, v.fy, b.IntLit(int64(rng.Intn(5) - 2))}
+	ri := func() term.T { return ints[rng.Intn(len(ints))] }
+	switch rng.Intn(6) {
+	case 0:
+		return b.Eq(v.x, v.y)
+	case 1:
+		return v.px
+	case 2:
+		return v.py
+	case 3:
+		return b.Eq(ri(), ri())
+	case 4:
+		return b.Le(ri(), ri())
+	default:
+		return b.Lt(ri(), ri())
+	}
+}
+
+// randFormula builds a random boolean combination of atoms.
+func (v *vocab) randFormula(rng *rand.Rand, depth int) term.T {
+	b := v.b
+	if depth == 0 {
+		a := v.randAtom(rng)
+		if rng.Intn(2) == 0 {
+			return b.Not(a)
+		}
+		return a
+	}
+	l := v.randFormula(rng, depth-1)
+	r := v.randFormula(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return b.And(l, r)
+	case 1:
+		return b.Or(l, r)
+	default:
+		return b.Or(b.Not(l), r)
+	}
+}
+
+// interp is one bounded interpretation for brute-force checking.
+type interp struct {
+	xv, yv int    // U-element of x, y (universe {0, 1})
+	nv     int    // value of n
+	f      [2]int // f over the universe
+	p      [2]bool
+}
+
+// bruteEval evaluates the formula under the interpretation.
+func bruteEval(b *term.Builder, t term.T, in *interp) bool {
+	var evalInt func(t term.T) int
+	evalU := func(t term.T) int {
+		switch b.Name(t) {
+		case "x":
+			return in.xv
+		default:
+			return in.yv
+		}
+	}
+	evalInt = func(t term.T) int {
+		switch b.Op(t) {
+		case term.OpIntLit:
+			return int(b.IntVal(t))
+		case term.OpConst:
+			return in.nv
+		case term.OpApp: // f(...)
+			return in.f[evalU(b.Args(t)[0])]
+		case term.OpAdd:
+			sum := 0
+			for _, a := range b.Args(t) {
+				sum += evalInt(a)
+			}
+			return sum
+		case term.OpSub:
+			args := b.Args(t)
+			return evalInt(args[0]) - evalInt(args[1])
+		}
+		panic("bruteEval: unexpected int term")
+	}
+	var evalBool func(t term.T) bool
+	evalBool = func(t term.T) bool {
+		switch b.Op(t) {
+		case term.OpTrue:
+			return true
+		case term.OpFalse:
+			return false
+		case term.OpNot:
+			return !evalBool(b.Args(t)[0])
+		case term.OpAnd:
+			for _, a := range b.Args(t) {
+				if !evalBool(a) {
+					return false
+				}
+			}
+			return true
+		case term.OpOr:
+			for _, a := range b.Args(t) {
+				if evalBool(a) {
+					return true
+				}
+			}
+			return false
+		case term.OpEq:
+			args := b.Args(t)
+			if b.SortOf(args[0]).Kind == term.SortInt {
+				return evalInt(args[0]) == evalInt(args[1])
+			}
+			return evalU(args[0]) == evalU(args[1])
+		case term.OpLe:
+			args := b.Args(t)
+			return evalInt(args[0]) <= evalInt(args[1])
+		case term.OpLt:
+			args := b.Args(t)
+			return evalInt(args[0]) < evalInt(args[1])
+		case term.OpApp: // p(...)
+			return in.p[evalU(b.Args(t)[0])]
+		}
+		panic("bruteEval: unexpected bool term")
+	}
+	return evalBool(t)
+}
+
+// bruteSat enumerates every bounded interpretation.
+func bruteSat(b *term.Builder, t term.T) bool {
+	for xv := 0; xv < 2; xv++ {
+		for yv := 0; yv < 2; yv++ {
+			for nv := -4; nv <= 4; nv++ {
+				for f0 := -4; f0 <= 4; f0++ {
+					for f1 := -4; f1 <= 4; f1++ {
+						for pbits := 0; pbits < 4; pbits++ {
+							in := &interp{
+								xv: xv, yv: yv, nv: nv,
+								f: [2]int{f0, f1},
+								p: [2]bool{pbits&1 != 0, pbits&2 != 0},
+							}
+							if bruteEval(b, t, in) {
+								return true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestSolverAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sat, unsat := 0, 0
+	for iter := 0; iter < 250; iter++ {
+		v := newVocab()
+		f := v.randFormula(rng, 2+rng.Intn(2))
+		s := New(v.b)
+		s.Assert(f)
+		switch s.Check() {
+		case Sat:
+			sat++
+			if !s.Model().EvalBool(f) {
+				t.Fatalf("iter %d: model does not satisfy formula %s", iter, v.b.String(f))
+			}
+		case Unsat:
+			unsat++
+			if bruteSat(v.b, f) {
+				t.Fatalf("iter %d: solver says unsat but a bounded model exists: %s", iter, v.b.String(f))
+			}
+		default:
+			t.Fatalf("iter %d: unknown verdict", iter)
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("degenerate distribution: sat=%d unsat=%d", sat, unsat)
+	}
+	t.Logf("sat=%d unsat=%d", sat, unsat)
+}
+
+// TestSolverConjunctionsAgainstBruteForce stresses pure conjunctions, where
+// every atom matters and theory interaction is maximal.
+func TestSolverConjunctionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 250; iter++ {
+		v := newVocab()
+		n := 3 + rng.Intn(5)
+		lits := make([]term.T, n)
+		for i := range lits {
+			a := v.randAtom(rng)
+			if rng.Intn(2) == 0 {
+				a = v.b.Not(a)
+			}
+			lits[i] = a
+		}
+		f := v.b.And(lits...)
+		s := New(v.b)
+		s.Assert(f)
+		switch s.Check() {
+		case Sat:
+			if !s.Model().EvalBool(f) {
+				t.Fatalf("iter %d: bad model for %s", iter, v.b.String(f))
+			}
+		case Unsat:
+			if bruteSat(v.b, f) {
+				t.Fatalf("iter %d: spurious unsat for %s", iter, v.b.String(f))
+			}
+		default:
+			t.Fatalf("iter %d: unknown", iter)
+		}
+	}
+}

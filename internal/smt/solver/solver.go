@@ -1,0 +1,372 @@
+// Package solver combines the SAT core with the EUF and linear-arithmetic
+// theory engines into a lazy CDCL(T) SMT solver, and constructs models for
+// satisfiable queries. It fills the role Z3 plays in the paper: Sidecar
+// lowers policy-strictness queries to this solver and renders its models as
+// counterexample databases.
+//
+// Theory combination is equality-sharing in one direction (EUF-implied
+// equalities between arithmetic terms feed the simplex) plus a final
+// model-validation step that blocks assignments the theories individually
+// accept but no combined model satisfies. The final check makes Sat answers
+// sound: a reported model always evaluates the original formula to true.
+package solver
+
+import (
+	"math/big"
+
+	"scooter/internal/smt/cnf"
+	"scooter/internal/smt/euf"
+	"scooter/internal/smt/sat"
+	"scooter/internal/smt/simplex"
+	"scooter/internal/smt/term"
+)
+
+// Status is a solver verdict.
+type Status int
+
+// Verdicts. Unknown arises only from the round cap, a defensive limit.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// boolTrueSortName is the internal sort used to reflect boolean-sorted
+// uninterpreted applications into EUF.
+const boolTrueSortName = "$Bool"
+
+// Solver is a one-shot SMT solver: assert formulas, then Check.
+type Solver struct {
+	B *term.Builder
+
+	asserted []term.T
+
+	// MaxRounds caps the lazy refinement loop.
+	MaxRounds int
+
+	// DisableCoreMinimization skips deletion-based shrinking of theory
+	// conflicts, blocking the full assignment instead. Exposed for the
+	// ablation benchmarks; minimisation produces far stronger lemmas.
+	DisableCoreMinimization bool
+
+	sat  *sat.Solver
+	conv *cnf.Converter
+
+	trueConst term.T // $true constant for boolean apps in EUF
+
+	model *Model
+
+	// Stats.
+	Rounds       int
+	TheoryChecks int
+}
+
+// New returns a solver over the builder's terms.
+func New(b *term.Builder) *Solver {
+	return &Solver{B: b, MaxRounds: 20000}
+}
+
+// Assert conjoins t to the formula to be checked.
+func (s *Solver) Assert(t term.T) {
+	s.asserted = append(s.asserted, t)
+}
+
+// tlit is a theory atom with its truth assignment.
+type tlit struct {
+	atom term.T
+	val  bool
+}
+
+// Check decides satisfiability of the asserted formulas.
+func (s *Solver) Check() Status {
+	s.sat = sat.New()
+	s.conv = cnf.New(s.B, s.sat)
+	s.trueConst = s.B.Const("$true", term.Uninterp(boolTrueSortName))
+
+	pre := newPreprocessor(s.B)
+	for _, t := range s.asserted {
+		s.conv.Assert(pre.rewrite(t))
+	}
+	for _, side := range pre.sideConditions {
+		s.conv.Assert(side)
+	}
+	s.addArithEqualitySplits()
+
+	for s.Rounds = 0; s.Rounds < s.MaxRounds; s.Rounds++ {
+		if s.sat.Solve() != sat.Sat {
+			return Unsat
+		}
+		lits := s.assignment()
+		tc := s.runTheories(lits)
+		if !tc.ok {
+			core := lits
+			if !s.DisableCoreMinimization {
+				core = s.minimizeCore(lits)
+			}
+			s.blockLits(core)
+			continue
+		}
+		m := s.buildModel(lits, tc)
+		if bad := s.invalidAtom(lits, m); bad >= 0 {
+			// The individual theories accept the assignment but no joint
+			// model exists; block this exact theory assignment.
+			s.blockLits(lits)
+			continue
+		}
+		s.model = m
+		return Sat
+	}
+	return Unknown
+}
+
+// Model returns the model found by the last successful Check.
+func (s *Solver) Model() *Model { return s.model }
+
+// assignment extracts the current truth values of all theory atoms.
+func (s *Solver) assignment() []tlit {
+	atoms := s.conv.Atoms()
+	lits := make([]tlit, 0, len(atoms))
+	for at, v := range atoms {
+		if s.isTheoryAtom(at) {
+			lits = append(lits, tlit{atom: at, val: s.sat.Value(v)})
+		}
+	}
+	return lits
+}
+
+// isTheoryAtom reports whether the atom involves a theory (vs a free
+// boolean variable, which SAT alone decides).
+func (s *Solver) isTheoryAtom(t term.T) bool {
+	switch s.B.Op(t) {
+	case term.OpEq, term.OpLe, term.OpLt:
+		return true
+	case term.OpApp:
+		return true // boolean-sorted application
+	}
+	return false
+}
+
+// blockLits adds a clause forbidding the given partial assignment.
+func (s *Solver) blockLits(lits []tlit) {
+	clause := make([]sat.Lit, len(lits))
+	atoms := s.conv.Atoms()
+	for i, l := range lits {
+		clause[i] = sat.MkLit(atoms[l.atom], l.val) // negated literal
+	}
+	s.sat.AddClause(clause...)
+}
+
+// addArithEqualitySplits adds, for every arithmetic equality atom a=b, the
+// theory-valid clauses (a=b) or (a<b) or (b<a), (a=b) -> not(a<b), and
+// (a=b) -> not(b<a). This lets the simplex engine see a strict inequality
+// whenever an equality is assigned false, avoiding disequality handling.
+func (s *Solver) addArithEqualitySplits() {
+	// Copy atom set first: creating Lt atoms extends the map.
+	var eqs []term.T
+	for at := range s.conv.Atoms() {
+		if s.B.Op(at) == term.OpEq && s.isArithSort(s.B.SortOf(s.B.Args(at)[0])) {
+			eqs = append(eqs, at)
+		}
+	}
+	for _, eq := range eqs {
+		args := s.B.Args(eq)
+		lt1 := s.B.Lt(args[0], args[1])
+		lt2 := s.B.Lt(args[1], args[0])
+		s.conv.AddClauseTerms(eq, lt1, lt2)
+		s.conv.AddClauseTerms(s.B.Not(eq), s.B.Not(lt1))
+		s.conv.AddClauseTerms(s.B.Not(eq), s.B.Not(lt2))
+	}
+}
+
+func (s *Solver) isArithSort(sort term.Sort) bool {
+	return sort.Kind == term.SortInt || sort.Kind == term.SortReal
+}
+
+// theoryResult carries the artifacts of a successful combined theory check.
+type theoryResult struct {
+	ok      bool
+	euf     euf.Result
+	lia     *simplex.Solver
+	liaVars map[term.T]simplex.VarID
+}
+
+// runTheories checks the assignment against EUF and linear arithmetic.
+func (s *Solver) runTheories(lits []tlit) theoryResult {
+	s.TheoryChecks++
+	// --- EUF ---
+	var assertions []euf.Assertion
+	extra := map[term.T]bool{}
+	for _, l := range lits {
+		at := l.atom
+		switch s.B.Op(at) {
+		case term.OpEq:
+			args := s.B.Args(at)
+			assertions = append(assertions, euf.Assertion{A: args[0], B: args[1], Equal: l.val})
+		case term.OpApp:
+			assertions = append(assertions, euf.Assertion{A: at, B: s.trueConst, Equal: l.val})
+		case term.OpLe, term.OpLt:
+			// Register app leaves so congruence sees them.
+			for _, arg := range s.B.Args(at) {
+				s.collectAppLeaves(arg, extra)
+			}
+		}
+	}
+	extraTerms := make([]term.T, 0, len(extra))
+	for t := range extra {
+		extraTerms = append(extraTerms, t)
+	}
+	eufRes := euf.CheckWithTerms(s.B, assertions, extraTerms)
+	if !eufRes.Sat {
+		return theoryResult{ok: false}
+	}
+
+	// --- Linear arithmetic ---
+	lia := simplex.New()
+	liaVars := map[term.T]simplex.VarID{}
+	leaf := func(t term.T) simplex.VarID {
+		if v, ok := liaVars[t]; ok {
+			return v
+		}
+		v := lia.NewVar(s.B.SortOf(t).Kind == term.SortInt)
+		liaVars[t] = v
+		return v
+	}
+	addAtom := func(a, b term.T, op simplex.Op) {
+		la := linearize(s.B, a, leaf)
+		lb := linearize(s.B, b, leaf)
+		// a - b op 0  =>  terms(a) - terms(b) op kb - ka.
+		terms := append([]simplex.Monomial{}, la.monomials...)
+		for _, m := range lb.monomials {
+			terms = append(terms, simplex.Monomial{Coeff: new(big.Rat).Neg(m.Coeff), Var: m.Var})
+		}
+		k := new(big.Rat).Sub(lb.constant, la.constant)
+		lia.AddConstraint(simplex.Constraint{Terms: terms, Op: op, K: k})
+	}
+	for _, l := range lits {
+		at := l.atom
+		args := s.B.Args(at)
+		switch s.B.Op(at) {
+		case term.OpLe:
+			if l.val {
+				addAtom(args[0], args[1], simplex.Le)
+			} else {
+				addAtom(args[0], args[1], simplex.Gt)
+			}
+		case term.OpLt:
+			if l.val {
+				addAtom(args[0], args[1], simplex.Lt)
+			} else {
+				addAtom(args[0], args[1], simplex.Ge)
+			}
+		case term.OpEq:
+			if l.val && s.isArithSort(s.B.SortOf(args[0])) {
+				addAtom(args[0], args[1], simplex.EqOp)
+			}
+		}
+	}
+	// EUF-implied equalities between arithmetic terms: group the terms EUF
+	// saw by representative and equate arithmetic members.
+	byClass := map[term.T][]term.T{}
+	for t, rep := range eufRes.Classes {
+		if s.isArithSort(s.B.SortOf(t)) {
+			byClass[rep] = append(byClass[rep], t)
+		}
+	}
+	for _, members := range byClass {
+		for i := 1; i < len(members); i++ {
+			addAtom(members[0], members[i], simplex.EqOp)
+		}
+	}
+	if !lia.Check() {
+		return theoryResult{ok: false}
+	}
+	return theoryResult{ok: true, euf: eufRes, lia: lia, liaVars: liaVars}
+}
+
+// collectAppLeaves gathers uninterpreted application terms nested in an
+// arithmetic expression.
+func (s *Solver) collectAppLeaves(t term.T, out map[term.T]bool) {
+	switch s.B.Op(t) {
+	case term.OpAdd, term.OpSub, term.OpMul:
+		for _, a := range s.B.Args(t) {
+			s.collectAppLeaves(a, out)
+		}
+	case term.OpApp, term.OpConst:
+		out[t] = true
+	}
+}
+
+// minimizeCore shrinks an infeasible assignment by deletion: drop each
+// literal whose removal keeps the set infeasible.
+func (s *Solver) minimizeCore(lits []tlit) []tlit {
+	cur := append([]tlit(nil), lits...)
+	for i := 0; i < len(cur); {
+		trial := make([]tlit, 0, len(cur)-1)
+		trial = append(trial, cur[:i]...)
+		trial = append(trial, cur[i+1:]...)
+		if !s.runTheories(trial).ok {
+			cur = trial
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// linear is a linearized arithmetic expression: sum of monomials plus a
+// constant.
+type linear struct {
+	monomials []simplex.Monomial
+	constant  *big.Rat
+}
+
+// linearize flattens an arithmetic term into monomials over leaf variables.
+func linearize(b *term.Builder, t term.T, leaf func(term.T) simplex.VarID) linear {
+	switch b.Op(t) {
+	case term.OpIntLit, term.OpRatLit:
+		return linear{constant: b.RatVal(t)}
+	case term.OpAdd:
+		out := linear{constant: new(big.Rat)}
+		for _, a := range b.Args(t) {
+			la := linearize(b, a, leaf)
+			out.monomials = append(out.monomials, la.monomials...)
+			out.constant.Add(out.constant, la.constant)
+		}
+		return out
+	case term.OpSub:
+		args := b.Args(t)
+		la := linearize(b, args[0], leaf)
+		lb := linearize(b, args[1], leaf)
+		out := linear{constant: new(big.Rat).Sub(la.constant, lb.constant)}
+		out.monomials = append(out.monomials, la.monomials...)
+		for _, m := range lb.monomials {
+			out.monomials = append(out.monomials, simplex.Monomial{Coeff: new(big.Rat).Neg(m.Coeff), Var: m.Var})
+		}
+		return out
+	case term.OpMul:
+		args := b.Args(t)
+		k := b.RatVal(args[0])
+		la := linearize(b, args[1], leaf)
+		out := linear{constant: new(big.Rat).Mul(k, la.constant)}
+		for _, m := range la.monomials {
+			out.monomials = append(out.monomials, simplex.Monomial{Coeff: new(big.Rat).Mul(k, m.Coeff), Var: m.Var})
+		}
+		return out
+	default:
+		return linear{
+			monomials: []simplex.Monomial{{Coeff: big.NewRat(1, 1), Var: leaf(t)}},
+			constant:  new(big.Rat),
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package solver
+
+import (
+	"math/big"
+	"testing"
+
+	"scooter/internal/smt/term"
+)
+
+func newSI() (*term.Builder, *Solver) {
+	b := term.NewBuilder()
+	return b, New(b)
+}
+
+func TestPropositional(t *testing.T) {
+	b, s := newSI()
+	p := b.Const("p", term.Bool)
+	q := b.Const("q", term.Bool)
+	s.Assert(b.Or(p, q))
+	s.Assert(b.Not(p))
+	if s.Check() != Sat {
+		t.Fatal("sat expected")
+	}
+	b2, s2 := newSI()
+	p2 := b2.Const("p", term.Bool)
+	s2.Assert(p2)
+	s2.Assert(b2.Not(p2))
+	if s2.Check() != Unsat {
+		t.Fatal("unsat expected")
+	}
+}
+
+func TestEUFTransitivityUnsat(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("U")
+	x, y, z := b.Const("x", u), b.Const("y", u), b.Const("z", u)
+	s.Assert(b.Eq(x, y))
+	s.Assert(b.Eq(y, z))
+	s.Assert(b.Not(b.Eq(x, z)))
+	if s.Check() != Unsat {
+		t.Fatal("unsat expected")
+	}
+}
+
+func TestEUFCongruenceWithDisjunction(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("U")
+	x, y := b.Const("x", u), b.Const("y", u)
+	fx, fy := b.App("f", u, x), b.App("f", u, y)
+	// (x=y or f(x)=f(y)) and f(x)!=f(y)  =>  x != y must hold.
+	s.Assert(b.Or(b.Eq(x, y), b.Eq(fx, fy)))
+	s.Assert(b.Not(b.Eq(fx, fy)))
+	if s.Check() != Unsat {
+		t.Fatal("x=y branch forces f(x)=f(y); both branches contradict")
+	}
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	b, s := newSI()
+	x := b.Const("x", term.Int)
+	s.Assert(b.Le(b.IntLit(2), x))
+	s.Assert(b.Lt(x, b.IntLit(4)))
+	if s.Check() != Sat {
+		t.Fatal("2 <= x < 4 sat")
+	}
+	v := s.Model().NumVal(x)
+	if v.Cmp(big.NewRat(2, 1)) < 0 || v.Cmp(big.NewRat(4, 1)) >= 0 {
+		t.Errorf("x = %v", v)
+	}
+
+	b2, s2 := newSI()
+	y := b2.Const("y", term.Int)
+	s2.Assert(b2.Lt(y, b2.IntLit(2)))
+	s2.Assert(b2.Lt(b2.IntLit(1), y))
+	if s2.Check() != Unsat {
+		t.Fatal("1 < y < 2 unsat over Int")
+	}
+}
+
+func TestArithEqualitySplit(t *testing.T) {
+	b, s := newSI()
+	x, y := b.Const("x", term.Int), b.Const("y", term.Int)
+	// x != y and x <= y and y <= x: unsat.
+	s.Assert(b.Not(b.Eq(x, y)))
+	s.Assert(b.Le(x, y))
+	s.Assert(b.Le(y, x))
+	if s.Check() != Unsat {
+		t.Fatal("antisymmetry violation must be unsat")
+	}
+}
+
+func TestEUFArithCombination(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("U")
+	x, y := b.Const("x", u), b.Const("y", u)
+	fx := b.App("level", term.Int, x)
+	fy := b.App("level", term.Int, y)
+	// x = y, level(x) = 2, level(y) = 0: needs EUF->LIA equality sharing.
+	s.Assert(b.Eq(x, y))
+	s.Assert(b.Eq(fx, b.IntLit(2)))
+	s.Assert(b.Eq(fy, b.IntLit(0)))
+	if s.Check() != Unsat {
+		t.Fatal("congruent terms with different values must be unsat")
+	}
+}
+
+func TestEUFArithCombinationViaInequalities(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("U")
+	x, y := b.Const("x", u), b.Const("y", u)
+	fx := b.App("level", term.Int, x)
+	fy := b.App("level", term.Int, y)
+	// x = y, level(x) >= 2, level(y) < 2: the app terms occur only under
+	// inequalities, exercising app-leaf registration.
+	s.Assert(b.Eq(x, y))
+	s.Assert(b.Ge(fx, b.IntLit(2)))
+	s.Assert(b.Lt(fy, b.IntLit(2)))
+	if s.Check() != Unsat {
+		t.Fatal("unsat expected")
+	}
+}
+
+func TestIteTerm(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("U")
+	x := b.Const("x", u)
+	isAdmin := b.App("isAdmin", term.Bool, x)
+	level := b.Ite(isAdmin, b.IntLit(2), b.IntLit(0))
+	// level = 2 and not isAdmin: unsat.
+	s.Assert(b.Eq(level, b.IntLit(2)))
+	s.Assert(b.Not(isAdmin))
+	if s.Check() != Unsat {
+		t.Fatal("ite contradiction must be unsat")
+	}
+
+	b2, s2 := newSI()
+	x2 := b2.Const("x", u)
+	isAdmin2 := b2.App("isAdmin", term.Bool, x2)
+	level2 := b2.Ite(isAdmin2, b2.IntLit(2), b2.IntLit(0))
+	s2.Assert(b2.Eq(level2, b2.IntLit(2)))
+	if s2.Check() != Sat {
+		t.Fatal("sat expected")
+	}
+	if !s2.Model().EvalBool(isAdmin2) {
+		t.Error("model must set isAdmin true")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("S")
+	a, c, d := b.Const("a", u), b.Const("c", u), b.Const("d", u)
+	s.Assert(b.Distinct(a, c, d))
+	s.Assert(b.Eq(a, c))
+	if s.Check() != Unsat {
+		t.Fatal("distinct violated")
+	}
+}
+
+func TestModelClasses(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("User")
+	x, y, z := b.Const("x", u), b.Const("y", u), b.Const("z", u)
+	s.Assert(b.Eq(x, y))
+	s.Assert(b.Not(b.Eq(y, z)))
+	if s.Check() != Sat {
+		t.Fatal("sat expected")
+	}
+	m := s.Model()
+	if !m.SameClass(x, y) {
+		t.Error("x ~ y")
+	}
+	if m.SameClass(x, z) {
+		t.Error("x !~ z")
+	}
+	if m.ClassID(x) != m.ClassID(y) || m.ClassID(x) == m.ClassID(z) {
+		t.Error("class ids must reflect the partition")
+	}
+}
+
+func TestLinearCombination(t *testing.T) {
+	b, s := newSI()
+	x := b.Const("x", term.Int)
+	y := b.Const("y", term.Int)
+	// x + y = 10, x - y = 4.
+	s.Assert(b.Eq(b.Add(x, y), b.IntLit(10)))
+	s.Assert(b.Eq(b.Sub(x, y), b.IntLit(4)))
+	if s.Check() != Sat {
+		t.Fatal("sat expected")
+	}
+	m := s.Model()
+	if m.NumVal(x).Cmp(big.NewRat(7, 1)) != 0 || m.NumVal(y).Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("x=%v y=%v", m.NumVal(x), m.NumVal(y))
+	}
+}
+
+func TestRealStrictInterval(t *testing.T) {
+	b, s := newSI()
+	x := b.Const("x", term.Real)
+	s.Assert(b.Lt(b.FloatLit(0), x))
+	s.Assert(b.Lt(x, b.FloatLit(1)))
+	if s.Check() != Sat {
+		t.Fatal("0 < x < 1 sat over reals")
+	}
+	v := s.Model().NumVal(x)
+	if v.Sign() <= 0 || v.Cmp(big.NewRat(1, 1)) >= 0 {
+		t.Errorf("x = %v", v)
+	}
+}
+
+func TestPredicateAtoms(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("User")
+	x, y := b.Const("x", u), b.Const("y", u)
+	px := b.App("isAdmin", term.Bool, x)
+	py := b.App("isAdmin", term.Bool, y)
+	// x = y, isAdmin(x), !isAdmin(y): congruence over predicates.
+	s.Assert(b.Eq(x, y))
+	s.Assert(px)
+	s.Assert(b.Not(py))
+	if s.Check() != Unsat {
+		t.Fatal("predicate congruence must be unsat")
+	}
+}
+
+func TestModelEvaluatesFormula(t *testing.T) {
+	b, s := newSI()
+	u := term.Uninterp("User")
+	x, y := b.Const("x", u), b.Const("y", u)
+	lvl := b.App("level", term.Int, x)
+	f := b.And(
+		b.Or(b.Eq(x, y), b.Ge(lvl, b.IntLit(2))),
+		b.Not(b.Eq(x, y)),
+	)
+	s.Assert(f)
+	if s.Check() != Sat {
+		t.Fatal("sat expected")
+	}
+	m := s.Model()
+	if m.SameClass(x, y) {
+		t.Error("x must differ from y")
+	}
+	if m.NumVal(lvl).Cmp(big.NewRat(2, 1)) < 0 {
+		t.Errorf("level = %v, want >= 2", m.NumVal(lvl))
+	}
+}

@@ -1,0 +1,49 @@
+// Package specfmt renders a schema back to Scooter_p source text — the
+// authoritative specification file that Scooter maintains automatically as
+// migrations run (paper §3). The output round-trips through the parser.
+package specfmt
+
+import (
+	"fmt"
+	"strings"
+
+	"scooter/internal/ast"
+	"scooter/internal/schema"
+)
+
+// Format renders the schema as a Scooter_p policy file.
+func Format(s *schema.Schema) string {
+	var sb strings.Builder
+	for _, st := range s.Statics {
+		fmt.Fprintf(&sb, "@static-principal\n%s\n\n", st)
+	}
+	for i, m := range s.Models {
+		if i > 0 || len(s.Statics) > 0 {
+			// Blank line already follows statics; keep models separated.
+		}
+		writeModel(&sb, m)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func writeModel(sb *strings.Builder, m *schema.Model) {
+	if m.Principal {
+		sb.WriteString("@principal\n")
+	}
+	fmt.Fprintf(sb, "%s {\n", m.Name)
+	fmt.Fprintf(sb, "  create: %s,\n", formatPolicy(m.Create))
+	fmt.Fprintf(sb, "  delete: %s", formatPolicy(m.Delete))
+	for _, f := range m.Fields {
+		sb.WriteString(",\n")
+		fmt.Fprintf(sb, "  %s: %s {\n", f.Name, f.Type)
+		fmt.Fprintf(sb, "    read: %s,\n", formatPolicy(f.Read))
+		fmt.Fprintf(sb, "    write: %s\n", formatPolicy(f.Write))
+		sb.WriteString("  }")
+	}
+	sb.WriteString("\n}\n")
+}
+
+func formatPolicy(p ast.Policy) string {
+	return p.String()
+}

@@ -1,0 +1,130 @@
+package specfmt
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+)
+
+// roundTrip formats a schema, re-parses and re-checks it, and formats again.
+func roundTrip(t *testing.T, src string) (*schema.Schema, string, string) {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	text1 := Format(s)
+	f2, err := parser.ParsePolicyFile(text1)
+	if err != nil {
+		t.Fatalf("formatted spec does not parse: %v\n%s", err, text1)
+	}
+	s2 := schema.FromPolicyFile(f2)
+	if err := typer.New(s2).CheckSchema(); err != nil {
+		t.Fatalf("formatted spec does not typecheck: %v\n%s", err, text1)
+	}
+	return s2, text1, Format(s2)
+}
+
+func TestRoundTripKitchenSink(t *testing.T) {
+	src := `
+@static-principal
+Admin
+
+@static-principal
+Login
+
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: u -> [u, Admin] },
+  age: I64 { read: public, write: u -> [u] },
+  height: F64 { read: u -> [u], write: u -> [u] },
+  joined: DateTime { read: public, write: none },
+  isAdmin: Bool { read: public, write: _ -> [Admin] },
+  boss: Option(Id(User)) { read: public, write: _ -> [Admin] },
+  tags: Set(String) { read: public, write: u -> [u] },
+  friends: Set(Id(User)) { read: u -> [u] + u.friends, write: u -> [u] },
+  level: I64 { read: public, write: u -> User::Find({level >= 2}).map(x -> x.id) },
+  secret: String {
+    read: u -> if u.isAdmin then public else ([u] - u.friends),
+    write: u -> match u.boss as b in [b] else [u] }}
+
+Task {
+  create: t -> [t.owner],
+  delete: t -> [t.owner] + User::Find({isAdmin: true}),
+  owner: Id(User) { read: public, write: none },
+  due: DateTime { read: t -> [t.owner], write: t -> [t.owner] }}
+`
+	s2, text1, text2 := roundTrip(t, src)
+	if text1 != text2 {
+		t.Errorf("formatting is not a fixpoint:\n%s\n----\n%s", text1, text2)
+	}
+	if len(s2.Models) != 2 || len(s2.Statics) != 2 {
+		t.Errorf("lost declarations: %d models %d statics", len(s2.Models), len(s2.Statics))
+	}
+	u := s2.Model("User")
+	if u == nil || len(u.Fields) != 10 {
+		t.Fatalf("user fields: %v", u)
+	}
+	if !strings.Contains(text1, "@static-principal") || !strings.Contains(text1, "@principal") {
+		t.Error("annotations missing")
+	}
+}
+
+func TestRoundTripEscapes(t *testing.T) {
+	// String literals with embedded quotes and newlines survive.
+	src := `
+M {
+  create: public,
+  delete: none,
+  x: String { read: public, write: m -> M::Find({x: "a\"b\nc"}).map(y -> y.id) }}
+`
+	f, err := parser.ParsePolicyFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	// This model is not a principal so map to ids fails the checker; use
+	// structure-only round trip via the parser.
+	text := Format(schema.FromPolicyFile(f))
+	if _, err := parser.ParsePolicyFile(text); err != nil {
+		t.Fatalf("escaped literal does not re-parse: %v\n%s", err, text)
+	}
+}
+
+func TestRoundTripNegativeLiterals(t *testing.T) {
+	src := `
+@principal
+M {
+  create: public,
+  delete: none,
+  v: I64 { read: public, write: m -> M::Find({v >= -3}) },
+  w: F64 { read: public, write: m -> M::Find({w < -1.5}) }}
+`
+	_, text1, text2 := roundTrip(t, src)
+	if text1 != text2 {
+		t.Errorf("negative literals break the fixpoint:\n%s", text1)
+	}
+}
+
+func TestDateTimeLiteralRoundTrip(t *testing.T) {
+	src := `
+@principal
+M {
+  create: public,
+  delete: none,
+  at: DateTime { read: public, write: m -> M::Find({at < d2-29-2024-12:00:00}) }}
+`
+	_, text1, _ := roundTrip(t, src)
+	if !strings.Contains(text1, "d2-29-2024-12:00:00") {
+		t.Errorf("datetime literal lost:\n%s", text1)
+	}
+}

@@ -1,0 +1,180 @@
+package store
+
+import "fmt"
+
+// Secondary hash indexes. Policies translate into many equality queries
+// (author lookups, Find({field: v}) probes), which scan without an index.
+// EnsureIndex installs a hash index on one field; Find and Count use it
+// automatically for equality filters, and mutations keep it current.
+//
+// Index keys cover the hashable scalar values (int64, float64, bool,
+// string, ID). Sets, Optionals, and missing fields are tracked under a
+// sentinel bucket so indexed queries never miss documents.
+
+// indexKey converts a value into a map key; ok is false for values the
+// index cannot key (which fall back to the scan path).
+func indexKey(v Value) (any, bool) {
+	switch v.(type) {
+	case int64, float64, bool, string, ID:
+		return v, true
+	}
+	return nil, false
+}
+
+type fieldIndex struct {
+	field string
+	// buckets maps an index key to the ids of documents holding it.
+	buckets map[any]map[ID]struct{}
+	// unkeyed holds ids whose field value is absent or un-keyable.
+	unkeyed map[ID]struct{}
+}
+
+func newFieldIndex(field string) *fieldIndex {
+	return &fieldIndex{
+		field:   field,
+		buckets: map[any]map[ID]struct{}{},
+		unkeyed: map[ID]struct{}{},
+	}
+}
+
+func (ix *fieldIndex) add(id ID, doc Doc) {
+	v, present := doc[ix.field]
+	if !present {
+		ix.unkeyed[id] = struct{}{}
+		return
+	}
+	key, ok := indexKey(v)
+	if !ok {
+		ix.unkeyed[id] = struct{}{}
+		return
+	}
+	b := ix.buckets[key]
+	if b == nil {
+		b = map[ID]struct{}{}
+		ix.buckets[key] = b
+	}
+	b[id] = struct{}{}
+}
+
+func (ix *fieldIndex) remove(id ID, doc Doc) {
+	delete(ix.unkeyed, id)
+	v, present := doc[ix.field]
+	if !present {
+		return
+	}
+	if key, ok := indexKey(v); ok {
+		if b := ix.buckets[key]; b != nil {
+			delete(b, id)
+			if len(b) == 0 {
+				delete(ix.buckets, key)
+			}
+		}
+	}
+}
+
+// candidates returns the ids possibly matching field == v, or ok=false when
+// the index cannot answer (un-keyable probe value).
+func (ix *fieldIndex) candidates(v Value) ([]ID, bool) {
+	key, ok := indexKey(v)
+	if !ok {
+		return nil, false
+	}
+	out := make([]ID, 0, len(ix.buckets[key])+len(ix.unkeyed))
+	for id := range ix.buckets[key] {
+		out = append(out, id)
+	}
+	// Unkeyed documents can never equal a keyable probe value, so they are
+	// excluded: a missing field matches no filter, and set/optional values
+	// do not compare equal to scalars.
+	return out, true
+}
+
+// EnsureIndex installs (or reuses) a hash index on the field and backfills
+// it from existing documents.
+func (c *Collection) EnsureIndex(field string) {
+	if field == "id" {
+		return // the primary map already serves id lookups
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.indexes == nil {
+		c.indexes = map[string]*fieldIndex{}
+	}
+	if _, ok := c.indexes[field]; ok {
+		return
+	}
+	ix := newFieldIndex(field)
+	for id, d := range c.docs {
+		ix.add(id, d)
+	}
+	c.indexes[field] = ix
+}
+
+// Indexes lists the indexed fields.
+func (c *Collection) Indexes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for f := range c.indexes {
+		out = append(out, f)
+	}
+	return out
+}
+
+// indexAdd/indexRemove maintain every index; callers hold the write lock.
+func (c *Collection) indexAdd(id ID, doc Doc) {
+	for _, ix := range c.indexes {
+		ix.add(id, doc)
+	}
+}
+
+func (c *Collection) indexRemove(id ID, doc Doc) {
+	for _, ix := range c.indexes {
+		ix.remove(id, doc)
+	}
+}
+
+// indexProbe finds the most selective equality filter backed by an index
+// and returns the candidate ids; ok=false means no usable index.
+func (c *Collection) indexProbe(filters []Filter) ([]ID, bool) {
+	if len(c.indexes) == 0 {
+		return nil, false
+	}
+	best := -1
+	var bestIDs []ID
+	for _, f := range filters {
+		if f.Op != FilterEq {
+			continue
+		}
+		ix, ok := c.indexes[f.Field]
+		if !ok {
+			continue
+		}
+		ids, ok := ix.candidates(f.Value)
+		if !ok {
+			continue
+		}
+		if best == -1 || len(ids) < best {
+			best = len(ids)
+			bestIDs = ids
+		}
+	}
+	return bestIDs, best >= 0
+}
+
+// checkIndexInvariant validates that every index covers exactly the live
+// documents; exposed for tests.
+func (c *Collection) checkIndexInvariant() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for field, ix := range c.indexes {
+		count := len(ix.unkeyed)
+		for _, b := range ix.buckets {
+			count += len(b)
+		}
+		if count != len(c.docs) {
+			return fmt.Errorf("index %s covers %d docs, collection has %d", field, count, len(c.docs))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot / Restore give the in-memory store durability: the full database
+// serialises to a typed JSON document and loads back losslessly. Plain
+// encoding/json cannot round-trip the value universe (int64 vs float64, ID
+// vs int, Optional), so every value carries a type tag.
+
+// snapshotFile is the on-disk layout.
+type snapshotFile struct {
+	Version     int                       `json:"version"`
+	NextID      int64                     `json:"nextId"`
+	Collections map[string]collectionSnap `json:"collections"`
+}
+
+type collectionSnap struct {
+	Indexes []string           `json:"indexes,omitempty"`
+	Docs    map[string]docSnap `json:"docs"` // key: decimal id
+}
+
+type docSnap map[string]taggedValue
+
+type taggedValue struct {
+	T string          `json:"t"`
+	V json.RawMessage `json:"v"`
+}
+
+func encodeValue(v Value) (taggedValue, error) {
+	mk := func(t string, v any) (taggedValue, error) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return taggedValue{}, err
+		}
+		return taggedValue{T: t, V: raw}, nil
+	}
+	switch x := v.(type) {
+	case nil:
+		return mk("null", nil)
+	case int64:
+		return mk("i", x)
+	case float64:
+		return mk("f", x)
+	case bool:
+		return mk("b", x)
+	case string:
+		return mk("s", x)
+	case ID:
+		return mk("id", int64(x))
+	case []Value:
+		elems := make([]taggedValue, len(x))
+		for i, e := range x {
+			tv, err := encodeValue(e)
+			if err != nil {
+				return taggedValue{}, err
+			}
+			elems[i] = tv
+		}
+		return mk("set", elems)
+	case Optional:
+		if !x.Present {
+			return mk("none", nil)
+		}
+		inner, err := encodeValue(x.Value)
+		if err != nil {
+			return taggedValue{}, err
+		}
+		return mk("some", inner)
+	}
+	return taggedValue{}, fmt.Errorf("store: value %T cannot be serialised", v)
+}
+
+func decodeValue(tv taggedValue) (Value, error) {
+	switch tv.T {
+	case "null":
+		return nil, nil
+	case "i":
+		var n int64
+		err := json.Unmarshal(tv.V, &n)
+		return n, err
+	case "f":
+		var f float64
+		err := json.Unmarshal(tv.V, &f)
+		return f, err
+	case "b":
+		var b bool
+		err := json.Unmarshal(tv.V, &b)
+		return b, err
+	case "s":
+		var s string
+		err := json.Unmarshal(tv.V, &s)
+		return s, err
+	case "id":
+		var n int64
+		err := json.Unmarshal(tv.V, &n)
+		return ID(n), err
+	case "set":
+		var elems []taggedValue
+		if err := json.Unmarshal(tv.V, &elems); err != nil {
+			return nil, err
+		}
+		out := make([]Value, len(elems))
+		for i, e := range elems {
+			v, err := decodeValue(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case "none":
+		return None(), nil
+	case "some":
+		var inner taggedValue
+		if err := json.Unmarshal(tv.V, &inner); err != nil {
+			return nil, err
+		}
+		v, err := decodeValue(inner)
+		if err != nil {
+			return nil, err
+		}
+		return Some(v), nil
+	}
+	return nil, fmt.Errorf("store: unknown value tag %q", tv.T)
+}
+
+// Snapshot writes the whole database as JSON. Collections are written in
+// sorted order so snapshots are deterministic.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.colls))
+	for n := range db.colls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	file := snapshotFile{
+		Version:     1,
+		NextID:      db.nextID.Load(),
+		Collections: map[string]collectionSnap{},
+	}
+	colls := make([]*Collection, len(names))
+	for i, n := range names {
+		colls[i] = db.colls[n]
+	}
+	db.mu.RUnlock()
+
+	for i, c := range colls {
+		c.mu.RLock()
+		snap := collectionSnap{Docs: map[string]docSnap{}}
+		for f := range c.indexes {
+			snap.Indexes = append(snap.Indexes, f)
+		}
+		sort.Strings(snap.Indexes)
+		for id, d := range c.docs {
+			ds := docSnap{}
+			for k, v := range d {
+				if k == "id" {
+					continue // implicit in the key
+				}
+				tv, err := encodeValue(v)
+				if err != nil {
+					c.mu.RUnlock()
+					return fmt.Errorf("collection %s doc %v field %s: %w", names[i], id, k, err)
+				}
+				ds[k] = tv
+			}
+			snap.Docs[fmt.Sprint(int64(id))] = ds
+		}
+		c.mu.RUnlock()
+		file.Collections[names[i]] = snap
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// Restore loads a snapshot into a fresh database.
+func Restore(r io.Reader) (*DB, error) {
+	var file snapshotFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	if file.Version != 1 {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", file.Version)
+	}
+	db := Open()
+	db.nextID.Store(file.NextID)
+	for name, snap := range file.Collections {
+		c := db.Collection(name)
+		for _, field := range snap.Indexes {
+			c.EnsureIndex(field)
+		}
+		for idStr, ds := range snap.Docs {
+			var idNum int64
+			if _, err := fmt.Sscan(idStr, &idNum); err != nil {
+				return nil, fmt.Errorf("store: bad document id %q: %w", idStr, err)
+			}
+			doc := Doc{}
+			for k, tv := range ds {
+				v, err := decodeValue(tv)
+				if err != nil {
+					return nil, fmt.Errorf("store: %s/%s.%s: %w", name, idStr, k, err)
+				}
+				doc[k] = v
+			}
+			if err := c.InsertWithID(ID(idNum), doc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

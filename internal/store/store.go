@@ -1,0 +1,448 @@
+// Package store is an in-memory, concurrency-safe document database — the
+// substrate beneath the Scooter ORM. The paper's implementation uses a
+// MongoDB driver; this store exposes the same primitives the ORM needs
+// (collections of documents, filter queries, field updates, inserts and
+// deletes) so the policy-enforcement code path is exercised identically.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ID is a document identifier, unique per database.
+type ID int64
+
+// Nil is the zero ID.
+const Nil ID = 0
+
+func (id ID) String() string { return fmt.Sprintf("#%d", int64(id)) }
+
+// Value is a document field value: one of int64, float64, bool, string,
+// ID, []Value (sets), Optional, or nil.
+type Value any
+
+// Optional wraps an optional field value: Present false models None.
+type Optional struct {
+	Present bool
+	Value   Value
+}
+
+// Some returns a present Optional.
+func Some(v Value) Optional { return Optional{Present: true, Value: v} }
+
+// None returns an absent Optional.
+func None() Optional { return Optional{} }
+
+// Doc is a single document: field name to value. The "id" field is
+// maintained by the store.
+type Doc map[string]Value
+
+// Clone returns a deep copy of the document.
+func (d Doc) Clone() Doc {
+	out := make(Doc, len(d))
+	for k, v := range d {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+func cloneValue(v Value) Value {
+	switch x := v.(type) {
+	case []Value:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = cloneValue(e)
+		}
+		return out
+	case Optional:
+		return Optional{Present: x.Present, Value: cloneValue(x.Value)}
+	default:
+		return v
+	}
+}
+
+// ID returns the document's id.
+func (d Doc) ID() ID {
+	if id, ok := d["id"].(ID); ok {
+		return id
+	}
+	return Nil
+}
+
+// FilterOp is a query operator.
+type FilterOp int
+
+// Query operators, mirroring Scooter's Find operators.
+const (
+	FilterEq FilterOp = iota
+	FilterLt
+	FilterLe
+	FilterGt
+	FilterGe
+	FilterContains // set field contains value
+)
+
+// Filter is one query criterion.
+type Filter struct {
+	Field string
+	Op    FilterOp
+	Value Value
+}
+
+// Eq builds an equality filter.
+func Eq(field string, v Value) Filter { return Filter{Field: field, Op: FilterEq, Value: v} }
+
+// Collection is a named set of documents.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    map[ID]Doc
+	db      *DB
+	indexes map[string]*fieldIndex
+}
+
+// DB is an in-memory database: named collections plus an id allocator.
+type DB struct {
+	mu     sync.RWMutex
+	colls  map[string]*Collection
+	nextID atomic.Int64
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	db := &DB{colls: map[string]*Collection{}}
+	db.nextID.Store(1)
+	return db
+}
+
+// Collection returns (creating if needed) the named collection.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.colls[name]; ok {
+		return c
+	}
+	c := &Collection{name: name, docs: map[ID]Doc{}, db: db}
+	db.colls[name] = c
+	return c
+}
+
+// DropCollection removes a collection and its documents.
+func (db *DB) DropCollection(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.colls, name)
+}
+
+// CollectionNames lists collections in sorted order.
+func (db *DB) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.colls))
+	for n := range db.colls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewID allocates a fresh document id.
+func (db *DB) NewID() ID { return ID(db.nextID.Add(1)) }
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Insert stores a copy of doc, assigning a fresh id, and returns the id.
+func (c *Collection) Insert(doc Doc) ID {
+	id := c.db.NewID()
+	cp := doc.Clone()
+	cp["id"] = id
+	c.mu.Lock()
+	c.docs[id] = cp
+	c.indexAdd(id, cp)
+	c.mu.Unlock()
+	return id
+}
+
+// InsertWithID stores a copy of doc under an explicit id; it fails if the
+// id is taken.
+func (c *Collection) InsertWithID(id ID, doc Doc) error {
+	cp := doc.Clone()
+	cp["id"] = id
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[id]; exists {
+		return fmt.Errorf("store: id %v already exists in %s", id, c.name)
+	}
+	c.docs[id] = cp
+	c.indexAdd(id, cp)
+	return nil
+}
+
+// Get returns a copy of the document with the given id.
+func (c *Collection) Get(id ID) (Doc, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// Find returns copies of all documents matching every filter, in id order.
+// Equality filters on indexed fields probe the index instead of scanning.
+func (c *Collection) Find(filters ...Filter) []Doc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Doc
+	if ids, ok := c.indexProbe(filters); ok {
+		for _, id := range ids {
+			d := c.docs[id]
+			if d != nil && matchAll(d, filters) {
+				out = append(out, d.Clone())
+			}
+		}
+	} else {
+		for _, d := range c.docs {
+			if matchAll(d, filters) {
+				out = append(out, d.Clone())
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Count returns the number of documents matching every filter.
+func (c *Collection) Count(filters ...Filter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	if ids, ok := c.indexProbe(filters); ok {
+		for _, id := range ids {
+			if d := c.docs[id]; d != nil && matchAll(d, filters) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, d := range c.docs {
+		if matchAll(d, filters) {
+			n++
+		}
+	}
+	return n
+}
+
+// Update overwrites the given fields of the document with id. It fails if
+// the document does not exist.
+func (c *Collection) Update(id ID, fields Doc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("store: no document %v in %s", id, c.name)
+	}
+	c.indexRemove(id, d)
+	for k, v := range fields {
+		if k == "id" {
+			continue // ids are immutable
+		}
+		d[k] = cloneValue(v)
+	}
+	c.indexAdd(id, d)
+	return nil
+}
+
+// UpdateAll applies an updater function to every document matching the
+// filters; the updater returns the fields to overwrite (nil for no change).
+// It returns the number of updated documents. Used by migrations to
+// populate new fields.
+func (c *Collection) UpdateAll(filters []Filter, update func(Doc) Doc) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.docs {
+		if !matchAll(d, filters) {
+			continue
+		}
+		fields := update(d.Clone())
+		if fields == nil {
+			continue
+		}
+		c.indexRemove(d.ID(), d)
+		for k, v := range fields {
+			if k == "id" {
+				continue
+			}
+			d[k] = cloneValue(v)
+		}
+		c.indexAdd(d.ID(), d)
+		n++
+	}
+	return n
+}
+
+// RemoveField deletes a field from every document (schema migration).
+func (c *Collection) RemoveField(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, d := range c.docs {
+		c.indexRemove(id, d)
+		delete(d, field)
+		c.indexAdd(id, d)
+	}
+}
+
+// Delete removes the document with the given id, reporting whether it
+// existed.
+func (c *Collection) Delete(id ID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return false
+	}
+	c.indexRemove(id, d)
+	delete(c.docs, id)
+	return true
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+func matchAll(d Doc, filters []Filter) bool {
+	for _, f := range filters {
+		if !match(d, f) {
+			return false
+		}
+	}
+	return true
+}
+
+func match(d Doc, f Filter) bool {
+	v, ok := d[f.Field]
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case FilterEq:
+		return valueEq(v, f.Value)
+	case FilterContains:
+		set, ok := v.([]Value)
+		if !ok {
+			return false
+		}
+		for _, e := range set {
+			if valueEq(e, f.Value) {
+				return true
+			}
+		}
+		return false
+	default:
+		c, ok := compareValues(v, f.Value)
+		if !ok {
+			return false
+		}
+		switch f.Op {
+		case FilterLt:
+			return c < 0
+		case FilterLe:
+			return c <= 0
+		case FilterGt:
+			return c > 0
+		case FilterGe:
+			return c >= 0
+		}
+	}
+	return false
+}
+
+func valueEq(a, b Value) bool {
+	if oa, ok := a.(Optional); ok {
+		ob, ok := b.(Optional)
+		if !ok {
+			return false
+		}
+		if oa.Present != ob.Present {
+			return false
+		}
+		return !oa.Present || valueEq(oa.Value, ob.Value)
+	}
+	if c, ok := compareValues(a, b); ok {
+		return c == 0
+	}
+	switch x := a.(type) {
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case ID:
+		y, ok := b.(ID)
+		return ok && x == y
+	}
+	return false
+}
+
+// compareValues orders two numeric values; ok is false for non-numerics.
+func compareValues(a, b Value) (int, bool) {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return 0, false
+	}
+	switch {
+	case af < bf:
+		return -1, true
+	case af > bf:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// Match reports whether a single document satisfies the filter; exported
+// for the policy evaluator, which checks principals' own documents against
+// Find criteria without scanning collections.
+func Match(d Doc, f Filter) bool { return match(d, f) }
+
+// MatchAll reports whether the document satisfies every filter.
+func MatchAll(d Doc, filters []Filter) bool { return matchAll(d, filters) }
+
+// Peek calls fn with the live document under the collection lock, avoiding
+// the defensive copy Get makes; fn must not retain or mutate the document.
+// It reports whether the document exists. The policy evaluator uses this on
+// its hot path: every ORM operation evaluates policies that probe the
+// principal's own document against Find criteria.
+func (c *Collection) Peek(id ID, fn func(Doc)) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return false
+	}
+	fn(d)
+	return true
+}

@@ -1,0 +1,72 @@
+package typer
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+)
+
+// blobSchema exercises the §6.1 extension: Blob fields hold data policies
+// can never reference, so the verifier need not reason about their values.
+func blobSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(`
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  avatar: Blob { read: public, write: u -> [u] }}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBlobFieldsUnreferencableInPolicies(t *testing.T) {
+	s := blobSchema(t)
+	bad := []string{
+		`u -> if u.avatar == "x" then public else [u]`,
+		`u -> User::Find({avatar: "x"})`,
+	}
+	for _, src := range bad {
+		err := checkPolicyOn(t, s, "User", src)
+		if err == nil {
+			t.Errorf("policy %q must be rejected", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "Blob") {
+			t.Errorf("policy %q: error should mention Blob, got %v", src, err)
+		}
+	}
+}
+
+func TestBlobInitialisers(t *testing.T) {
+	s := blobSchema(t)
+	// String literals coerce into blobs; blob fields copy.
+	for _, src := range []string{`_ -> ""`, `u -> u.avatar`, `u -> u.name`} {
+		p, err := parser.ParsePolicy(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := New(s).CheckInitFn("User", p.Fn, ast.BlobType); err != nil {
+			t.Errorf("init %q: %v", src, err)
+		}
+	}
+	// Blobs do not coerce back into strings.
+	p, err := parser.ParsePolicy(`u -> u.avatar`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(s).CheckInitFn("User", p.Fn, ast.StringType); err == nil {
+		t.Error("blob must not coerce to String")
+	}
+}

@@ -1,0 +1,209 @@
+package typer
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+)
+
+// testSchema builds the Chitter-like schema used throughout the tests.
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	src := `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u.id] },
+  email: String { read: u -> [u.id], write: u -> [u.id] },
+  isAdmin: Bool { read: public, write: u -> User::Find({isAdmin: true}) },
+  adminLevel: I64 { read: public, write: none },
+  height: F64 { read: public, write: none },
+  joined: DateTime { read: public, write: none },
+  bestFriend: Id(User) { read: public, write: none },
+  followers: Set(Id(User)) { read: public, write: none },
+  nickname: Option(String) { read: public, write: none }}
+
+Peep {
+  create: public,
+  delete: p -> [p.author],
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: p -> [p.author] }}
+`
+	f, err := parser.ParsePolicyFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func checkPolicyOn(t *testing.T, s *schema.Schema, model, src string) error {
+	t.Helper()
+	p, err := parser.ParsePolicy(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return New(s).CheckPolicy(model, p)
+}
+
+func TestValidPolicies(t *testing.T) {
+	s := testSchema(t)
+	good := []string{
+		`public`,
+		`none`,
+		`u -> [u.id]`,
+		`u -> [u]`, // instance coerces to principal
+		`u -> [u.id, u.bestFriend]`,
+		`u -> [u.id] + u.followers`,
+		`u -> User::Find({isAdmin: true})`,
+		`u -> User::Find({isAdmin: true}).map(x -> x.id)`,
+		`u -> User::Find({adminLevel >= 1})`,
+		`u -> [u.id] + User::Find({adminLevel: 2}) - [u.bestFriend]`,
+		`u -> if u.isAdmin then public else [u.id]`,
+		`u -> u.followers.flat_map(f -> User::ById(f).followers)`,
+		`u -> match u.nickname as n in [u.id] else []`,
+		`_ -> [Unauthenticated]`,
+		`u -> User::Find({followers > u.id})`,
+		`u -> User::Find({name: u.name}).map(x -> x)`,
+		`u -> User::Find({joined < now})`,
+		`u -> User::Find({height >= 1.5})`,
+		`u -> User::Find({bestFriend: u})`, // instance coerces to id
+	}
+	for _, src := range good {
+		if err := checkPolicyOn(t, s, "User", src); err != nil {
+			t.Errorf("policy %q should typecheck: %v", src, err)
+		}
+	}
+}
+
+func TestInvalidPolicies(t *testing.T) {
+	s := testSchema(t)
+	bad := []struct {
+		src, wantErr string
+	}{
+		{`u -> u.id`, "Set(Principal)"},                       // not a set
+		{`u -> [u.name]`, "Set(Principal)"},                   // strings aren't principals
+		{`u -> [v.id]`, "undefined variable"},                 // unbound var
+		{`u -> [u.missing]`, "no field"},                      // unknown field
+		{`u -> Widget::Find({x: 1})`, "unknown model"},        // unknown model
+		{`u -> User::Find({adminLevel: "x"})`, "must be I64"}, // clause type
+		{`u -> User::Find({followers: u.id})`, "containment"}, // eq on set field
+		{`u -> if u.name then [u.id] else []`, "Bool"},        // non-bool cond
+		{`u -> if u.isAdmin then [u.id] else 3`, "incompatible"},
+		{`u -> [u.id] + 3`, "undefined for"},
+		{`u -> match u.name as n in [] else []`, "Option"},
+		{`u -> [Peep::Find({body: "x"})]`, "Set(Principal)"}, // set of sets
+		{`u -> u.bestFriend.name`, "non-instance"},           // no auto-deref
+		{`u -> User::Find({adminLevel >= 1.5})`, "matching numeric"},
+	}
+	for _, c := range bad {
+		err := checkPolicyOn(t, s, "User", c.src)
+		if err == nil {
+			t.Errorf("policy %q should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("policy %q: error %q does not mention %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestPeepPoliciesNotPrincipals(t *testing.T) {
+	s := testSchema(t)
+	// Peep is not @principal, so peep instances cannot act as principals.
+	if err := checkPolicyOn(t, s, "Peep", `p -> [p.id]`); err == nil {
+		t.Error("peep ids should not be principals")
+	}
+	if err := checkPolicyOn(t, s, "Peep", `p -> [p.author]`); err != nil {
+		t.Errorf("author ids are user ids, should be principals: %v", err)
+	}
+}
+
+func TestCheckInitFn(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		src   string
+		typ   ast.Type
+		valid bool
+	}{
+		{`u -> u.name`, ast.StringType, true},
+		{`u -> "I'm " + u.name`, ast.StringType, true},
+		{`u -> if u.isAdmin then 2 else 0`, ast.I64Type, true},
+		{`_ -> "constant"`, ast.StringType, true},
+		{`u -> u.followers`, ast.SetType(ast.IdType("User")), true},
+		{`u -> u.name`, ast.I64Type, false},
+		{`u -> u.adminLevel`, ast.StringType, false},
+		{`u -> Some(u.name)`, ast.OptionType(ast.StringType), true},
+		{`_ -> None`, ast.OptionType(ast.StringType), true},
+		{`u -> now`, ast.DateTimeType, true},
+	}
+	for _, c := range cases {
+		p, err := parser.ParsePolicy(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		err = New(s).CheckInitFn("User", p.Fn, c.typ)
+		if c.valid && err != nil {
+			t.Errorf("init %q at %s: %v", c.src, c.typ, err)
+		}
+		if !c.valid && err == nil {
+			t.Errorf("init %q at %s should fail", c.src, c.typ)
+		}
+	}
+}
+
+func TestTypesRecordedOnNodes(t *testing.T) {
+	s := testSchema(t)
+	p, err := parser.ParsePolicy(`u -> User::Find({isAdmin: true}).map(x -> x.id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(s).CheckPolicy("User", p); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Fn.Body.(*ast.Map)
+	if !m.Recv.Type().Equal(ast.SetType(ast.ModelType("User"))) {
+		t.Errorf("Find type: %s", m.Recv.Type())
+	}
+	if !m.Fn.Body.Type().Equal(ast.IdType("User")) {
+		t.Errorf("map body type: %s", m.Fn.Body.Type())
+	}
+}
+
+func TestMatchBinderScope(t *testing.T) {
+	s := testSchema(t)
+	// n is bound only in the some-arm.
+	err := checkPolicyOn(t, s, "User", `u -> match u.nickname as n in (if n == "x" then [u.id] else []) else [n]`)
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("expected binder scope error, got %v", err)
+	}
+}
+
+func TestIdFieldTyping(t *testing.T) {
+	s := testSchema(t)
+	if err := checkPolicyOn(t, s, "User", `u -> User::Find({id: u.id}).map(x -> x.id)`); err != nil {
+		t.Errorf("id in Find clause: %v", err)
+	}
+}
+
+func TestCheckSchemaRejectsUnknownModelInFieldType(t *testing.T) {
+	src := `M { create: public, delete: none, x: Id(Ghost) { read: public, write: none }}`
+	f, err := parser.ParsePolicyFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := New(s).CheckSchema(); err == nil {
+		t.Fatal("expected unknown model error")
+	}
+}

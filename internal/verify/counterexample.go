@@ -1,0 +1,255 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scooter/internal/ast"
+	"scooter/internal/lexer"
+	"scooter/internal/lower"
+	"scooter/internal/schema"
+	"scooter/internal/smt/solver"
+	"scooter/internal/smt/term"
+)
+
+// FieldValue is a rendered field of a counterexample record.
+type FieldValue struct {
+	Name  string
+	Value string
+	// Raw is the machine-readable value: int64, float64, bool, string,
+	// Ref, []Ref, or OptValue. Tests use it to replay counterexamples
+	// against the runtime evaluator.
+	Raw any
+}
+
+// Ref identifies a counterexample instance by model and class number.
+type Ref struct {
+	Model string
+	N     int
+}
+
+// OptValue is the raw form of an Option field value.
+type OptValue struct {
+	Present bool
+	Value   any
+}
+
+// Record is one database row in a counterexample.
+type Record struct {
+	Model  string
+	ID     string
+	Ref    Ref
+	Fields []FieldValue
+}
+
+// Field returns the named field value, or nil.
+func (r Record) Field(name string) *FieldValue {
+	for i := range r.Fields {
+		if r.Fields[i].Name == name {
+			return &r.Fields[i]
+		}
+	}
+	return nil
+}
+
+func (r Record) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s { id: %s", r.Model, r.ID)
+	for _, f := range r.Fields {
+		fmt.Fprintf(&sb, ",\n       %s: %s", f.Name, f.Value)
+	}
+	sb.WriteString(" }")
+	return sb.String()
+}
+
+// Counterexample is a concrete database and principal demonstrating a
+// policy violation, rendered in the paper's format (§2.2).
+type Counterexample struct {
+	// Principal names the offending principal, e.g. "User(0)" or
+	// "Unauthenticated".
+	Principal string
+	// PrincipalRef is the structured principal: Model empty for statics.
+	PrincipalRef Ref
+	// StaticPrincipal is set when the principal is static.
+	StaticPrincipal string
+	// Target is the record the principal can now access.
+	Target Record
+	// Others are the remaining records of the witness database.
+	Others []Record
+}
+
+func (ce *Counterexample) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Principal: %s\n", ce.Principal)
+	sb.WriteString("# CAN NOW ACCESS:\n")
+	fmt.Fprintf(&sb, "%s\n", ce.Target)
+	if len(ce.Others) > 0 {
+		sb.WriteString("# OTHER RECORDS:\n")
+		for _, r := range ce.Others {
+			fmt.Fprintf(&sb, "%s\n", r)
+		}
+	}
+	return sb.String()
+}
+
+// renderCounterexample converts an SMT model of the leakage formula into
+// the concrete database-and-principal form shown to developers.
+func renderCounterexample(s *schema.Schema, q *lower.Query, m *solver.Model) *Counterexample {
+	r := &renderer{schema: s, q: q, m: m, b: q.B}
+	ce := &Counterexample{}
+	if q.Kind.Static != "" {
+		ce.Principal = q.Kind.Static
+		ce.StaticPrincipal = q.Kind.Static
+	} else {
+		ce.Principal = fmt.Sprintf("%s(%d)", q.Kind.Model, m.ClassID(q.PrincipalTerm))
+		ce.PrincipalRef = Ref{Model: q.Kind.Model, N: m.ClassID(q.PrincipalTerm)}
+	}
+	// Group instance terms into distinct congruence classes per model.
+	type inst struct {
+		model string
+		term  term.T
+	}
+	seen := map[string]bool{}
+	var targetRec *Record
+	var others []Record
+	models := make([]string, 0, len(q.Instances))
+	for model := range q.Instances {
+		models = append(models, model)
+	}
+	sort.Strings(models)
+	for _, model := range models {
+		for _, t := range q.Instances[model] {
+			key := fmt.Sprintf("%s/%d", model, m.ClassID(t))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rec := r.renderRecord(model, t)
+			if t == q.InstanceTerm || (m.SameClass(t, q.InstanceTerm) && model == q.InstanceModel) {
+				if targetRec == nil {
+					targetRec = &rec
+					continue
+				}
+			}
+			others = append(others, rec)
+		}
+	}
+	if targetRec != nil {
+		ce.Target = *targetRec
+	}
+	ce.Others = others
+	return ce
+}
+
+type renderer struct {
+	schema *schema.Schema
+	q      *lower.Query
+	m      *solver.Model
+	b      *term.Builder
+}
+
+func (r *renderer) renderRecord(model string, inst term.T) Record {
+	rec := Record{
+		Model: model,
+		ID:    fmt.Sprintf("%s(%d)", model, r.m.ClassID(inst)),
+		Ref:   Ref{Model: model, N: r.m.ClassID(inst)},
+	}
+	md := r.schema.Model(model)
+	if md == nil {
+		return rec
+	}
+	for _, f := range md.Fields {
+		text, raw := r.renderField(model, f, inst)
+		rec.Fields = append(rec.Fields, FieldValue{
+			Name:  f.Name,
+			Value: text,
+			Raw:   raw,
+		})
+	}
+	return rec
+}
+
+func (r *renderer) renderField(model string, f *schema.Field, inst term.T) (string, any) {
+	switch f.Type.Kind {
+	case ast.TSet:
+		return r.renderSetField(model, f, inst)
+	case ast.TOption:
+		isSome := r.b.App(fmt.Sprintf("%s.%s$some", model, f.Name), term.Bool, inst)
+		if !r.m.EvalBool(isSome) {
+			return "None", OptValue{}
+		}
+		sort, err := lower.SortForType(*f.Type.Elem)
+		if err != nil {
+			return "Some(?)", OptValue{Present: true}
+		}
+		val := r.b.App(fmt.Sprintf("%s.%s$val", model, f.Name), sort, inst)
+		text, raw := r.renderScalar(*f.Type.Elem, val)
+		return fmt.Sprintf("Some(%s)", text), OptValue{Present: true, Value: raw}
+	default:
+		sort, err := lower.SortForType(f.Type)
+		if err != nil {
+			return "?", nil
+		}
+		app := r.b.App(fmt.Sprintf("%s.%s", model, f.Name), sort, inst)
+		return r.renderScalar(f.Type, app)
+	}
+}
+
+func (r *renderer) renderSetField(model string, f *schema.Field, inst term.T) (string, any) {
+	elem := *f.Type.Elem
+	var members []string
+	var refs []Ref
+	if elem.Kind == ast.TId || elem.Kind == ast.TModel {
+		seen := map[int]bool{}
+		for _, cand := range r.q.Instances[elem.Model] {
+			id := r.m.ClassID(cand)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			pred := r.b.App(fmt.Sprintf("%s.%s$member", model, f.Name), term.Bool, cand, inst)
+			if r.m.EvalBool(pred) {
+				members = append(members, fmt.Sprintf("%s(%d)", elem.Model, id))
+				refs = append(refs, Ref{Model: elem.Model, N: id})
+			}
+		}
+	}
+	return "[" + strings.Join(members, ", ") + "]", refs
+}
+
+func (r *renderer) renderScalar(t ast.Type, v term.T) (string, any) {
+	switch t.Kind {
+	case ast.TBool:
+		b := r.m.EvalBool(v)
+		return fmt.Sprintf("%t", b), b
+	case ast.TI64:
+		n := r.m.NumVal(v)
+		if n.IsInt() {
+			return n.Num().String(), n.Num().Int64()
+		}
+		return n.RatString(), int64(0)
+	case ast.TDateTime:
+		n := r.m.NumVal(v)
+		if n.IsInt() {
+			return lexer.FormatDateTime(n.Num().Int64()), n.Num().Int64()
+		}
+		return n.RatString(), int64(0)
+	case ast.TF64:
+		f, _ := r.m.NumVal(v).Float64()
+		return fmt.Sprintf("%g", f), f
+	case ast.TString:
+		// Match against interned string literals; otherwise synthesise a
+		// fresh string unique to the congruence class.
+		for lit, cand := range r.q.StringLits {
+			if r.m.SameClass(v, cand) {
+				return fmt.Sprintf("%q", lit), lit
+			}
+		}
+		synth := fmt.Sprintf("str#%d", r.m.ClassID(v))
+		return fmt.Sprintf("%q", synth), synth
+	case ast.TId, ast.TModel:
+		return fmt.Sprintf("%s(%d)", t.Model, r.m.ClassID(v)), Ref{Model: t.Model, N: r.m.ClassID(v)}
+	}
+	return "?", nil
+}

@@ -1,0 +1,257 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/eval"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/store"
+	"scooter/internal/typer"
+)
+
+// The metamorphic properties tying Sidecar to the runtime:
+//
+//  1. Reflexivity: every policy is as strict as itself.
+//  2. Union monotonicity: p is always at least as strict as p + q.
+//  3. Soundness against the evaluator: if Sidecar proves p2 ⊆ p1, then on
+//     every concrete database the runtime evaluator must never admit a
+//     principal under p2 that it rejects under p1.
+//
+// Policies are drawn from a generator covering literals, set fields, Find
+// queries, unions, subtraction, conditionals, and identity maps.
+
+const propSpec = `
+@static-principal
+Unauthenticated
+
+@principal
+User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  isAdmin: Bool { read: public, write: none },
+  adminLevel: I64 { read: public, write: none },
+  bestFriend: Id(User) { read: public, write: u -> [u] },
+  followers: Set(Id(User)) { read: public, write: u -> [u] }}
+`
+
+func propSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(propSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randPolicySrc generates a random well-typed policy source.
+func randPolicySrc(rng *rand.Rand, depth int) string {
+	if depth == 0 {
+		switch rng.Intn(8) {
+		case 0:
+			return `[u]`
+		case 1:
+			return `[u.bestFriend]`
+		case 2:
+			return `[u, u.bestFriend]`
+		case 3:
+			return `u.followers`
+		case 4:
+			return fmt.Sprintf(`User::Find({isAdmin: %t})`, rng.Intn(2) == 0)
+		case 5:
+			ops := []string{":", "<", "<=", ">", ">="}
+			return fmt.Sprintf(`User::Find({adminLevel %s %d})`, ops[rng.Intn(len(ops))], rng.Intn(4)-1)
+		case 6:
+			return `[Unauthenticated]`
+		default:
+			return `User::Find({isAdmin: true}).map(x -> x.id)`
+		}
+	}
+	l := randPolicySrc(rng, depth-1)
+	r := randPolicySrc(rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf(`(%s + %s)`, l, r)
+	case 1:
+		return fmt.Sprintf(`(%s - %s)`, l, r)
+	case 2:
+		return fmt.Sprintf(`(if u.isAdmin then %s else %s)`, l, r)
+	default:
+		return l
+	}
+}
+
+func parsePolicy(t testing.TB, s *schema.Schema, body string) ast.Policy {
+	t.Helper()
+	p, err := parser.ParsePolicy("u -> " + body)
+	if err != nil {
+		t.Fatalf("parse %q: %v", body, err)
+	}
+	if err := typer.New(s).CheckPolicy("User", p); err != nil {
+		t.Fatalf("typecheck %q: %v", body, err)
+	}
+	return p
+}
+
+func TestPropertyReflexivity(t *testing.T) {
+	s := propSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	c := New(s, nil)
+	for i := 0; i < 60; i++ {
+		src := randPolicySrc(rng, 1+rng.Intn(2))
+		p := parsePolicy(t, s, src)
+		res, err := c.CheckStrictness("User", p, p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if res.Verdict != Safe {
+			t.Errorf("policy %q is not as strict as itself: %v\n%v", src, res.Verdict, res.Counterexample)
+		}
+	}
+}
+
+func TestPropertyUnionMonotonic(t *testing.T) {
+	s := propSchema(t)
+	rng := rand.New(rand.NewSource(13))
+	c := New(s, nil)
+	for i := 0; i < 60; i++ {
+		pSrc := randPolicySrc(rng, 1)
+		qSrc := randPolicySrc(rng, 1)
+		p := parsePolicy(t, s, pSrc)
+		union := parsePolicy(t, s, "("+pSrc+" + "+qSrc+")")
+		// new = p, old = p + q: strengthening, always safe.
+		res, err := c.CheckStrictness("User", union, p)
+		if err != nil {
+			t.Fatalf("%s vs %s: %v", pSrc, qSrc, err)
+		}
+		if res.Verdict != Safe {
+			t.Errorf("p ⊆ p + q must hold: p=%q q=%q: %v\n%v", pSrc, qSrc, res.Verdict, res.Counterexample)
+		}
+	}
+}
+
+func TestPropertyExtremes(t *testing.T) {
+	s := propSchema(t)
+	rng := rand.New(rand.NewSource(17))
+	c := New(s, nil)
+	for i := 0; i < 40; i++ {
+		src := randPolicySrc(rng, 1+rng.Intn(2))
+		p := parsePolicy(t, s, src)
+		// none is the strictest policy.
+		res, err := c.CheckStrictness("User", p, ast.NonePolicy(p.Pos))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Safe {
+			t.Errorf("none must be at least as strict as %q", src)
+		}
+		// public is the weakest policy.
+		res, err = c.CheckStrictness("User", ast.PublicPolicy(p.Pos), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Safe {
+			t.Errorf("%q must be at least as strict as public", src)
+		}
+	}
+}
+
+// TestPropertySoundAgainstRuntime: a Safe verdict implies the runtime
+// evaluator admits no extra principal on randomly generated databases.
+func TestPropertySoundAgainstRuntime(t *testing.T) {
+	s := propSchema(t)
+	rng := rand.New(rand.NewSource(23))
+	c := New(s, nil)
+	checked, safeCount := 0, 0
+	for i := 0; i < 80; i++ {
+		oldSrc := randPolicySrc(rng, 1+rng.Intn(2))
+		newSrc := randPolicySrc(rng, 1+rng.Intn(2))
+		if i%2 == 0 {
+			// Subset by construction: old minus something is within old,
+			// so these cases all exercise the Safe/runtime-implication
+			// path rather than early Violations.
+			newSrc = "(" + oldSrc + " - " + newSrc + ")"
+		}
+		pOld := parsePolicy(t, s, oldSrc)
+		pNew := parsePolicy(t, s, newSrc)
+		res, err := c.CheckStrictness("User", pOld, pNew)
+		if err != nil {
+			t.Fatalf("%q -> %q: %v", oldSrc, newSrc, err)
+		}
+		checked++
+		if res.Verdict != Safe || res.Incomplete {
+			continue
+		}
+		safeCount++
+		// Try several random databases; the implication must hold on all.
+		for trial := 0; trial < 4; trial++ {
+			db, users := randDB(rng)
+			ev := eval.New(s, db)
+			principals := []eval.Principal{eval.StaticPrincipal("Unauthenticated")}
+			for _, id := range users {
+				principals = append(principals, eval.InstancePrincipal("User", id))
+			}
+			for _, inst := range users {
+				doc, _ := db.Collection("User").Get(inst)
+				for _, p := range principals {
+					inNew, err := ev.Allowed(p, "User", doc, pNew)
+					if err != nil {
+						t.Fatalf("eval new %q: %v", newSrc, err)
+					}
+					if !inNew {
+						continue
+					}
+					inOld, err := ev.Allowed(p, "User", doc, pOld)
+					if err != nil {
+						t.Fatalf("eval old %q: %v", oldSrc, err)
+					}
+					if !inOld {
+						t.Fatalf("unsound Safe verdict: old=%q new=%q principal=%v instance=%v\ndoc=%v",
+							oldSrc, newSrc, p, inst, doc)
+					}
+				}
+			}
+		}
+	}
+	if safeCount == 0 {
+		t.Fatal("degenerate: no Safe verdicts generated")
+	}
+	t.Logf("checked=%d safe=%d", checked, safeCount)
+}
+
+// randDB builds a random database of three users.
+func randDB(rng *rand.Rand) (*store.DB, []store.ID) {
+	db := store.Open()
+	users := db.Collection("User")
+	names := []string{"a", "b", "c"}
+	ids := make([]store.ID, 3)
+	for i := range ids {
+		ids[i] = users.Insert(store.Doc{
+			"name":       names[rng.Intn(len(names))],
+			"isAdmin":    rng.Intn(2) == 0,
+			"adminLevel": int64(rng.Intn(4) - 1),
+			"followers":  []store.Value{},
+		})
+	}
+	for _, id := range ids {
+		var followers []store.Value
+		for _, f := range ids {
+			if rng.Intn(3) == 0 {
+				followers = append(followers, f)
+			}
+		}
+		users.Update(id, store.Doc{
+			"bestFriend": ids[rng.Intn(3)],
+			"followers":  followers,
+		})
+	}
+	return db, ids
+}

@@ -1,0 +1,166 @@
+package verify
+
+import (
+	"fmt"
+
+	"scooter/internal/ast"
+	"scooter/internal/eval"
+	"scooter/internal/schema"
+	"scooter/internal/store"
+)
+
+// Replay materialises a counterexample as a concrete database and checks it
+// against the runtime evaluator: the witness principal must be admitted by
+// pNew and rejected by pOld on the target instance. It returns an error if
+// the counterexample does not reproduce — which would mean the verifier's
+// SMT semantics and the runtime's evaluation semantics disagree.
+//
+// Replay is exact for counterexamples whose policies avoid `now` (the
+// solver treats now as one unconstrained moment; the runtime uses the
+// clock).
+func Replay(s *schema.Schema, ce *Counterexample, model string, pOld, pNew ast.Policy) error {
+	db := store.Open()
+	ids := map[Ref]store.ID{}
+
+	records := append([]Record{ce.Target}, ce.Others...)
+	// First pass: allocate ids.
+	for _, rec := range records {
+		ids[rec.Ref] = db.NewID()
+	}
+	// The witness principal may not have its own record (e.g. it only
+	// occurs as the candidate); allocate it.
+	if ce.StaticPrincipal == "" {
+		if _, ok := ids[ce.PrincipalRef]; !ok {
+			ids[ce.PrincipalRef] = db.NewID()
+			records = append(records, Record{Model: ce.PrincipalRef.Model, Ref: ce.PrincipalRef})
+		}
+	}
+	// Rendered fields may reference instances the query never gave a
+	// record of their own (e.g. an unconstrained bestFriend); allocate
+	// skeleton records with default field values so dereferences resolve.
+	for _, rec := range records {
+		for _, fv := range rec.Fields {
+			for _, ref := range refsIn(fv.Raw) {
+				if _, ok := ids[ref]; !ok {
+					ids[ref] = db.NewID()
+					records = append(records, Record{Model: ref.Model, Ref: ref})
+				}
+			}
+		}
+	}
+	// Second pass: materialise documents.
+	for _, rec := range records {
+		m := s.Model(rec.Model)
+		if m == nil {
+			return fmt.Errorf("replay: unknown model %s", rec.Model)
+		}
+		doc := store.Doc{}
+		for _, f := range m.Fields {
+			fv := rec.Field(f.Name)
+			var raw any
+			if fv != nil {
+				raw = fv.Raw
+			}
+			v, err := rawToStore(f.Type, raw, ids)
+			if err != nil {
+				return fmt.Errorf("replay: %s.%s: %w", rec.Model, f.Name, err)
+			}
+			doc[f.Name] = v
+		}
+		if err := db.Collection(rec.Model).InsertWithID(ids[rec.Ref], doc); err != nil {
+			return err
+		}
+	}
+
+	var principal eval.Principal
+	if ce.StaticPrincipal != "" {
+		principal = eval.StaticPrincipal(ce.StaticPrincipal)
+	} else {
+		principal = eval.InstancePrincipal(ce.PrincipalRef.Model, ids[ce.PrincipalRef])
+	}
+	target, ok := db.Collection(model).Get(ids[ce.Target.Ref])
+	if !ok {
+		return fmt.Errorf("replay: target record missing")
+	}
+	ev := eval.New(s, db)
+	inNew, err := ev.Allowed(principal, model, target, pNew)
+	if err != nil {
+		return fmt.Errorf("replay: evaluating new policy: %w", err)
+	}
+	if !inNew {
+		return fmt.Errorf("replay: witness principal %v is not admitted by the new policy", principal)
+	}
+	inOld, err := ev.Allowed(principal, model, target, pOld)
+	if err != nil {
+		return fmt.Errorf("replay: evaluating old policy: %w", err)
+	}
+	if inOld {
+		return fmt.Errorf("replay: witness principal %v was already admitted by the old policy", principal)
+	}
+	return nil
+}
+
+// refsIn extracts instance references from a raw field value.
+func refsIn(raw any) []Ref {
+	switch v := raw.(type) {
+	case Ref:
+		return []Ref{v}
+	case []Ref:
+		return v
+	case OptValue:
+		if v.Present {
+			return refsIn(v.Value)
+		}
+	}
+	return nil
+}
+
+// rawToStore converts a counterexample raw value to a store value,
+// resolving instance references. Missing values get type defaults.
+func rawToStore(t ast.Type, raw any, ids map[Ref]store.ID) (store.Value, error) {
+	switch t.Kind {
+	case ast.TSet:
+		refs, _ := raw.([]Ref)
+		out := make([]store.Value, 0, len(refs))
+		for _, r := range refs {
+			id, ok := ids[r]
+			if !ok {
+				continue // member outside the witness database
+			}
+			out = append(out, id)
+		}
+		return out, nil
+	case ast.TOption:
+		opt, ok := raw.(OptValue)
+		if !ok || !opt.Present {
+			return store.None(), nil
+		}
+		inner, err := rawToStore(*t.Elem, opt.Value, ids)
+		if err != nil {
+			return nil, err
+		}
+		return store.Some(inner), nil
+	case ast.TId:
+		ref, ok := raw.(Ref)
+		if !ok {
+			return store.Nil, nil
+		}
+		if id, ok := ids[ref]; ok {
+			return id, nil
+		}
+		return store.Nil, nil
+	case ast.TString:
+		s, _ := raw.(string)
+		return s, nil
+	case ast.TI64, ast.TDateTime:
+		n, _ := raw.(int64)
+		return n, nil
+	case ast.TF64:
+		f, _ := raw.(float64)
+		return f, nil
+	case ast.TBool:
+		b, _ := raw.(bool)
+		return b, nil
+	}
+	return nil, fmt.Errorf("no store representation for %s", t)
+}

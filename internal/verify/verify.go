@@ -1,0 +1,202 @@
+// Package verify implements Sidecar's core checks: the policy strictness
+// property (paper §4, Eq. 1) decided by refuting the leakage formula
+// (Eq. 2) with the SMT solver, and counterexample construction when a
+// migration is unsafe.
+package verify
+
+import (
+	"fmt"
+	"sync"
+
+	"scooter/internal/ast"
+	"scooter/internal/equiv"
+	"scooter/internal/lower"
+	"scooter/internal/schema"
+	"scooter/internal/smt/solver"
+)
+
+// Verdict classifies a strictness check.
+type Verdict int
+
+// Verdicts. Inconclusive arises when the solver exhausts its round budget
+// (possible for policies using the undecidable features of §6.1).
+const (
+	Safe Verdict = iota
+	Violation
+	Inconclusive
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Violation:
+		return "violation"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Result is the outcome of a strictness check.
+type Result struct {
+	Verdict Verdict
+	// Kind is the principal case that violated strictness.
+	Kind lower.PrincipalKind
+	// Counterexample is set on Violation.
+	Counterexample *Counterexample
+	// Incomplete notes that bounded instantiation was used, so a
+	// counterexample may be spurious and a Safe verdict holds only up to
+	// the instantiation bound.
+	Incomplete bool
+}
+
+// Checker runs strictness checks against a schema.
+type Checker struct {
+	Schema *schema.Schema
+	// Defs carries the prior definitions of the current migration script.
+	Defs *equiv.Defs
+	// SolverRounds caps the lazy SMT loop per query.
+	SolverRounds int
+	// DisableCoreMinimization passes through to the SMT solver; exposed
+	// for the ablation benchmarks.
+	DisableCoreMinimization bool
+}
+
+// New returns a checker. defs may be nil when no prior definitions apply.
+func New(s *schema.Schema, defs *equiv.Defs) *Checker {
+	if defs == nil {
+		defs = equiv.New()
+	}
+	return &Checker{Schema: s, Defs: defs, SolverRounds: 20000}
+}
+
+// CheckStrictness proves that pNew is at least as strict as pOld for an
+// operation on the given model: ∀db,i. pNew(db,i) ⊆ pOld(db,i). A Violation
+// result carries a counterexample principal and database.
+func (c *Checker) CheckStrictness(model string, pOld, pNew ast.Policy) (*Result, error) {
+	return c.checkFlowStrictness(model, pNew, model, pOld)
+}
+
+// CheckEquivalence proves two policies equal (each at least as strict as
+// the other); used by tests and by the spec updater to detect no-ops.
+func (c *Checker) CheckEquivalence(model string, p1, p2 ast.Policy) (bool, error) {
+	r1, err := c.CheckStrictness(model, p1, p2)
+	if err != nil {
+		return false, err
+	}
+	if r1.Verdict != Safe {
+		return false, nil
+	}
+	r2, err := c.CheckStrictness(model, p2, p1)
+	if err != nil {
+		return false, err
+	}
+	return r2.Verdict == Safe, nil
+}
+
+// checkFlowStrictness runs the leakage check between policies on possibly
+// different models. One query is built per principal kind; the queries are
+// independent (each owns its term builder and solver), so they run
+// concurrently. Results are reported in kind order for determinism.
+func (c *Checker) checkFlowStrictness(dstModel string, dstRead ast.Policy, srcModel string, srcRead ast.Policy) (*Result, error) {
+	kinds := lower.PrincipalKinds(c.Schema)
+	type kindResult struct {
+		res *Result
+		err error
+	}
+	results := make([]kindResult, len(kinds))
+	var wg sync.WaitGroup
+	for i, kind := range kinds {
+		wg.Add(1)
+		go func(i int, kind lower.PrincipalKind) {
+			defer wg.Done()
+			results[i] = c.checkKind(dstModel, dstRead, srcModel, srcRead, kind)
+		}(i, kind)
+	}
+	wg.Wait()
+
+	incomplete := false
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.res.Verdict != Safe {
+			return r.res, nil
+		}
+		incomplete = incomplete || r.res.Incomplete
+	}
+	return &Result{Verdict: Safe, Incomplete: incomplete}, nil
+}
+
+// checkKind builds and solves the leakage query for one principal kind.
+func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string, srcRead ast.Policy, kind lower.PrincipalKind) (out struct {
+	res *Result
+	err error
+}) {
+	ctx := lower.NewContext(c.Schema, c.Defs)
+	q, err := lower.BuildCrossLeakageQuery(ctx, dstModel, dstRead, srcModel, srcRead, kind)
+	if err != nil {
+		out.err = fmt.Errorf("lowering flow %s -> %s for principal kind %s: %w", srcModel, dstModel, kind, err)
+		return
+	}
+	s := solver.New(q.B)
+	s.MaxRounds = c.SolverRounds
+	s.DisableCoreMinimization = c.DisableCoreMinimization
+	s.Assert(q.Formula)
+	switch s.Check() {
+	case solver.Unsat:
+		out.res = &Result{Verdict: Safe, Incomplete: q.Incomplete}
+	case solver.Unknown:
+		out.res = &Result{Verdict: Inconclusive, Kind: kind, Incomplete: true}
+	case solver.Sat:
+		ce := renderCounterexample(c.Schema, q, s.Model())
+		out.res = &Result{Verdict: Violation, Kind: kind, Counterexample: ce, Incomplete: q.Incomplete}
+	}
+	return
+}
+
+// FieldFlow describes one dataflow edge discovered in an AddField
+// initialiser: data from Src flows into the new field Dst.
+type FieldFlow struct {
+	SrcModel, SrcField string
+	DstModel, DstField string
+}
+
+func (f FieldFlow) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", f.SrcModel, f.SrcField, f.DstModel, f.DstField)
+}
+
+// LeakResult reports a data leak found during AddField verification.
+type LeakResult struct {
+	Flow   FieldFlow
+	Result *Result
+}
+
+// CheckAddFieldLeaks verifies the dataflow safety of an AddField command
+// (paper §4, "Detecting Data Leaks"): for every field f that flows into the
+// new field, the new field's read policy must be at least as strict as f's.
+func (c *Checker) CheckAddFieldLeaks(model string, field *schema.Field, init *ast.FuncLit, flows []FieldFlow) (*LeakResult, error) {
+	for _, flow := range flows {
+		srcModel := c.Schema.Model(flow.SrcModel)
+		if srcModel == nil {
+			return nil, fmt.Errorf("dataflow source model %s not found", flow.SrcModel)
+		}
+		src := srcModel.Field(flow.SrcField)
+		if src == nil {
+			// The id field is public by construction; no check needed.
+			continue
+		}
+		// The destination's readers must be a subset of the source's
+		// readers. For same-model flows (the common case) both policies
+		// see the same instance; cross-model flows (through ById or Find)
+		// are checked conservatively with independent instances.
+		res, err := c.checkFlowStrictness(model, field.Read, flow.SrcModel, src.Read)
+		if err != nil {
+			return nil, err
+		}
+		if res.Verdict != Safe {
+			return &LeakResult{Flow: flow, Result: res}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,236 @@
+package verify
+
+import (
+	"testing"
+)
+
+// TestByIdChainPolicies covers policies that dereference ids across models
+// (the Visit Days meeting pattern).
+func TestByIdChainPolicies(t *testing.T) {
+	s := loadSchema(t, `
+@principal
+User {
+  create: public,
+  delete: none,
+  admin: Bool { read: public, write: none }}
+
+Student {
+  create: public,
+  delete: none,
+  account: Id(User) { read: public, write: none }}
+
+Meeting {
+  create: public,
+  delete: none,
+  student: Id(Student) { read: public, write: none },
+  start: DateTime { read: public, write: none }}
+`)
+	// Identical chains are equivalent.
+	res := check(t, s, "Meeting",
+		`m -> [Student::ById(m.student).account]`,
+		`m -> [Student::ById(m.student).account]`)
+	if res.Verdict != Safe {
+		t.Errorf("identical chain policies: %v", res.Verdict)
+	}
+	// Chain + admins is weaker than chain alone.
+	res = check(t, s, "Meeting",
+		`m -> [Student::ById(m.student).account]`,
+		`m -> [Student::ById(m.student).account] + User::Find({admin: true})`)
+	if res.Verdict != Violation {
+		t.Errorf("adding admins is a weakening: %v", res.Verdict)
+	}
+	// The reverse is a strengthening.
+	res = check(t, s, "Meeting",
+		`m -> [Student::ById(m.student).account] + User::Find({admin: true})`,
+		`m -> [Student::ById(m.student).account]`)
+	if res.Verdict != Safe {
+		t.Errorf("dropping admins is a strengthening: %v", res.Verdict)
+	}
+}
+
+// TestOptionPolicies covers match-based policies over Option fields.
+func TestOptionPolicies(t *testing.T) {
+	s := loadSchema(t, `
+@principal
+User {
+  create: public,
+  delete: none,
+  manager: Option(Id(User)) { read: public, write: none }}
+`)
+	// Same match policy: equivalent.
+	res := check(t, s, "User",
+		`u -> match u.manager as m in [m] else [u]`,
+		`u -> match u.manager as m in [m] else [u]`)
+	if res.Verdict != Safe {
+		t.Errorf("identical match policies: %v", res.Verdict)
+	}
+	// Adding the user themself on the Some branch is a weakening.
+	res = check(t, s, "User",
+		`u -> match u.manager as m in [m] else [u]`,
+		`u -> match u.manager as m in [m, u] else [u]`)
+	if res.Verdict != Violation {
+		t.Errorf("expected violation: %v", res.Verdict)
+	}
+	// match ... else [] is stricter than always-[u] on the None side.
+	res = check(t, s, "User",
+		`u -> match u.manager as m in [m] else [u]`,
+		`u -> match u.manager as m in [m] else []`)
+	if res.Verdict != Safe {
+		t.Errorf("stripping the None arm strengthens: %v", res.Verdict)
+	}
+}
+
+// TestIncompleteFragment: a non-identity map on the negated (old-policy)
+// side requires universal reasoning; Sidecar falls back to bounded
+// instantiation and flags the result (paper §6.1: features that can defeat
+// the solver).
+func TestIncompleteFragment(t *testing.T) {
+	s := loadSchema(t, `
+@principal
+User {
+  create: public,
+  delete: none,
+  sponsor: Id(User) { read: public, write: none },
+  vip: Bool { read: public, write: none }}
+`)
+	pOld := policyOn(t, s, "User", `u -> User::Find({vip: true}).map(x -> x.sponsor)`)
+	pNew := policyOn(t, s, "User", `u -> [u]`)
+	c := New(s, nil)
+	res, err := c.CheckStrictness("User", pOld, pNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incomplete {
+		t.Errorf("non-identity map under negation must mark the result incomplete; got %+v", res)
+	}
+	// The positive side alone (new policy with the map) stays complete.
+	res, err = c.CheckStrictness("User", policyOn(t, s, "User", `public`), pOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Safe {
+		t.Errorf("anything is at least as strict as public: %v", res.Verdict)
+	}
+}
+
+// TestFlatMapPolicies covers transitive set-field traversals.
+func TestFlatMapPolicies(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	// friends-of-friends is weaker than... itself (reflexivity with
+	// skolem/bounded paths exercised on both sides).
+	res := check(t, s, "User",
+		`u -> u.followers.flat_map(f -> User::ById(f).followers)`,
+		`u -> u.followers.flat_map(f -> User::ById(f).followers)`)
+	if res.Verdict == Violation && !res.Incomplete {
+		t.Errorf("reflexive flat_map flagged as a definite violation: %+v", res)
+	}
+}
+
+// TestCreateDeletePolicyUpdates exercises model-level operations through
+// the checker.
+func TestCreateDeletePolicyUpdates(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	res := check(t, s, "User", `_ -> [Unauthenticated]`, `none`)
+	if res.Verdict != Safe {
+		t.Errorf("none strengthens create: %v", res.Verdict)
+	}
+	res = check(t, s, "User", `none`, `_ -> [Unauthenticated]`)
+	if res.Verdict != Violation {
+		t.Errorf("expected violation: %v", res.Verdict)
+	}
+	if res.Counterexample.Principal != "Unauthenticated" {
+		t.Errorf("witness should be Unauthenticated: %s", res.Counterexample.Principal)
+	}
+}
+
+// TestStringLiteralPolicies: distinct literals are provably unequal; the
+// same literal is equal.
+func TestStringLiteralPolicies(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	res := check(t, s, "User",
+		`u -> User::Find({name: "alice"})`,
+		`u -> User::Find({name: "alice"})`)
+	if res.Verdict != Safe {
+		t.Errorf("same literal: %v", res.Verdict)
+	}
+	res = check(t, s, "User",
+		`u -> User::Find({name: "alice"})`,
+		`u -> User::Find({name: "bob"})`)
+	if res.Verdict != Violation {
+		t.Errorf("different literals must differ: %v", res.Verdict)
+	}
+}
+
+// TestSelfReferentialInstance: u may equal the instance i; policies like
+// "everyone but the instance itself" behave accordingly.
+func TestSelfReferentialInstance(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	// public - [u] (everyone but the profile owner) vs [u]: neither
+	// contains the other.
+	res := check(t, s, "User", `u -> public - [u]`, `u -> [u]`)
+	if res.Verdict != Violation {
+		t.Errorf("[u] is not inside public-[u]: %v", res.Verdict)
+	}
+	res = check(t, s, "User", `u -> public`, `u -> public - [u]`)
+	if res.Verdict != Safe {
+		t.Errorf("subtraction strengthens public: %v", res.Verdict)
+	}
+}
+
+// TestInconclusiveOnRoundCap: with a tiny solver budget the checker reports
+// Inconclusive instead of guessing, matching the paper's position that
+// timeouts surface to the developer (§6.1).
+func TestInconclusiveOnRoundCap(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	c := New(s, nil)
+	c.SolverRounds = 1
+	// A query that needs several theory-refinement rounds.
+	res, err := c.CheckStrictness("User",
+		policyOn(t, s, "User", `u -> User::Find({adminLevel >= 1}) + u.followers`),
+		policyOn(t, s, "User", `u -> User::Find({adminLevel >= 2, isAdmin: true})`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == Safe {
+		// With one round the solver may still finish trivially; ensure the
+		// budget actually matters by asserting a full-budget run agrees.
+		c2 := New(s, nil)
+		full, err := c2.CheckStrictness("User",
+			policyOn(t, s, "User", `u -> User::Find({adminLevel >= 1}) + u.followers`),
+			policyOn(t, s, "User", `u -> User::Find({adminLevel >= 2, isAdmin: true})`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Verdict != Safe {
+			t.Fatalf("budgeted run said Safe but full run says %v", full.Verdict)
+		}
+		t.Skip("query solved within one round on this schema")
+	}
+	if res.Verdict != Inconclusive {
+		t.Fatalf("expected Inconclusive under a 1-round budget, got %v", res.Verdict)
+	}
+}
+
+// TestDateTimeArithmetic: DateTime + I64 offsets verify correctly.
+func TestDateTimeArithmetic(t *testing.T) {
+	s := loadSchema(t, `
+@principal
+User {
+  create: public,
+  delete: none,
+  joined: DateTime { read: public, write: none }}
+`)
+	// joined < now - 100 (long-time members) is stricter than joined < now.
+	res := check(t, s, "User",
+		`u -> User::Find({joined < now})`,
+		`u -> User::Find({joined < now - 100})`)
+	if res.Verdict != Safe {
+		t.Errorf("earlier cutoff is stricter: %v", res.Verdict)
+	}
+	res = check(t, s, "User",
+		`u -> User::Find({joined < now - 100})`,
+		`u -> User::Find({joined < now + 100})`)
+	if res.Verdict != Violation {
+		t.Errorf("later cutoff is weaker: %v", res.Verdict)
+	}
+}

@@ -1,0 +1,340 @@
+// Package scooter is the public API of the Scooter & Sidecar reproduction:
+// a domain-specific language for declaring data models and security
+// policies, an SMT-backed verifier (Sidecar) that proves migrations safe
+// before they run, and a policy-enforcing ORM over a document store.
+//
+// The core workflow mirrors the paper (PLDI 2021):
+//
+//	w := scooter.NewWorkspace()                  // empty spec + database
+//	err := w.Migrate(`CreateModel(@principal User { ... });`)
+//	...
+//	alice := w.AsPrinc(scooter.Instance("User", aliceID))
+//	obj, err := alice.FindByID("User", otherID)  // unreadable fields stripped
+//
+// Migrations that weaken a policy or leak data between fields fail with an
+// *UnsafeError carrying a counterexample database in the paper's format.
+package scooter
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"scooter/internal/ast"
+	"scooter/internal/eval"
+	"scooter/internal/gen"
+	"scooter/internal/migrate"
+	"scooter/internal/orm"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/specfmt"
+	"scooter/internal/store"
+	"scooter/internal/typer"
+	"scooter/internal/verify"
+)
+
+// Re-exported value and handle types. The aliases make the internal
+// packages' types part of the public API without duplicating them.
+type (
+	// ID identifies a stored instance.
+	ID = store.ID
+	// Doc is a raw document (field name to value).
+	Doc = store.Doc
+	// Value is a document field value.
+	Value = store.Value
+	// Optional is the stored representation of Option fields.
+	Optional = store.Optional
+	// Filter is a query criterion for Find.
+	Filter = store.Filter
+	// Principal identifies who performs an operation.
+	Principal = eval.Principal
+	// Princ performs policy-checked operations for one principal.
+	Princ = orm.Princ
+	// Object is a partial instance with unreadable fields stripped.
+	Object = orm.Object
+	// PolicyError reports an operation rejected by a policy.
+	PolicyError = orm.PolicyError
+	// UnsafeError reports a migration command that failed verification.
+	UnsafeError = migrate.UnsafeError
+	// Counterexample is a witness database demonstrating a violation.
+	Counterexample = verify.Counterexample
+	// Plan is a verified migration ready to execute.
+	Plan = migrate.Plan
+)
+
+// Nil is the zero ID.
+const Nil = store.Nil
+
+// Static returns a static principal (e.g. Unauthenticated).
+func Static(name string) Principal { return eval.StaticPrincipal(name) }
+
+// Instance returns a dynamic principal: an instance of a @principal model.
+func Instance(model string, id ID) Principal { return eval.InstancePrincipal(model, id) }
+
+// Filter constructors, mirroring Scooter's Find operators.
+var (
+	// Eq builds an equality filter.
+	Eq = store.Eq
+)
+
+// Lt builds a less-than filter.
+func Lt(field string, v Value) Filter { return Filter{Field: field, Op: store.FilterLt, Value: v} }
+
+// Le builds a less-or-equal filter.
+func Le(field string, v Value) Filter { return Filter{Field: field, Op: store.FilterLe, Value: v} }
+
+// Gt builds a greater-than filter.
+func Gt(field string, v Value) Filter { return Filter{Field: field, Op: store.FilterGt, Value: v} }
+
+// Ge builds a greater-or-equal filter.
+func Ge(field string, v Value) Filter { return Filter{Field: field, Op: store.FilterGe, Value: v} }
+
+// Contains builds a set-containment filter.
+func Contains(field string, v Value) Filter {
+	return Filter{Field: field, Op: store.FilterContains, Value: v}
+}
+
+// Some wraps a present Optional value.
+func Some(v Value) Optional { return store.Some(v) }
+
+// None returns an absent Optional.
+func None() Optional { return store.None() }
+
+// Options configures migration verification.
+type Options = migrate.Options
+
+// DefaultOptions returns the standard configuration (equivalence tracking
+// on, verification on).
+func DefaultOptions() Options { return migrate.DefaultOptions() }
+
+// Workspace ties together the authoritative specification, the database,
+// and the policy-enforcing connection. It is the programmatic equivalent of
+// a Scooter project directory.
+type Workspace struct {
+	schema *schema.Schema
+	db     *store.DB
+	conn   *orm.Conn
+}
+
+// NewWorkspace returns a workspace with an empty specification and a fresh
+// in-memory database.
+func NewWorkspace() *Workspace {
+	s := schema.New()
+	db := store.Open()
+	return &Workspace{schema: s, db: db, conn: orm.Open(s, db)}
+}
+
+// LoadSpec returns a workspace whose specification is parsed from Scooter_p
+// source — e.g. a previously saved SpecText.
+func LoadSpec(src string) (*Workspace, error) {
+	f, err := parser.ParsePolicyFile(src)
+	if err != nil {
+		return nil, err
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		return nil, err
+	}
+	db := store.Open()
+	return &Workspace{schema: s, db: db, conn: orm.Open(s, db)}, nil
+}
+
+// SpecText renders the current authoritative specification as Scooter_p
+// source. Scooter maintains this file automatically; users never edit it.
+func (w *Workspace) SpecText() string { return specfmt.Format(w.schema) }
+
+// Migrate verifies a Scooter_m script against the current specification
+// and, when safe, executes it against the database and updates the
+// specification. Unsafe migrations return an *UnsafeError with a
+// counterexample; nothing executes.
+func (w *Workspace) Migrate(src string) error {
+	return w.MigrateOpts(src, migrate.DefaultOptions())
+}
+
+// MigrateOpts is Migrate with explicit options.
+func (w *Workspace) MigrateOpts(src string, opts Options) error {
+	script, err := parser.ParseMigration(src)
+	if err != nil {
+		return err
+	}
+	after, err := migrate.VerifyAndExecute(w.schema, script, w.db, opts)
+	if err != nil {
+		return err
+	}
+	w.schema = after
+	w.conn.SetSchema(after)
+	return nil
+}
+
+// Verify checks a migration script without executing it, returning the
+// plan (with per-command reports) or the verification failure.
+func (w *Workspace) Verify(src string) (*Plan, error) {
+	script, err := parser.ParseMigration(src)
+	if err != nil {
+		return nil, err
+	}
+	return migrate.Verify(w.schema, script, migrate.DefaultOptions())
+}
+
+// AsPrinc returns a handle performing operations on behalf of p.
+func (w *Workspace) AsPrinc(p Principal) *Princ { return w.conn.AsPrinc(p) }
+
+// SetEnforcement toggles runtime policy enforcement (debug escape hatch,
+// paper §6.2).
+func (w *Workspace) SetEnforcement(on bool) { w.conn.SetEnforcement(on) }
+
+// GenerateORM emits a typed Go ORM package for the current specification.
+// Schema changes surface as compile-time type errors in code using the
+// generated package, mirroring the paper's generated Rust ORM.
+func (w *Workspace) GenerateORM(pkgName string) (string, error) {
+	return gen.Generate(w.schema, pkgName)
+}
+
+// Models lists the model names in the current specification.
+func (w *Workspace) Models() []string {
+	names := make([]string, 0, len(w.schema.Models))
+	for _, m := range w.schema.Models {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// StaticPrincipals lists the declared static principals.
+func (w *Workspace) StaticPrincipals() []string {
+	return append([]string(nil), w.schema.Statics...)
+}
+
+// InsertRaw bypasses policy checks to seed data (test fixtures and
+// benchmark setup); application code should use AsPrinc(...).Insert.
+func (w *Workspace) InsertRaw(model string, fields Doc) ID {
+	return w.db.Collection(model).Insert(fields)
+}
+
+// CheckPolicyStrictness exposes Sidecar's core check directly: it proves
+// that newPolicy (source text) is at least as strict as oldPolicy for an
+// operation on model, returning a counterexample otherwise.
+func (w *Workspace) CheckPolicyStrictness(model, oldPolicy, newPolicy string) (*Counterexample, error) {
+	pOld, err := parsePolicyFor(w.schema, model, oldPolicy)
+	if err != nil {
+		return nil, err
+	}
+	pNew, err := parsePolicyFor(w.schema, model, newPolicy)
+	if err != nil {
+		return nil, err
+	}
+	res, err := verify.New(w.schema, nil).CheckStrictness(model, pOld, pNew)
+	if err != nil {
+		return nil, err
+	}
+	if res.Verdict == verify.Violation {
+		return res.Counterexample, nil
+	}
+	if res.Verdict == verify.Inconclusive {
+		return nil, fmt.Errorf("scooter: verifier was inconclusive (policy may use undecidable features, §6.1)")
+	}
+	return nil, nil
+}
+
+func parsePolicyFor(s *schema.Schema, model, src string) (ast.Policy, error) {
+	p, err := parser.ParsePolicy(src)
+	if err != nil {
+		return ast.Policy{}, err
+	}
+	if err := typer.New(s).CheckPolicy(model, p); err != nil {
+		return ast.Policy{}, err
+	}
+	return p, nil
+}
+
+// Opt is a typed optional used by generated ORM code for Option(T) fields.
+type Opt[T any] struct {
+	Present bool
+	Val     T
+}
+
+// SomeOpt returns a present Opt.
+func SomeOpt[T any](v T) Opt[T] { return Opt[T]{Present: true, Val: v} }
+
+// NoneOpt returns an absent Opt.
+func NoneOpt[T any]() Opt[T] { return Opt[T]{} }
+
+// EnsureIndex installs a hash index on model.field; equality queries
+// (including the Find probes inside policy evaluation) then skip the
+// collection scan. Indexes are maintained automatically across inserts,
+// updates, deletes, and migrations.
+func (w *Workspace) EnsureIndex(model, field string) {
+	w.db.Collection(model).EnsureIndex(field)
+}
+
+// MigrateNamed applies a named migration exactly once, the way production
+// migration tools do: the database carries a journal of applied scripts, a
+// re-run of an applied script is a no-op (returning applied=false), and a
+// *different* script under an already-used name is rejected so applied
+// history is never silently rewritten.
+func (w *Workspace) MigrateNamed(name, src string) (bool, error) {
+	journal := migrate.NewJournal(w.db)
+	switch journal.Check(name, src) {
+	case migrate.StatusApplied:
+		return false, nil
+	case migrate.StatusConflict:
+		return false, &migrate.ErrJournalConflict{Name: name}
+	}
+	script, err := parser.ParseMigration(src)
+	if err != nil {
+		return false, err
+	}
+	after, err := migrate.VerifyAndExecute(w.schema, script, w.db, migrate.DefaultOptions())
+	if err != nil {
+		return false, err
+	}
+	w.schema = after
+	w.conn.SetSchema(after)
+	journal.Record(name, src, len(script.Commands))
+	return true, nil
+}
+
+// AppliedMigrations lists the journal of named migrations run against this
+// workspace's database.
+func (w *Workspace) AppliedMigrations() []migrate.JournalEntry {
+	return migrate.NewJournal(w.db).Entries()
+}
+
+// workspaceState is the serialised form of a workspace: the authoritative
+// specification plus a typed database snapshot.
+type workspaceState struct {
+	Spec string          `json:"spec"`
+	DB   json.RawMessage `json:"db"`
+}
+
+// SaveState serialises the workspace — specification and database — so a
+// process can stop and later resume exactly where it left off (including
+// the migration journal, which lives in the database).
+func (w *Workspace) SaveState(out io.Writer) error {
+	var db bytes.Buffer
+	if err := w.db.Snapshot(&db); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(workspaceState{Spec: w.SpecText(), DB: db.Bytes()})
+}
+
+// LoadState restores a workspace saved with SaveState.
+func LoadState(in io.Reader) (*Workspace, error) {
+	var state workspaceState
+	if err := json.NewDecoder(in).Decode(&state); err != nil {
+		return nil, fmt.Errorf("scooter: corrupt workspace state: %w", err)
+	}
+	w, err := LoadSpec(state.Spec)
+	if err != nil {
+		return nil, err
+	}
+	db, err := store.Restore(bytes.NewReader(state.DB))
+	if err != nil {
+		return nil, err
+	}
+	w.db = db
+	w.conn = orm.Open(w.schema, db)
+	return w, nil
+}

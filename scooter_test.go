@@ -1,0 +1,293 @@
+package scooter_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"scooter"
+)
+
+// bootstrapChitter builds the Chitter workspace used across facade tests.
+func bootstrapChitter(t testing.TB) *scooter.Workspace {
+	t.Helper()
+	w := scooter.NewWorkspace()
+	err := w.Migrate(`
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] + User::Find({isAdmin: true}) },
+  email: String {
+    read: u -> [u] + User::Find({isAdmin: true}),
+    write: u -> [u] },
+  pronouns: String {
+    read: u -> [u] + u.followers,
+    write: u -> [u] },
+  isAdmin: Bool {
+    read: u -> [u] + User::Find({isAdmin: true}),
+    write: u -> User::Find({isAdmin: true}) },
+  followers: Set(Id(User)) {
+    read: u -> [u] + u.followers,
+    write: u -> [u] },
+});
+CreateModel(Peep {
+  create: p -> [p.author],
+  delete: p -> [p.author] + User::Find({isAdmin: true}),
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: p -> [p.author] },
+});
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkspaceLifecycle(t *testing.T) {
+	w := bootstrapChitter(t)
+	if got := len(w.Models()); got != 2 {
+		t.Fatalf("models: %d", got)
+	}
+	if got := w.StaticPrincipals(); len(got) != 1 || got[0] != "Unauthenticated" {
+		t.Fatalf("statics: %v", got)
+	}
+	// The spec text reloads into an equivalent workspace.
+	w2, err := scooter.LoadSpec(w.SpecText())
+	if err != nil {
+		t.Fatalf("LoadSpec: %v\n%s", err, w.SpecText())
+	}
+	if len(w2.Models()) != 2 {
+		t.Fatal("reloaded workspace differs")
+	}
+}
+
+func TestEndToEndEnforcement(t *testing.T) {
+	w := bootstrapChitter(t)
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	aliceID, err := anon.Insert("User", scooter.Doc{
+		"name": "alice", "email": "a@x", "pronouns": "she/her",
+		"isAdmin": false, "followers": []scooter.Value{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobID, err := anon.Insert("User", scooter.Doc{
+		"name": "bob", "email": "b@x", "pronouns": "he/him",
+		"isAdmin": false, "followers": []scooter.Value{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := w.AsPrinc(scooter.Instance("User", aliceID))
+	bob := w.AsPrinc(scooter.Instance("User", bobID))
+
+	// Bob cannot see alice's email.
+	obj, err := bob.FindByID("User", aliceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obj.Get("email"); ok {
+		t.Error("email must be stripped")
+	}
+	// Alice posts a peep; bob cannot edit it.
+	peep, err := alice.Insert("Peep", scooter.Doc{"author": aliceID, "body": "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bob.Update("Peep", peep, scooter.Doc{"body": "hacked"})
+	var perr *scooter.PolicyError
+	if !errors.As(err, &perr) {
+		t.Fatalf("expected PolicyError, got %v", err)
+	}
+}
+
+func TestMigrateRejectsLeak(t *testing.T) {
+	w := bootstrapChitter(t)
+	err := w.Migrate(`
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u]
+}, u -> u.pronouns);
+`)
+	if err == nil {
+		t.Fatal("leaky migration accepted")
+	}
+	var uerr *scooter.UnsafeError
+	if !errors.As(err, &uerr) {
+		t.Fatalf("error type %T", err)
+	}
+	if uerr.Result == nil || uerr.Result.Counterexample == nil {
+		t.Fatal("missing counterexample")
+	}
+	// Schema unchanged: the failed migration had no effect.
+	if strings.Contains(w.SpecText(), "bio") {
+		t.Error("failed migration mutated the spec")
+	}
+}
+
+func TestCheckPolicyStrictnessAPI(t *testing.T) {
+	w := bootstrapChitter(t)
+	ce, err := w.CheckPolicyStrictness("User",
+		`u -> [u]`,
+		`public`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("public is weaker than [u]; expected counterexample")
+	}
+	if !strings.Contains(ce.String(), "Principal:") {
+		t.Errorf("counterexample: %s", ce)
+	}
+	ce, err = w.CheckPolicyStrictness("User", `public`, `u -> [u]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("strengthening is safe, got:\n%s", ce)
+	}
+}
+
+func TestGenerateORMFromWorkspace(t *testing.T) {
+	w := bootstrapChitter(t)
+	src, err := w.GenerateORM("chitterorm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package chitterorm", "type User struct", "type PeepHandle"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated ORM missing %q", want)
+		}
+	}
+}
+
+func TestFilterHelpers(t *testing.T) {
+	w := bootstrapChitter(t)
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	for i, name := range []string{"a", "b", "c"} {
+		if _, err := anon.Insert("User", scooter.Doc{
+			"name": name, "email": name, "pronouns": "", "isAdmin": i == 0,
+			"followers": []scooter.Value{},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs, err := anon.Find("User", scooter.Eq("name", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Fatalf("find by name: %d", len(objs))
+	}
+}
+
+func TestMigrateNamedJournal(t *testing.T) {
+	w := scooter.NewWorkspace()
+	boot := `
+CreateModel(@principal User {
+  create: public,
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+});
+`
+	applied, err := w.MigrateNamed("001_bootstrap", boot)
+	if err != nil || !applied {
+		t.Fatalf("first application: applied=%v err=%v", applied, err)
+	}
+	// Re-running the exact script is a no-op.
+	applied, err = w.MigrateNamed("001_bootstrap", boot)
+	if err != nil || applied {
+		t.Fatalf("re-application: applied=%v err=%v", applied, err)
+	}
+	// A different script under the same name is rejected.
+	_, err = w.MigrateNamed("001_bootstrap", boot+"\n# edited")
+	if err == nil || !strings.Contains(err.Error(), "different content") {
+		t.Fatalf("edited applied script: %v", err)
+	}
+	// A fresh name proceeds.
+	applied, err = w.MigrateNamed("002_bio", `
+User::AddField(bio: String { read: public, write: u -> [u] }, _ -> "");
+`)
+	if err != nil || !applied {
+		t.Fatalf("second migration: applied=%v err=%v", applied, err)
+	}
+	entries := w.AppliedMigrations()
+	if len(entries) != 2 || entries[0].Name != "001_bootstrap" || entries[1].Name != "002_bio" {
+		t.Fatalf("journal: %+v", entries)
+	}
+	if entries[1].Commands != 1 || entries[1].AppliedAt == 0 || entries[1].Hash == "" {
+		t.Fatalf("journal entry fields: %+v", entries[1])
+	}
+	// A failed migration is not journaled.
+	_, err = w.MigrateNamed("003_broken", `
+User::AddField(copy: String { read: public, write: u -> [u] }, u -> u.ghost);
+`)
+	if err == nil {
+		t.Fatal("migration referencing a missing field must fail")
+	}
+	if got := len(w.AppliedMigrations()); got != 2 {
+		t.Fatalf("failed migration must not be journaled: %d entries", got)
+	}
+	// The failed name remains available for the corrected script.
+	applied, err = w.MigrateNamed("003_broken", `
+User::AddField(copy: String { read: public, write: u -> [u] }, u -> u.bio);
+`)
+	if err != nil || !applied {
+		t.Fatalf("corrected script under the failed name: applied=%v err=%v", applied, err)
+	}
+}
+
+func TestSaveLoadState(t *testing.T) {
+	w := bootstrapChitter(t)
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	aliceID, err := anon.Insert("User", scooter.Doc{
+		"name": "alice", "email": "a@x", "pronouns": "she/her",
+		"isAdmin": false, "followers": []scooter.Value{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.MigrateNamed("002_bio", `
+User::AddField(bio: String { read: public, write: u -> [u] }, u -> "I'm " + u.name);
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := w.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := scooter.LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data, schema, and journal all survive.
+	obj, err := w2.AsPrinc(scooter.Instance("User", aliceID)).FindByID("User", aliceID)
+	if err != nil || obj == nil {
+		t.Fatalf("restore lookup: %v %v", obj, err)
+	}
+	bio, ok := obj.Get("bio")
+	if !ok || bio != "I'm alice" {
+		t.Fatalf("bio after restore: %v (%v)", bio, ok)
+	}
+	if got := w2.AppliedMigrations(); len(got) != 1 || got[0].Name != "002_bio" {
+		t.Fatalf("journal after restore: %+v", got)
+	}
+	// Re-running the applied migration stays a no-op after restore.
+	applied, err := w2.MigrateNamed("002_bio", `
+User::AddField(bio: String { read: public, write: u -> [u] }, u -> "I'm " + u.name);
+`)
+	if err != nil || applied {
+		t.Fatalf("journal idempotence after restore: applied=%v err=%v", applied, err)
+	}
+	// Policies still enforce.
+	other, err := w2.AsPrinc(scooter.Static("Unauthenticated")).FindByID("User", aliceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := other.Get("email"); ok {
+		t.Fatal("email must stay hidden after restore")
+	}
+}
