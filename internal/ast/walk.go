@@ -1,5 +1,7 @@
 package ast
 
+import "sync"
+
 // Walk calls fn on e and every sub-expression of e in pre-order. If fn
 // returns false, the children of the current node are skipped.
 func Walk(e Expr, fn func(Expr) bool) {
@@ -50,48 +52,67 @@ func WalkPolicy(p Policy, fn func(Expr) bool) {
 	}
 }
 
-// ReferencedModels returns the names of models referenced by the expression
-// through Find, ById, or types assigned by the checker.
-func ReferencedModels(e Expr) map[string]bool {
-	out := map[string]bool{}
-	Walk(e, func(e Expr) bool {
-		switch n := e.(type) {
-		case *Find:
-			out[n.Model] = true
-		case *ById:
-			out[n.Model] = true
-		}
-		return true
-	})
-	return out
-}
-
 // FieldRef identifies a model field.
 type FieldRef struct {
 	Model string
 	Field string
 }
 
-// ReferencedFields returns every model field the (type-checked) expression
-// reads, via direct access, Find clauses, or set-field traversal. It relies
-// on the types recorded by the checker to resolve receivers.
-func ReferencedFields(e Expr) map[FieldRef]bool {
-	out := map[FieldRef]bool{}
+// refSets holds the memoized reference sets of one expression.
+type refSets struct {
+	models map[string]bool
+	fields map[FieldRef]bool
+}
+
+// refCache memoizes ReferencedModels/ReferencedFields per expression node.
+// Policy ASTs are immutable once type-checked, and the migration engine
+// consults these sets for every policy in the schema on each structural
+// check, so each set is computed once per node and then shared. Entries
+// live for the process lifetime, bounded by the number of distinct policy
+// expressions.
+var refCache sync.Map // Expr -> *refSets
+
+func refsOf(e Expr) *refSets {
+	if v, ok := refCache.Load(e); ok {
+		return v.(*refSets)
+	}
+	r := &refSets{models: map[string]bool{}, fields: map[FieldRef]bool{}}
 	Walk(e, func(e Expr) bool {
 		switch n := e.(type) {
 		case *FieldAccess:
 			rt := n.Recv.Type()
 			if rt.Kind == TModel {
-				out[FieldRef{Model: rt.Model, Field: n.Field}] = true
+				r.fields[FieldRef{Model: rt.Model, Field: n.Field}] = true
 			}
 		case *Find:
+			r.models[n.Model] = true
 			for _, c := range n.Clauses {
-				out[FieldRef{Model: n.Model, Field: c.Field}] = true
+				r.fields[FieldRef{Model: n.Model, Field: c.Field}] = true
 			}
+		case *ById:
+			r.models[n.Model] = true
 		}
 		return true
 	})
-	return out
+	v, _ := refCache.LoadOrStore(e, r)
+	return v.(*refSets)
+}
+
+// ReferencedModels returns the names of models referenced by the expression
+// through Find or ById. The result is memoized and shared; callers must
+// treat the map as read-only, and must not call this before the expression
+// has been type-checked (the frozen result would miss receiver types used
+// by ReferencedFields on the same node).
+func ReferencedModels(e Expr) map[string]bool {
+	return refsOf(e).models
+}
+
+// ReferencedFields returns every model field the (type-checked) expression
+// reads, via direct access, Find clauses, or set-field traversal. It relies
+// on the types recorded by the checker to resolve receivers. The result is
+// memoized and shared; callers must treat the map as read-only.
+func ReferencedFields(e Expr) map[FieldRef]bool {
+	return refsOf(e).fields
 }
 
 // ReferencedVars returns the free variables of e given the bound set.

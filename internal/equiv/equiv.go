@@ -30,6 +30,18 @@ func New() *Defs {
 // SetEnabled toggles definition tracking.
 func (d *Defs) SetEnabled(on bool) { d.enabled = on }
 
+// Clone returns an independent copy of the tracker. The migration engine
+// snapshots the tracker per command so deferred strictness proofs see the
+// definitions live at their command's position while the script advances.
+// The FuncLit bodies are shared: AST nodes are immutable once parsed.
+func (d *Defs) Clone() *Defs {
+	out := &Defs{enabled: d.enabled, defs: make(map[FieldKey]*ast.FuncLit, len(d.defs))}
+	for k, v := range d.defs {
+		out.defs[k] = v
+	}
+	return out
+}
+
 // Enabled reports whether definitions are consulted.
 func (d *Defs) Enabled() bool { return d.enabled }
 

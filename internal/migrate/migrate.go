@@ -8,6 +8,9 @@ package migrate
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"scooter/internal/ast"
 	"scooter/internal/dataflow"
@@ -25,6 +28,19 @@ type Options struct {
 	// SkipVerification applies schema effects without strictness proofs;
 	// used by trusted bootstrap migrations in tests and benchmarks.
 	SkipVerification bool
+	// SolverRounds overrides the per-query SMT round budget
+	// (verify.DefaultSolverRounds when 0).
+	SolverRounds int
+	// Cache, when set, memoizes strictness verdicts so a whole migration
+	// history (or a CI fleet replaying many histories) shares one verdict
+	// cache. See verify.NewCache.
+	Cache *verify.Cache
+	// Stats, when set, accumulates verification counters across commands.
+	Stats *verify.Stats
+	// Sequential runs the deferred strictness proofs one at a time instead
+	// of overlapping them; results are identical either way (proofs are
+	// independent and reported in command order).
+	Sequential bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -75,109 +91,199 @@ func (e *UnsafeError) Error() string {
 
 // Verify checks an entire migration script against a schema, returning an
 // executable plan or the first verification failure.
+//
+// The pipeline is staged for throughput: the cheap structural and type
+// checks of each command run sequentially against the schema-so-far (they
+// establish the schema each later command verifies against), while the
+// expensive SMT-backed strictness and dataflow proofs are captured as
+// deferred checks over per-command snapshots and solved concurrently by a
+// worker pool bounded by GOMAXPROCS. Reports stay deterministic: deferred
+// failures are examined in command order, so the error returned is the
+// same one sequential verification would have produced first.
 func Verify(before *schema.Schema, script *ast.MigrationScript, opts Options) (*Plan, error) {
-	cur := before.Clone()
+	// applyCommand is copy-on-write at model granularity, so a shallow
+	// snapshot suffices: before's models are never mutated, and Plan.After
+	// shares the unchanged ones.
+	cur := before.Snapshot()
 	defs := equiv.New()
 	defs.SetEnabled(opts.TrackEquivalences)
 	plan := &Plan{Before: before, Script: script}
 
+	var deferred []deferredCheck
+	var structuralErr error
 	for i, cmd := range script.Commands {
-		report, err := verifyCommand(cur, defs, i, cmd, opts)
+		report, checks, err := verifyCommand(cur, defs, i, cmd, opts)
 		if err != nil {
-			return nil, err
+			structuralErr = err
+			break
 		}
+		deferred = append(deferred, checks...)
 		plan.Reports = append(plan.Reports, *report)
 		if err := applyCommand(cur, defs, cmd); err != nil {
-			return nil, &UnsafeError{Index: i, Command: cmd, Detail: err.Error()}
+			structuralErr = &UnsafeError{Index: i, Command: cmd, Detail: err.Error()}
+			break
 		}
+	}
+	// Deferred proofs cover only commands that structurally verified
+	// before any structural failure, so an earlier proof failure outranks
+	// a later structural one — matching sequential order.
+	if err := runDeferred(deferred, opts); err != nil {
+		return nil, err
+	}
+	if structuralErr != nil {
+		return nil, structuralErr
 	}
 	plan.After = cur
 	return plan, nil
 }
 
-// verifyCommand type-checks and verifies a single command against the
-// schema-so-far.
-func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Command, opts Options) (*CommandReport, error) {
+// deferredCheck is one SMT-backed proof obligation, closed over the
+// snapshot of schema and prior definitions current at its command. The
+// registration order of checks equals sequential verification order.
+type deferredCheck func() error
+
+// runDeferred solves the deferred proof obligations with a bounded worker
+// pool and returns the earliest failure in registration (command) order.
+func runDeferred(checks []deferredCheck, opts Options) error {
+	if len(checks) == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if opts.Sequential || workers < 1 {
+		workers = 1
+	}
+	if workers > len(checks) {
+		workers = len(checks)
+	}
+	errs := make([]error, len(checks))
+	if workers == 1 {
+		for i, check := range checks {
+			errs[i] = check()
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(checks) {
+						return
+					}
+					errs[i] = checks[i]()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newChecker builds a verify.Checker configured by opts.
+func newChecker(s *schema.Schema, defs *equiv.Defs, opts Options) *verify.Checker {
+	c := verify.New(s, defs)
+	if opts.SolverRounds > 0 {
+		c.SolverRounds = opts.SolverRounds
+	}
+	c.Cache = opts.Cache
+	c.Stats = opts.Stats
+	return c
+}
+
+// verifyCommand type-checks a single command against the schema-so-far and
+// registers its SMT proof obligations as deferred checks. Structural
+// failures return an error immediately; deferred checks close over clones
+// of the schema and definition tracker, so they may run after later
+// commands have advanced the live copies.
+func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Command, opts Options) (*CommandReport, []deferredCheck, error) {
 	report := &CommandReport{Index: idx, Command: cmd}
+	var checks []deferredCheck
 	fail := func(detail string, res *verify.Result, flow *verify.FieldFlow) error {
 		return &UnsafeError{Index: idx, Command: cmd, Detail: detail, Result: res, Flow: flow}
 	}
 	tc := typer.New(cur)
-	checker := verify.New(cur, defs)
 
 	switch c := cmd.(type) {
 	case *ast.CreateModel:
 		if cur.Model(c.Model.Name) != nil {
-			return nil, fail(fmt.Sprintf("model %s already exists", c.Model.Name), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s already exists", c.Model.Name), nil, nil)
 		}
 		if cur.HasStatic(c.Model.Name) {
-			return nil, fail(fmt.Sprintf("name %s is already a static principal", c.Model.Name), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("name %s is already a static principal", c.Model.Name), nil, nil)
 		}
 		// Policies of a new model may reference the model itself; check
 		// them against a schema that already includes it. Only the new
 		// model's policies need checking: pre-existing policies cannot
 		// reference a model that did not exist when they were verified.
-		trial := cur.Clone()
+		trial := cur.Snapshot()
 		newModel := modelFromDecl(c.Model)
 		if err := trial.AddModel(newModel); err != nil {
-			return nil, fail(err.Error(), nil, nil)
+			return nil, nil, fail(err.Error(), nil, nil)
 		}
 		ttc := typer.New(trial)
 		if err := ttc.CheckPolicy(newModel.Name, newModel.Create); err != nil {
-			return nil, fail("create policy: "+err.Error(), nil, nil)
+			return nil, nil, fail("create policy: "+err.Error(), nil, nil)
 		}
 		if err := ttc.CheckPolicy(newModel.Name, newModel.Delete); err != nil {
-			return nil, fail("delete policy: "+err.Error(), nil, nil)
+			return nil, nil, fail("delete policy: "+err.Error(), nil, nil)
 		}
 		for _, f := range newModel.Fields {
 			for _, mt := range f.Type.ReferencedModels() {
 				if trial.Model(mt) == nil {
-					return nil, fail(fmt.Sprintf("field %s type references unknown model %s", f.Name, mt), nil, nil)
+					return nil, nil, fail(fmt.Sprintf("field %s type references unknown model %s", f.Name, mt), nil, nil)
 				}
 			}
 			if err := ttc.CheckPolicy(newModel.Name, f.Read); err != nil {
-				return nil, fail(fmt.Sprintf("%s read policy: %v", f.Name, err), nil, nil)
+				return nil, nil, fail(fmt.Sprintf("%s read policy: %v", f.Name, err), nil, nil)
 			}
 			if err := ttc.CheckPolicy(newModel.Name, f.Write); err != nil {
-				return nil, fail(fmt.Sprintf("%s write policy: %v", f.Name, err), nil, nil)
+				return nil, nil, fail(fmt.Sprintf("%s write policy: %v", f.Name, err), nil, nil)
 			}
 		}
 
 	case *ast.DeleteModel:
 		if cur.Model(c.ModelName) == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if refs := cur.PoliciesReferencingModel(c.ModelName); len(refs) > 0 {
-			return nil, fail(fmt.Sprintf("model %s is referenced by %s", c.ModelName, refs[0]), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s is referenced by %s", c.ModelName, refs[0]), nil, nil)
 		}
 
 	case *ast.AddField:
 		m := cur.Model(c.ModelName)
 		if m == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if m.Field(c.Field.Name) != nil || c.Field.Name == schema.IDFieldName {
-			return nil, fail(fmt.Sprintf("field %s.%s already exists", c.ModelName, c.Field.Name), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("field %s.%s already exists", c.ModelName, c.Field.Name), nil, nil)
 		}
 		// Policies of the new field may reference the field itself.
-		trial := cur.Clone()
-		trial.Model(c.ModelName).Fields = append(trial.Model(c.ModelName).Fields, &schema.Field{
+		trial := cur.Snapshot()
+		tm := trial.CopyModel(c.ModelName)
+		tm.Fields = append(tm.Fields, &schema.Field{
 			Name: c.Field.Name, Type: c.Field.Type, Read: c.Field.Read, Write: c.Field.Write,
 		})
 		ttc := typer.New(trial)
 		for _, mt := range c.Field.Type.ReferencedModels() {
 			if trial.Model(mt) == nil {
-				return nil, fail(fmt.Sprintf("field type references unknown model %s", mt), nil, nil)
+				return nil, nil, fail(fmt.Sprintf("field type references unknown model %s", mt), nil, nil)
 			}
 		}
 		if err := ttc.CheckPolicy(c.ModelName, c.Field.Read); err != nil {
-			return nil, fail("read policy: "+err.Error(), nil, nil)
+			return nil, nil, fail("read policy: "+err.Error(), nil, nil)
 		}
 		if err := ttc.CheckPolicy(c.ModelName, c.Field.Write); err != nil {
-			return nil, fail("write policy: "+err.Error(), nil, nil)
+			return nil, nil, fail("write policy: "+err.Error(), nil, nil)
 		}
 		if err := tc.CheckInitFn(c.ModelName, c.Init, c.Field.Type); err != nil {
-			return nil, fail("initialiser: "+err.Error(), nil, nil)
+			return nil, nil, fail("initialiser: "+err.Error(), nil, nil)
 		}
 		if !opts.SkipVerification {
 			flows := dataflow.Sources(c.Init, c.ModelName, c.Field.Name)
@@ -190,64 +296,76 @@ func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Comman
 			// Find({adminLevel: 2}) verifies against isAdmin's policy via
 			// the initialiser u -> if u.isAdmin then 2 else 0.
 			defs.Record(c.ModelName, c.Field.Name, c.Init)
-			leak, err := verify.New(trial, defs).CheckAddFieldLeaks(c.ModelName, field, c.Init, flows)
-			if err != nil {
-				return nil, fail(err.Error(), nil, nil)
-			}
-			if leak != nil {
-				return nil, fail(
-					fmt.Sprintf("data leak: %s flows to %s.%s but has a stricter read policy",
-						leak.Flow.SrcModel+"."+leak.Flow.SrcField, c.ModelName, c.Field.Name),
-					leak.Result, &leak.Flow)
-			}
+			// trial is local to this command and never mutated again; the
+			// definition tracker advances with the script, so clone it.
+			checker := newChecker(trial, defs.Clone(), opts)
+			model, init := c.ModelName, c.Init
+			checks = append(checks, func() error {
+				leak, err := checker.CheckAddFieldLeaks(model, field, init, flows)
+				if err != nil {
+					return fail(err.Error(), nil, nil)
+				}
+				if leak != nil {
+					return fail(
+						fmt.Sprintf("data leak: %s flows to %s.%s but has a stricter read policy",
+							leak.Flow.SrcModel+"."+leak.Flow.SrcField, model, field.Name),
+						leak.Result, &leak.Flow)
+				}
+				return nil
+			})
 		}
 
 	case *ast.RemoveField:
 		m := cur.Model(c.ModelName)
 		if m == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if m.Field(c.FieldName) == nil {
-			return nil, fail(fmt.Sprintf("field %s.%s does not exist", c.ModelName, c.FieldName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("field %s.%s does not exist", c.ModelName, c.FieldName), nil, nil)
 		}
 		if refs := cur.PoliciesReferencingField(c.ModelName, c.FieldName); len(refs) > 0 {
-			return nil, fail(fmt.Sprintf("field %s.%s is referenced by policy %s", c.ModelName, c.FieldName, refs[0]), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("field %s.%s is referenced by policy %s", c.ModelName, c.FieldName, refs[0]), nil, nil)
 		}
 
 	case *ast.UpdatePolicy:
 		m := cur.Model(c.ModelName)
 		if m == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if err := tc.CheckPolicy(c.ModelName, c.NewPolicy); err != nil {
-			return nil, fail(err.Error(), nil, nil)
+			return nil, nil, fail(err.Error(), nil, nil)
 		}
 		if !opts.SkipVerification {
 			old := m.Create
 			if c.Op == ast.OpDelete {
 				old = m.Delete
 			}
-			res, err := checker.CheckStrictness(c.ModelName, old, c.NewPolicy)
-			if err != nil {
-				return nil, fail(err.Error(), nil, nil)
-			}
-			if res.Verdict != verify.Safe {
-				return nil, fail(
-					fmt.Sprintf("new %s policy is not at least as strict as the old one (use WeakenPolicy to weaken intentionally)", c.Op),
-					res, nil)
-			}
+			checker := newChecker(cur.Snapshot(), defs.Clone(), opts)
+			model, op, newPol := c.ModelName, c.Op, c.NewPolicy
+			checks = append(checks, func() error {
+				res, err := checker.CheckStrictness(model, old, newPol)
+				if err != nil {
+					return fail(err.Error(), nil, nil)
+				}
+				if res.Verdict != verify.Safe {
+					return fail(
+						fmt.Sprintf("new %s policy is not at least as strict as the old one (use WeakenPolicy to weaken intentionally)", op),
+						res, nil)
+				}
+				return nil
+			})
 		}
 
 	case *ast.WeakenPolicy:
 		m := cur.Model(c.ModelName)
 		if m == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if err := tc.CheckPolicy(c.ModelName, c.NewPolicy); err != nil {
-			return nil, fail(err.Error(), nil, nil)
+			return nil, nil, fail(err.Error(), nil, nil)
 		}
 		if c.Reason == "" {
-			return nil, fail("WeakenPolicy requires a reason string for auditability", nil, nil)
+			return nil, nil, fail("WeakenPolicy requires a reason string for auditability", nil, nil)
 		}
 		report.Weakened = true
 		report.Reason = c.Reason
@@ -255,8 +373,10 @@ func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Comman
 	case *ast.UpdateFieldPolicy:
 		f, failErr := fieldFor(cur, c.ModelName, c.FieldName, fail)
 		if failErr != nil {
-			return nil, failErr
+			return nil, nil, failErr
 		}
+		// One snapshot serves both the read- and write-policy proofs.
+		var checker *verify.Checker
 		for _, upd := range []struct {
 			pol *ast.Policy
 			old ast.Policy
@@ -266,83 +386,91 @@ func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Comman
 				continue
 			}
 			if err := tc.CheckPolicy(c.ModelName, *upd.pol); err != nil {
-				return nil, fail(err.Error(), nil, nil)
+				return nil, nil, fail(err.Error(), nil, nil)
 			}
 			if opts.SkipVerification {
 				continue
 			}
-			res, err := checker.CheckStrictness(c.ModelName, upd.old, *upd.pol)
-			if err != nil {
-				return nil, fail(err.Error(), nil, nil)
+			if checker == nil {
+				checker = newChecker(cur.Snapshot(), defs.Clone(), opts)
 			}
-			if res.Verdict != verify.Safe {
-				return nil, fail(
-					fmt.Sprintf("new %s policy for %s.%s is not at least as strict as the old one (use WeakenFieldPolicy to weaken intentionally)",
-						upd.op, c.ModelName, c.FieldName),
-					res, nil)
-			}
+			ck, model, field := checker, c.ModelName, c.FieldName
+			old, newPol, op := upd.old, *upd.pol, upd.op
+			checks = append(checks, func() error {
+				res, err := ck.CheckStrictness(model, old, newPol)
+				if err != nil {
+					return fail(err.Error(), nil, nil)
+				}
+				if res.Verdict != verify.Safe {
+					return fail(
+						fmt.Sprintf("new %s policy for %s.%s is not at least as strict as the old one (use WeakenFieldPolicy to weaken intentionally)",
+							op, model, field),
+						res, nil)
+				}
+				return nil
+			})
 		}
 
 	case *ast.WeakenFieldPolicy:
 		_, failErr := fieldFor(cur, c.ModelName, c.FieldName, fail)
 		if failErr != nil {
-			return nil, failErr
+			return nil, nil, failErr
 		}
 		for _, pol := range []*ast.Policy{c.Read, c.Write} {
 			if pol == nil {
 				continue
 			}
 			if err := tc.CheckPolicy(c.ModelName, *pol); err != nil {
-				return nil, fail(err.Error(), nil, nil)
+				return nil, nil, fail(err.Error(), nil, nil)
 			}
 		}
 		if c.Reason == "" {
-			return nil, fail("WeakenFieldPolicy requires a reason string for auditability", nil, nil)
+			return nil, nil, fail("WeakenFieldPolicy requires a reason string for auditability", nil, nil)
 		}
 		report.Weakened = true
 		report.Reason = c.Reason
 
 	case *ast.AddStaticPrincipal:
 		if cur.HasStatic(c.PrincipalName) || cur.Model(c.PrincipalName) != nil {
-			return nil, fail(fmt.Sprintf("name %s is already in use", c.PrincipalName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("name %s is already in use", c.PrincipalName), nil, nil)
 		}
 
 	case *ast.RemoveStaticPrincipal:
 		if !cur.HasStatic(c.PrincipalName) {
-			return nil, fail(fmt.Sprintf("static principal %s does not exist", c.PrincipalName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("static principal %s does not exist", c.PrincipalName), nil, nil)
 		}
 		if refs := cur.PoliciesReferencingStatic(c.PrincipalName); len(refs) > 0 {
-			return nil, fail(fmt.Sprintf("static principal %s is used by policy %s", c.PrincipalName, refs[0]), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("static principal %s is used by policy %s", c.PrincipalName, refs[0]), nil, nil)
 		}
 
 	case *ast.AddPrincipal:
 		m := cur.Model(c.ModelName)
 		if m == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if m.Principal {
-			return nil, fail(fmt.Sprintf("model %s is already a principal", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s is already a principal", c.ModelName), nil, nil)
 		}
 
 	case *ast.RemovePrincipal:
 		m := cur.Model(c.ModelName)
 		if m == nil {
-			return nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s does not exist", c.ModelName), nil, nil)
 		}
 		if !m.Principal {
-			return nil, fail(fmt.Sprintf("model %s is not a principal", c.ModelName), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s is not a principal", c.ModelName), nil, nil)
 		}
 		// Removing principal-ness invalidates policies that use this
 		// model's ids as principals; require none exist. Conservatively,
 		// any policy mentioning the model blocks removal.
 		if refs := cur.PoliciesReferencingModel(c.ModelName); len(refs) > 0 {
-			return nil, fail(fmt.Sprintf("model %s is used as a principal by %s", c.ModelName, refs[0]), nil, nil)
+			return nil, nil, fail(fmt.Sprintf("model %s is used as a principal by %s", c.ModelName, refs[0]), nil, nil)
 		}
 
 	default:
-		return nil, fail(fmt.Sprintf("unsupported command %T", cmd), nil, nil)
+		return nil, nil, fail(fmt.Sprintf("unsupported command %T", cmd), nil, nil)
 	}
-	return report, nil
+	return report, checks, nil
 }
 
 func fieldFor(cur *schema.Schema, model, field string, fail func(string, *verify.Result, *verify.FieldFlow) error) (*schema.Field, error) {
@@ -358,7 +486,9 @@ func fieldFor(cur *schema.Schema, model, field string, fail func(string, *verify
 }
 
 // applyCommand records the effect of a verified command on the schema and
-// the definition tracker.
+// the definition tracker. Mutations are copy-on-write at model granularity:
+// a touched model is replaced by a fresh copy, never edited in place, so
+// snapshots taken for deferred proofs stay frozen at their command.
 func applyCommand(cur *schema.Schema, defs *equiv.Defs, cmd ast.Command) error {
 	switch c := cmd.(type) {
 	case *ast.CreateModel:
@@ -367,14 +497,14 @@ func applyCommand(cur *schema.Schema, defs *equiv.Defs, cmd ast.Command) error {
 		defs.InvalidateModel(c.ModelName)
 		return cur.RemoveModel(c.ModelName)
 	case *ast.AddField:
-		m := cur.Model(c.ModelName)
+		m := cur.CopyModel(c.ModelName)
 		m.Fields = append(m.Fields, &schema.Field{
 			Name: c.Field.Name, Type: c.Field.Type, Read: c.Field.Read, Write: c.Field.Write,
 		})
 		defs.Record(c.ModelName, c.Field.Name, c.Init)
 		return nil
 	case *ast.RemoveField:
-		m := cur.Model(c.ModelName)
+		m := cur.CopyModel(c.ModelName)
 		defs.Invalidate(c.ModelName, c.FieldName)
 		for i, f := range m.Fields {
 			if f.Name == c.FieldName {
@@ -396,17 +526,17 @@ func applyCommand(cur *schema.Schema, defs *equiv.Defs, cmd ast.Command) error {
 	case *ast.RemoveStaticPrincipal:
 		return cur.RemoveStatic(c.PrincipalName)
 	case *ast.AddPrincipal:
-		cur.Model(c.ModelName).Principal = true
+		cur.CopyModel(c.ModelName).Principal = true
 		return nil
 	case *ast.RemovePrincipal:
-		cur.Model(c.ModelName).Principal = false
+		cur.CopyModel(c.ModelName).Principal = false
 		return nil
 	}
 	return fmt.Errorf("unsupported command %T", cmd)
 }
 
 func setModelPolicy(cur *schema.Schema, model string, op ast.Operation, p ast.Policy) error {
-	m := cur.Model(model)
+	m := cur.CopyModel(model)
 	if m == nil {
 		return fmt.Errorf("model %s vanished", model)
 	}
@@ -422,7 +552,7 @@ func setModelPolicy(cur *schema.Schema, model string, op ast.Operation, p ast.Po
 }
 
 func setFieldPolicies(cur *schema.Schema, model, field string, read, write *ast.Policy) error {
-	m := cur.Model(model)
+	m := cur.CopyModel(model)
 	if m == nil {
 		return fmt.Errorf("model %s vanished", model)
 	}

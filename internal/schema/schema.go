@@ -113,6 +113,35 @@ func (s *Schema) IsPrincipalModel(name string) bool {
 	return m != nil && m.Principal
 }
 
+// Snapshot returns a shallow copy of the schema: the Statics and Models
+// slices are copied, the *Model values are shared. Snapshots are O(#models)
+// and are safe as long as models are treated as copy-on-write — mutated via
+// CopyModel (as the migration engine does) rather than in place. The
+// verifier takes one snapshot per deferred proof obligation, so this is the
+// hot path of migration replay.
+func (s *Schema) Snapshot() *Schema {
+	cp := &Schema{
+		Statics: append([]string(nil), s.Statics...),
+		Models:  make([]*Model, len(s.Models)),
+	}
+	copy(cp.Models, s.Models)
+	return cp
+}
+
+// CopyModel replaces the named model with a fresh copy and returns the
+// copy, so the caller can mutate it without affecting snapshots that share
+// the previous value. Returns nil if the model does not exist.
+func (s *Schema) CopyModel(name string) *Model {
+	for i, m := range s.Models {
+		if m.Name == name {
+			cp := m.Clone()
+			s.Models[i] = cp
+			return cp
+		}
+	}
+	return nil
+}
+
 // Clone returns a deep copy of the schema.
 func (s *Schema) Clone() *Schema {
 	cp := &Schema{Statics: append([]string(nil), s.Statics...)}

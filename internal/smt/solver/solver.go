@@ -133,6 +133,15 @@ func (s *Solver) Check() Status {
 // Model returns the model found by the last successful Check.
 func (s *Solver) Model() *Model { return s.model }
 
+// SATStats reports the SAT core's search statistics for the last Check;
+// zeros before the first Check.
+func (s *Solver) SATStats() (conflicts, decisions, propagations int64) {
+	if s.sat == nil {
+		return 0, 0, 0
+	}
+	return s.sat.Stats()
+}
+
 // assignment extracts the current truth values of all theory atoms.
 func (s *Solver) assignment() []tlit {
 	atoms := s.conv.Atoms()

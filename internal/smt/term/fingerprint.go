@@ -1,0 +1,120 @@
+package term
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Fp is a 128-bit structural fingerprint of a term. Fingerprints are
+// stable across builders: two terms built in different Builders receive
+// the same fingerprint exactly when they are alpha-equivalent — identical
+// up to a consistent renaming of free constants (OpConst). Uninterpreted
+// function names (OpApp), sort names, literals, and the full DAG shape
+// all contribute, so structurally different formulas collide only with
+// the negligible probability of a 128-bit hash.
+//
+// Sidecar uses fingerprints to key its verdict cache: a lowered leakage
+// query re-proved during corpus replay or CI re-verification maps to the
+// same fingerprint no matter how the lowering context numbered its fresh
+// constants.
+type Fp [2]uint64
+
+// IsZero reports whether f is the zero fingerprint (never produced by
+// Fingerprint, so usable as a sentinel).
+func (f Fp) IsZero() bool { return f[0] == 0 && f[1] == 0 }
+
+func (f Fp) String() string { return fmt.Sprintf("%016x%016x", f[0], f[1]) }
+
+// Fingerprint computes the canonical fingerprint of the DAG rooted at the
+// given terms. Multiple roots are fingerprinted as an ordered tuple
+// (Fingerprint(a, b) differs from Fingerprint(b, a) unless a == b).
+//
+// Canonicalisation: nodes are visited depth-first, arguments in order,
+// shared subterms once. Each node receives its visit index; argument
+// references hash as those indices, so the DAG shape is captured without
+// depending on Builder-internal ids. Free constants hash by the order of
+// their first occurrence rather than by name, giving alpha-invariance:
+// satisfiability of a quantifier-free formula is invariant under
+// injective renaming of its free constants, so alpha-equivalent leakage
+// queries may soundly share a cached verdict.
+func (b *Builder) Fingerprint(roots ...T) Fp {
+	h := fnv.New128a()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	// Terms are dense indices into b.nodes, so visit state is a flat
+	// slice rather than a map: fingerprinting runs on every cache lookup,
+	// including hits, and must stay cheaper than a trivial solve.
+	visit := make([]int32, len(b.nodes)) // canonical visit index + 1; 0 = unvisited
+	var visited int32
+	constIdx := map[string]int{} // const name -> first-occurrence index
+
+	// Iterative post-order walk: children are hashed (and numbered)
+	// before their parent, so parents can reference child indices.
+	type frame struct {
+		t    T
+		next int // next argument to expand
+	}
+	for _, root := range roots {
+		stack := []frame{{t: root}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if visit[f.t] != 0 {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			args := b.nodes[f.t].args
+			if f.next < len(args) {
+				a := args[f.next]
+				f.next++
+				if visit[a] == 0 {
+					stack = append(stack, frame{t: a})
+				}
+				continue
+			}
+			// All children numbered; emit this node.
+			n := &b.nodes[f.t]
+			wInt(int64(n.op))
+			wInt(int64(n.sort.Kind))
+			wStr(n.sort.Name)
+			switch n.op {
+			case OpConst:
+				idx, ok := constIdx[n.name]
+				if !ok {
+					idx = len(constIdx)
+					constIdx[n.name] = idx
+				}
+				wInt(int64(idx))
+			case OpApp:
+				wStr(n.name)
+			case OpIntLit:
+				wInt(n.val)
+			case OpRatLit:
+				wStr(n.rat.RatString())
+			}
+			wInt(int64(len(n.args)))
+			for _, a := range n.args {
+				wInt(int64(visit[a] - 1))
+			}
+			visited++
+			visit[f.t] = visited
+			stack = stack[:len(stack)-1]
+		}
+		// Separate roots so tuples of shared subterms stay ordered.
+		wInt(int64(^(visit[root] - 1)))
+	}
+
+	var fp Fp
+	sum := h.Sum(nil)
+	fp[0] = binary.BigEndian.Uint64(sum[:8])
+	fp[1] = binary.BigEndian.Uint64(sum[8:])
+	return fp
+}

@@ -1,0 +1,100 @@
+package term
+
+import "testing"
+
+func TestFingerprintStableAcrossBuilders(t *testing.T) {
+	build := func() (*Builder, T) {
+		b := NewBuilder()
+		u := b.Const("u", Uninterp("M"))
+		i := b.Const("i", Uninterp("M"))
+		f := b.App("M.owner", Uninterp("M"), i)
+		return b, b.And(b.Eq(u, f), b.Not(b.Eq(u, i)))
+	}
+	b1, t1 := build()
+	b2, t2 := build()
+	if got, want := b1.Fingerprint(t1), b2.Fingerprint(t2); got != want {
+		t.Fatalf("same structure, different fingerprints: %s vs %s", got, want)
+	}
+}
+
+func TestFingerprintAlphaInvariance(t *testing.T) {
+	build := func(uName, iName string) (*Builder, T) {
+		b := NewBuilder()
+		u := b.Const(uName, Uninterp("M"))
+		i := b.Const(iName, Uninterp("M"))
+		f := b.App("M.owner", Uninterp("M"), i)
+		return b, b.And(b.Eq(u, f), b.Not(b.Eq(u, i)))
+	}
+	b1, t1 := build("$M_u1", "$M_i2")
+	b2, t2 := build("$M_u7", "$M_i9")
+	if got, want := b1.Fingerprint(t1), b2.Fingerprint(t2); got != want {
+		t.Fatalf("alpha-equivalent terms fingerprint differently: %s vs %s", got, want)
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	b := NewBuilder()
+	u := b.Const("u", Uninterp("M"))
+	i := b.Const("i", Uninterp("M"))
+	x := b.Const("x", Int)
+	y := b.Const("y", Int)
+	cases := []T{
+		b.Eq(u, i),
+		b.Not(b.Eq(u, i)),
+		b.Eq(u, b.App("M.owner", Uninterp("M"), i)),
+		b.Eq(u, b.App("M.author", Uninterp("M"), i)), // app name matters
+		b.Le(x, y),
+		b.Lt(x, y),
+		b.Le(x, b.IntLit(3)),
+		b.Le(x, b.IntLit(4)), // literal value matters
+		b.And(b.Le(x, y), b.Eq(u, i)),
+		b.Or(b.Le(x, y), b.Eq(u, i)),
+		b.True(),
+		b.False(),
+	}
+	seen := map[Fp]int{}
+	for idx, c := range cases {
+		fp := b.Fingerprint(c)
+		if fp.IsZero() {
+			t.Fatalf("case %d: zero fingerprint", idx)
+		}
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("cases %d and %d collide: %s and %s", prev, idx, b.String(cases[prev]), b.String(c))
+		}
+		seen[fp] = idx
+	}
+}
+
+// Distinct constants must not be conflated: u=x ∧ v=y is alpha-equivalent
+// to v=y ∧ u=x but not to u=x ∧ u=y.
+func TestFingerprintConstIdentity(t *testing.T) {
+	b := NewBuilder()
+	s := Uninterp("S")
+	u, v, x, y := b.Const("u", s), b.Const("v", s), b.Const("x", s), b.Const("y", s)
+	a := b.And(b.Eq(u, x), b.Eq(v, y))
+	c := b.And(b.Eq(u, x), b.Eq(u, y))
+	if b.Fingerprint(a) == b.Fingerprint(c) {
+		t.Fatal("fingerprint conflates distinct constants")
+	}
+}
+
+func TestFingerprintMultiRootOrder(t *testing.T) {
+	b := NewBuilder()
+	x := b.Const("x", Int)
+	one := b.IntLit(1)
+	ab := b.Fingerprint(x, one)
+	ba := b.Fingerprint(one, x)
+	if ab == ba {
+		t.Fatal("root order should matter")
+	}
+	if b.Fingerprint(x, one) != ab {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Swapping two same-sorted constants is an injective renaming, so the
+	// tuple fingerprint is invariant — that is the alpha-equivalence the
+	// verdict cache relies on.
+	y := b.Const("y", Int)
+	if b.Fingerprint(x, y) != b.Fingerprint(y, x) {
+		t.Fatal("const swap should be alpha-equivalent")
+	}
+}

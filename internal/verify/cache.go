@@ -1,0 +1,162 @@
+package verify
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"scooter/internal/lower"
+	"scooter/internal/smt/term"
+)
+
+// DefaultCacheCapacity bounds a NewCache(0) verdict cache.
+const DefaultCacheCapacity = 4096
+
+// CacheKey identifies a strictness query up to alpha-equivalence. Two
+// queries share a key when their lowered leakage formulas are structurally
+// identical modulo constant renaming (term.Fp), target the same principal
+// kind, mention the same string literals and static principals (Aux — kept
+// so a cached counterexample renders the same literals the query used),
+// and run under the same solver configuration.
+type CacheKey struct {
+	Fp   term.Fp
+	Aux  uint64
+	Kind string
+	// Rounds/NoCoreMin are the solver options: a verdict proved under a
+	// smaller round budget must not answer for a larger one (and vice
+	// versa — Inconclusive depends on the budget).
+	Rounds    int
+	NoCoreMin bool
+}
+
+// Cache is a concurrency-safe, bounded LRU verdict cache. Violation
+// entries retain the rendered counterexample, so a warm cache reproduces
+// cold verification byte for byte. The zero value is not usable; call
+// NewCache.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[CacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	res Result
+}
+
+// NewCache returns a verdict cache holding at most capacity entries
+// (DefaultCacheCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: map[CacheKey]*list.Element{}}
+}
+
+// Len returns the number of cached verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters reports lifetime hit/miss/eviction counts.
+func (c *Cache) Counters() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Lookup returns the cached result for key. The returned Result is a
+// copy; its Counterexample pointer is shared and must be treated as
+// read-only (it is immutable after rendering).
+func (c *Cache) Lookup(key CacheKey) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Insert stores res under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Insert(key CacheKey, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// QueryKey derives the cache key for a lowered leakage query under the
+// given solver options. Beyond the formula itself, the fingerprint covers
+// the principal and instance terms and the string-literal/static
+// constants in sorted-value order: alpha-renaming canonicalises constant
+// names, so these extra roots pin each special constant's role — two
+// queries whose literals swap places hash differently, keeping retained
+// counterexamples faithful.
+func QueryKey(q *lower.Query, rounds int, noCoreMin bool) CacheKey {
+	roots := []term.T{q.Formula, q.PrincipalTerm, q.InstanceTerm}
+	for _, lit := range sortedKeys(q.StringLits) {
+		roots = append(roots, q.StringLits[lit])
+	}
+	for _, st := range sortedKeys(q.Statics) {
+		roots = append(roots, q.Statics[st])
+	}
+	return CacheKey{
+		Fp:        q.B.Fingerprint(roots...),
+		Aux:       auxDigest(q),
+		Kind:      q.Kind.String(),
+		Rounds:    rounds,
+		NoCoreMin: noCoreMin,
+	}
+}
+
+func sortedKeys(m map[string]term.T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// auxDigest hashes the query's string-literal values and static principal
+// names. The formula fingerprint is alpha-invariant, so without this two
+// queries differing only in which literal a constant stands for would
+// share an entry — sound for the verdict, but the retained counterexample
+// would print the wrong literal.
+func auxDigest(q *lower.Query) uint64 {
+	names := make([]string, 0, len(q.StringLits)+len(q.Statics))
+	for lit := range q.StringLits {
+		names = append(names, "s\x00"+lit)
+	}
+	for st := range q.Statics {
+		names = append(names, "p\x00"+st)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,157 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/smt/term"
+)
+
+func key(n uint64) CacheKey { return CacheKey{Fp: term.Fp{n, ^n}, Kind: "static:Admin"} }
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(key(1), Result{Verdict: Safe})
+	c.Insert(key(2), Result{Verdict: Violation})
+	c.Insert(key(3), Result{Verdict: Inconclusive})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(key(1)); ok {
+		t.Error("key 1 should have been evicted")
+	}
+	for n, want := range map[uint64]Verdict{2: Violation, 3: Inconclusive} {
+		res, ok := c.Lookup(key(n))
+		if !ok || res.Verdict != want {
+			t.Errorf("key %d: got (%v, %v), want (%v, true)", n, res.Verdict, ok, want)
+		}
+	}
+	if _, _, evictions := c.Counters(); evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestCacheLookupRefreshesRecency(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(key(1), Result{Verdict: Safe})
+	c.Insert(key(2), Result{Verdict: Safe})
+	c.Lookup(key(1)) // key 2 becomes least recently used
+	c.Insert(key(3), Result{Verdict: Safe})
+	if _, ok := c.Lookup(key(1)); !ok {
+		t.Error("key 1 was recently used and should survive")
+	}
+	if _, ok := c.Lookup(key(2)); ok {
+		t.Error("key 2 should have been evicted")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewCache(8)
+	c.Lookup(key(1))
+	c.Insert(key(1), Result{Verdict: Safe})
+	c.Lookup(key(1))
+	c.Lookup(key(1))
+	hits, misses, evictions := c.Counters()
+	if hits != 2 || misses != 1 || evictions != 0 {
+		t.Errorf("counters = (%d, %d, %d), want (2, 1, 0)", hits, misses, evictions)
+	}
+}
+
+func TestCacheKeySeparatesSolverOptions(t *testing.T) {
+	c := NewCache(8)
+	k := key(7)
+	k.Rounds = 10
+	c.Insert(k, Result{Verdict: Inconclusive})
+	k2 := k
+	k2.Rounds = 20000
+	if _, ok := c.Lookup(k2); ok {
+		t.Error("a verdict under one round budget must not answer for another")
+	}
+}
+
+// TestConcurrentCheckerSharedCache hammers one Checker — and through it one
+// Cache and one Stats block — from many goroutines, mirroring the deferred
+// proof pool of migrate.Verify and the parallel corpus driver. Run with
+// -race. Every goroutine must observe the same verdicts, and Violation
+// results must render the identical counterexample whether they were solved
+// or served from the cache.
+func TestConcurrentCheckerSharedCache(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	c := New(s, nil)
+	c.Cache = NewCache(64)
+	c.Stats = &Stats{}
+
+	cases := []struct {
+		old, new string
+		want     Verdict
+	}{
+		{`public`, `none`, Safe},
+		{`u -> [u] + User::Find({isAdmin: true})`, `u -> [u]`, Safe},
+		{`none`, `public`, Violation},
+		{`u -> User::Find({adminLevel: 2})`, `u -> User::Find({adminLevel >= 1})`, Violation},
+	}
+	type pair struct{ old, new ast.Policy }
+	pairs := make([]pair, len(cases))
+	for i, tc := range cases {
+		pairs[i] = pair{policyOn(t, s, "User", tc.old), policyOn(t, s, "User", tc.new)}
+	}
+
+	// Reference counterexamples from a cold sequential pass.
+	refs := make([]string, len(cases))
+	for i, p := range pairs {
+		res, err := c.CheckStrictness("User", p.old, p.new)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != cases[i].want {
+			t.Fatalf("case %d: cold verdict %v, want %v", i, res.Verdict, cases[i].want)
+		}
+		if res.Counterexample != nil {
+			refs[i] = res.Counterexample.String()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := (w + i) % len(cases)
+				res, err := c.CheckStrictness("User", pairs[k].old, pairs[k].new)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Verdict != cases[k].want {
+					errs <- fmt.Errorf("case %d: verdict %v, want %v", k, res.Verdict, cases[k].want)
+					return
+				}
+				got := ""
+				if res.Counterexample != nil {
+					got = res.Counterexample.String()
+				}
+				if got != refs[k] {
+					errs <- fmt.Errorf("case %d: counterexample diverged from cold run:\n%s\nvs\n%s", k, got, refs[k])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, _, _ := c.Cache.Counters()
+	if hits == 0 {
+		t.Error("expected cache hits during concurrent re-verification")
+	}
+	if n := c.Stats.Snapshot().CacheHits; n != hits {
+		t.Errorf("Stats.CacheHits = %d, cache reports %d", n, hits)
+	}
+}

@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats aggregates verification counters across every query routed through
+// a Checker (or a whole migration history, when shared via
+// migrate.Options). All counters are atomic, so one Stats may be shared by
+// concurrent checkers; a nil *Stats is a valid no-op sink.
+type Stats struct {
+	// CacheHits / CacheMisses count verdict-cache lookups. Misses are
+	// counted only when a cache is attached.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// QueriesSolved counts leakage queries actually handed to the SMT
+	// solver (cache hits skip the solver entirely).
+	QueriesSolved atomic.Int64
+	// SolverRounds and TheoryChecks accumulate the CDCL(T) loop's own
+	// counters; Conflicts, Decisions and Propagations come from the SAT
+	// core (sat.Stats()).
+	SolverRounds atomic.Int64
+	TheoryChecks atomic.Int64
+	Conflicts    atomic.Int64
+	Decisions    atomic.Int64
+	Propagations atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Stats, safe to compare and print.
+type Snapshot struct {
+	CacheHits, CacheMisses             int64
+	QueriesSolved                      int64
+	SolverRounds, TheoryChecks         int64
+	Conflicts, Decisions, Propagations int64
+}
+
+// Snapshot returns the current counter values. Nil-safe.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		CacheHits:     s.CacheHits.Load(),
+		CacheMisses:   s.CacheMisses.Load(),
+		QueriesSolved: s.QueriesSolved.Load(),
+		SolverRounds:  s.SolverRounds.Load(),
+		TheoryChecks:  s.TheoryChecks.Load(),
+		Conflicts:     s.Conflicts.Load(),
+		Decisions:     s.Decisions.Load(),
+		Propagations:  s.Propagations.Load(),
+	}
+}
+
+// Sub returns the delta snapshot s - prev; used by benchmarks to report
+// per-phase counters.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		CacheHits:     s.CacheHits - prev.CacheHits,
+		CacheMisses:   s.CacheMisses - prev.CacheMisses,
+		QueriesSolved: s.QueriesSolved - prev.QueriesSolved,
+		SolverRounds:  s.SolverRounds - prev.SolverRounds,
+		TheoryChecks:  s.TheoryChecks - prev.TheoryChecks,
+		Conflicts:     s.Conflicts - prev.Conflicts,
+		Decisions:     s.Decisions - prev.Decisions,
+		Propagations:  s.Propagations - prev.Propagations,
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"cache %d hit / %d miss · %d queries solved · %d rounds · %d theory checks · sat %d conflicts / %d decisions / %d propagations",
+		s.CacheHits, s.CacheMisses, s.QueriesSolved, s.SolverRounds,
+		s.TheoryChecks, s.Conflicts, s.Decisions, s.Propagations)
+}
+
+// recordSolve accumulates one solver run. Nil-safe.
+func (s *Stats) recordSolve(rounds, theoryChecks int, conflicts, decisions, propagations int64) {
+	if s == nil {
+		return
+	}
+	s.QueriesSolved.Add(1)
+	s.SolverRounds.Add(int64(rounds))
+	s.TheoryChecks.Add(int64(theoryChecks))
+	s.Conflicts.Add(conflicts)
+	s.Decisions.Add(decisions)
+	s.Propagations.Add(propagations)
+}
+
+func (s *Stats) recordHit() {
+	if s != nil {
+		s.CacheHits.Add(1)
+	}
+}
+
+func (s *Stats) recordMiss() {
+	if s != nil {
+		s.CacheMisses.Add(1)
+	}
+}

@@ -50,7 +50,15 @@ type Result struct {
 	Incomplete bool
 }
 
-// Checker runs strictness checks against a schema.
+// DefaultSolverRounds is the per-query cap on the lazy SMT loop used when
+// no explicit budget is configured (migrate.Options.SolverRounds, the
+// sidecar -solver-rounds flag).
+const DefaultSolverRounds = 20000
+
+// Checker runs strictness checks against a schema. A Checker is safe for
+// concurrent use as long as Schema and Defs are not mutated while checks
+// run: per-query state lives in a fresh lowering context and solver, the
+// Cache is internally locked, and Stats is atomic.
 type Checker struct {
 	Schema *schema.Schema
 	// Defs carries the prior definitions of the current migration script.
@@ -60,6 +68,12 @@ type Checker struct {
 	// DisableCoreMinimization passes through to the SMT solver; exposed
 	// for the ablation benchmarks.
 	DisableCoreMinimization bool
+	// Cache, when set, memoizes verdicts keyed by the query's canonical
+	// fingerprint (alpha-equivalent queries share an entry). Violation
+	// entries retain the rendered counterexample.
+	Cache *Cache
+	// Stats, when set, accumulates query/solver counters.
+	Stats *Stats
 }
 
 // New returns a checker. defs may be nil when no prior definitions apply.
@@ -67,7 +81,7 @@ func New(s *schema.Schema, defs *equiv.Defs) *Checker {
 	if defs == nil {
 		defs = equiv.New()
 	}
-	return &Checker{Schema: s, Defs: defs, SolverRounds: 20000}
+	return &Checker{Schema: s, Defs: defs, SolverRounds: DefaultSolverRounds}
 }
 
 // CheckStrictness proves that pNew is at least as strict as pOld for an
@@ -139,11 +153,24 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 		out.err = fmt.Errorf("lowering flow %s -> %s for principal kind %s: %w", srcModel, dstModel, kind, err)
 		return
 	}
+	var key CacheKey
+	if c.Cache != nil {
+		key = QueryKey(q, c.SolverRounds, c.DisableCoreMinimization)
+		if res, ok := c.Cache.Lookup(key); ok {
+			c.Stats.recordHit()
+			out.res = &res
+			return
+		}
+		c.Stats.recordMiss()
+	}
 	s := solver.New(q.B)
 	s.MaxRounds = c.SolverRounds
 	s.DisableCoreMinimization = c.DisableCoreMinimization
 	s.Assert(q.Formula)
-	switch s.Check() {
+	status := s.Check()
+	conflicts, decisions, props := s.SATStats()
+	c.Stats.recordSolve(s.Rounds, s.TheoryChecks, conflicts, decisions, props)
+	switch status {
 	case solver.Unsat:
 		out.res = &Result{Verdict: Safe, Incomplete: q.Incomplete}
 	case solver.Unknown:
@@ -151,6 +178,9 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 	case solver.Sat:
 		ce := renderCounterexample(c.Schema, q, s.Model())
 		out.res = &Result{Verdict: Violation, Kind: kind, Counterexample: ce, Incomplete: q.Incomplete}
+	}
+	if c.Cache != nil {
+		c.Cache.Insert(key, *out.res)
 	}
 	return
 }
