@@ -11,20 +11,31 @@
 // the verdict cache shared across all scripts on the command line (0
 // disables it), and -stats prints cache/solver counters on exit.
 //
+// -timeout bounds the whole run and -proof-timeout bounds each individual
+// strictness proof. An exhausted budget is never an error: the affected
+// proof reports UNKNOWN with the reason (deadline, solver round cap, ...)
+// and the process exits 3 so CI can distinguish "retry with a larger
+// budget" from a real violation. Interrupting the run (Ctrl-C) degrades
+// the same way.
+//
 // Exit status is 0 when every check passes, 1 on a violation (the
-// counterexample is printed), and 2 on usage or parse errors.
+// counterexample is printed), 2 on usage or parse errors, and 3 when a
+// proof is inconclusive (budget exhausted or undecidable fragment).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"scooter/internal/ast"
 	"scooter/internal/migrate"
 	"scooter/internal/parser"
 	"scooter/internal/schema"
+	"scooter/internal/smt/limits"
 	"scooter/internal/typer"
 	"scooter/internal/verify"
 )
@@ -34,6 +45,9 @@ func main() {
 	strictness := flag.Bool("check-strictness", false, "compare two policies instead of verifying scripts")
 	noEquiv := flag.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
 	solverRounds := flag.Int("solver-rounds", 0, "per-query SMT round budget (0 = default)")
+	solverConflicts := flag.Int64("solver-conflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	proofTimeout := flag.Duration("proof-timeout", 0, "wall-clock budget per strictness proof (0 = none)")
 	cacheSize := flag.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
 	showStats := flag.Bool("stats", false, "print verification statistics on exit")
 	flag.Parse()
@@ -44,21 +58,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C and -timeout both flow through one context; proofs in flight
+	// when it fires finish as UNKNOWN instead of being killed mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *strictness {
 		if flag.NArg() != 3 {
 			fmt.Fprintln(os.Stderr, "sidecar: -check-strictness needs MODEL OLD_POLICY NEW_POLICY")
-			os.Exit(2)
+			exit(stop, 2)
 		}
-		os.Exit(checkStrictness(s, flag.Arg(0), flag.Arg(1), flag.Arg(2), *solverRounds))
+		lim := limits.New(ctx)
+		if *proofTimeout > 0 {
+			lim = lim.WithTimeout(*proofTimeout)
+		}
+		exit(stop, checkStrictness(s, flag.Arg(0), flag.Arg(1), flag.Arg(2), *solverRounds, *solverConflicts, lim))
 	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "sidecar: no migration scripts given")
-		os.Exit(2)
+		exit(stop, 2)
 	}
 	opts := migrate.DefaultOptions()
 	opts.TrackEquivalences = !*noEquiv
 	opts.SolverRounds = *solverRounds
+	opts.SolverConflicts = *solverConflicts
+	opts.Context = ctx
+	opts.ProofTimeout = *proofTimeout
 	// One cache and stats block spans every script on the command line, so
 	// re-proved queries across a whole migration history hit the cache.
 	if *cacheSize > 0 {
@@ -70,6 +101,13 @@ func main() {
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "sidecar: %s\n", stats.Snapshot())
 	}
+	exit(stop, code)
+}
+
+// exit releases the signal handler before terminating; os.Exit skips
+// deferred calls.
+func exit(stop context.CancelFunc, code int) {
+	stop()
 	os.Exit(code)
 }
 
@@ -91,6 +129,10 @@ func verifyScripts(s *schema.Schema, paths []string, opts migrate.Options) int {
 		if err != nil {
 			var uerr *migrate.UnsafeError
 			if errors.As(err, &uerr) {
+				if uerr.Result != nil && uerr.Result.Verdict == verify.Inconclusive {
+					fmt.Printf("%s: UNKNOWN\n%v\n", path, uerr)
+					return 3
+				}
 				fmt.Printf("%s: UNSAFE\n%v\n", path, uerr)
 				return 1
 			}
@@ -122,7 +164,7 @@ func loadSpec(path string) (*schema.Schema, error) {
 	return s, nil
 }
 
-func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRounds int) int {
+func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRounds int, solverConflicts int64, lim *limits.Checker) int {
 	parse := func(src string) (ast.Policy, bool) {
 		p, err := parser.ParsePolicy(src)
 		if err != nil {
@@ -147,6 +189,8 @@ func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRound
 	if solverRounds > 0 {
 		checker.SolverRounds = solverRounds
 	}
+	checker.SolverConflicts = solverConflicts
+	checker.Limits = lim
 	res, err := checker.CheckStrictness(model, pOld, pNew)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
@@ -157,11 +201,19 @@ func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRound
 		fmt.Println("OK: the new policy is at least as strict as the old one")
 		return 0
 	case verify.Inconclusive:
-		fmt.Println("INCONCLUSIVE: the policies use features beyond the decidable fragment (§6.1)")
-		return 1
+		fmt.Printf("UNKNOWN: %s\n", inconclusiveReason(res))
+		return 3
 	default:
 		fmt.Println("UNSAFE: the new policy admits principals the old one rejects")
 		fmt.Print(res.Counterexample)
 		return 1
 	}
+}
+
+// inconclusiveReason names the budget an Inconclusive verdict ran out of.
+func inconclusiveReason(res *verify.Result) string {
+	if res.Why != nil {
+		return res.Why.Error() + " — raise the budget and retry"
+	}
+	return "the policies use features beyond the decidable fragment (§6.1)"
 }

@@ -1,0 +1,101 @@
+package casestudies
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"scooter/internal/migrate"
+	"scooter/internal/smt/limits"
+	"scooter/internal/verify"
+)
+
+// requireGraceful asserts that a corpus replay under an exhausted budget
+// degrades the way the verifier promises: either the study still verifies
+// (its scripts carry no SMT proof obligations) or the failure is an
+// UnsafeError whose result is Inconclusive and names the exhausted budget.
+// Anything else — a panic, a bare error, a fabricated verdict — fails.
+func requireGraceful(t *testing.T, study *Study, err error, want limits.Reason) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var ue *migrate.UnsafeError
+	if !errors.As(err, &ue) {
+		t.Fatalf("%s: want a per-command UnsafeError, got %T: %v", study.Key, err, err)
+	}
+	if ue.Result == nil || ue.Result.Verdict != verify.Inconclusive {
+		t.Fatalf("%s: an exhausted proof must be Inconclusive, got %+v", study.Key, ue.Result)
+	}
+	if ue.Result.Why == nil || ue.Result.Why.Reason != want {
+		t.Fatalf("%s: want %v exhaustion, got %v", study.Key, want, ue.Result.Why)
+	}
+	if ue.Result.Counterexample != nil {
+		t.Fatalf("%s: an inconclusive proof must not fabricate a counterexample", study.Key)
+	}
+}
+
+// TestCorpusReplayUnderProofDeadline replays every case study with a
+// sub-nanosecond per-proof budget: the whole corpus must complete without a
+// panic, reporting each timed-out proof as a reasoned Unknown.
+func TestCorpusReplayUnderProofDeadline(t *testing.T) {
+	studies, err := Studies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := migrate.DefaultOptions()
+	opts.ProofTimeout = time.Nanosecond
+	sawTimeout := false
+	for _, study := range studies {
+		_, _, err := study.BuildOpts(opts)
+		requireGraceful(t, study, err, limits.Deadline)
+		sawTimeout = sawTimeout || err != nil
+	}
+	if !sawTimeout {
+		t.Fatal("no study carries an SMT proof obligation; the deadline path went unexercised")
+	}
+}
+
+// TestCorpusReplayUnderCanceledContext replays the corpus under an
+// already-canceled global context, as a Ctrl-C before the first proof
+// would leave it: every pending proof reports cancellation, nothing hangs.
+func TestCorpusReplayUnderCanceledContext(t *testing.T) {
+	studies, err := Studies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := migrate.DefaultOptions()
+	opts.Context = ctx
+	for _, study := range studies {
+		_, _, err := study.BuildOpts(opts)
+		requireGraceful(t, study, err, limits.Canceled)
+	}
+}
+
+// TestCorpusReplayRecoversAfterTimeout: a replay that timed out leaves no
+// poisoned state behind — in particular nothing Inconclusive in a shared
+// verdict cache — so the same cache-carrying options verify cleanly once
+// the budget is lifted.
+func TestCorpusReplayRecoversAfterTimeout(t *testing.T) {
+	studies, err := Studies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := verify.NewCache(0)
+	opts := migrate.DefaultOptions()
+	opts.Cache = cache
+	opts.ProofTimeout = time.Nanosecond
+	for _, study := range studies {
+		_, _, err := study.BuildOpts(opts) // outcome checked above; here we only care about cache hygiene
+		requireGraceful(t, study, err, limits.Deadline)
+	}
+	opts.ProofTimeout = 0
+	for _, study := range studies {
+		if _, _, err := study.BuildOpts(opts); err != nil {
+			t.Fatalf("%s: replay with the budget lifted must verify (stale Unknown served from the cache?): %v", study.Key, err)
+		}
+	}
+}

@@ -107,7 +107,11 @@ func TestCorpusFingerprints(t *testing.T) {
 					sv := solver.New(q.B)
 					sv.MaxRounds = verify.DefaultSolverRounds
 					sv.Assert(q.Formula)
-					groups[k1] = append(groups[k1], entry{pp: pp, kind: kind, status: sv.Check()})
+					st, err := sv.Check()
+					if err != nil {
+						t.Fatal(err)
+					}
+					groups[k1] = append(groups[k1], entry{pp: pp, kind: kind, status: st})
 					distinct[[2]uint64(k1.Fp)] = true
 				}
 			}

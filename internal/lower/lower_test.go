@@ -64,7 +64,11 @@ func solveLeak(t *testing.T, s *schema.Schema, oldSrc, newSrc string) (solver.St
 	}
 	sv := solver.New(q.B)
 	sv.Assert(q.Formula)
-	return sv.Check(), q
+	st, err := sv.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, q
 }
 
 func TestPrincipalKinds(t *testing.T) {
@@ -171,8 +175,8 @@ func TestStaticKindQueries(t *testing.T) {
 	}
 	sv := solver.New(q.B)
 	sv.Assert(q.Formula)
-	if sv.Check() != solver.Sat {
-		t.Error("Admin gains access; the static-kind query must be sat")
+	if st, err := sv.Check(); err != nil || st != solver.Sat {
+		t.Errorf("Admin gains access; the static-kind query must be sat (got %v, %v)", st, err)
 	}
 	if q.PrincipalTerm == term.NilTerm {
 		t.Error("principal term missing")

@@ -7,15 +7,18 @@
 package migrate
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scooter/internal/ast"
 	"scooter/internal/dataflow"
 	"scooter/internal/equiv"
 	"scooter/internal/schema"
+	"scooter/internal/smt/limits"
 	"scooter/internal/typer"
 	"scooter/internal/verify"
 )
@@ -41,6 +44,17 @@ type Options struct {
 	// of overlapping them; results are identical either way (proofs are
 	// independent and reported in command order).
 	Sequential bool
+	// Context, when set, cancels verification: proofs still pending when it
+	// is done come back Inconclusive (never an error or a panic), so a
+	// Ctrl-C or a global -timeout yields a readable report.
+	Context context.Context
+	// ProofTimeout bounds the wall clock of each individual strictness
+	// proof. A proof that exceeds it yields Inconclusive with a deadline
+	// reason; sibling proofs are unaffected.
+	ProofTimeout time.Duration
+	// SolverConflicts, when positive, caps SAT conflicts per query
+	// (deterministic alternative to ProofTimeout).
+	SolverConflicts int64
 }
 
 // DefaultOptions returns the standard configuration.
@@ -139,11 +153,16 @@ func Verify(before *schema.Schema, script *ast.MigrationScript, opts Options) (*
 
 // deferredCheck is one SMT-backed proof obligation, closed over the
 // snapshot of schema and prior definitions current at its command. The
-// registration order of checks equals sequential verification order.
-type deferredCheck func() error
+// registration order of checks equals sequential verification order. The
+// limits checker carries the proof's deadline/cancellation budget (nil
+// when none is configured).
+type deferredCheck func(*limits.Checker) error
 
 // runDeferred solves the deferred proof obligations with a bounded worker
 // pool and returns the earliest failure in registration (command) order.
+// Each proof gets its own limits checker, so a timed-out proof never takes
+// down its siblings; a panicking proof is contained to an error for its
+// command rather than crashing the pool.
 func runDeferred(checks []deferredCheck, opts Options) error {
 	if len(checks) == 0 {
 		return nil
@@ -158,7 +177,7 @@ func runDeferred(checks []deferredCheck, opts Options) error {
 	errs := make([]error, len(checks))
 	if workers == 1 {
 		for i, check := range checks {
-			errs[i] = check()
+			errs[i] = runCheck(check, opts)
 		}
 	} else {
 		var next atomic.Int64
@@ -172,7 +191,7 @@ func runDeferred(checks []deferredCheck, opts Options) error {
 					if i >= len(checks) {
 						return
 					}
-					errs[i] = checks[i]()
+					errs[i] = runCheck(checks[i], opts)
 				}
 			}()
 		}
@@ -186,15 +205,55 @@ func runDeferred(checks []deferredCheck, opts Options) error {
 	return nil
 }
 
+// runCheck runs one deferred proof under a fresh limits checker. The
+// per-proof deadline starts when the proof starts, not when it was
+// registered, so queueing delay does not eat the budget.
+func runCheck(check deferredCheck, opts Options) (err error) {
+	var lc *limits.Checker
+	if opts.Context != nil || opts.ProofTimeout > 0 {
+		lc = limits.New(opts.Context)
+		if opts.ProofTimeout > 0 {
+			lc = lc.WithTimeout(opts.ProofTimeout)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: strictness proof panicked: %v", r)
+		}
+	}()
+	return check(lc)
+}
+
 // newChecker builds a verify.Checker configured by opts.
 func newChecker(s *schema.Schema, defs *equiv.Defs, opts Options) *verify.Checker {
 	c := verify.New(s, defs)
 	if opts.SolverRounds > 0 {
 		c.SolverRounds = opts.SolverRounds
 	}
+	c.SolverConflicts = opts.SolverConflicts
 	c.Cache = opts.Cache
 	c.Stats = opts.Stats
 	return c
+}
+
+// withLimits attaches a proof's limits checker to a shallow copy of the
+// command's verify.Checker: the checker may be shared by sibling proofs
+// (UpdateFieldPolicy read+write), so the per-proof budget must not be
+// written into the shared struct.
+func withLimits(c *verify.Checker, lc *limits.Checker) *verify.Checker {
+	ck := *c
+	ck.Limits = lc
+	return &ck
+}
+
+// inconclusiveDetail renders an exhausted strictness proof for UnsafeError,
+// naming the budget that ran out.
+func inconclusiveDetail(what string, res *verify.Result) string {
+	msg := "strictness proof for " + what + " is inconclusive"
+	if res.Why != nil {
+		msg += ": " + res.Why.Error()
+	}
+	return msg + " (raise the solver budget or timeout and retry, or use a Weaken* command to weaken intentionally)"
 }
 
 // verifyCommand type-checks a single command against the schema-so-far and
@@ -300,12 +359,17 @@ func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Comman
 			// definition tracker advances with the script, so clone it.
 			checker := newChecker(trial, defs.Clone(), opts)
 			model, init := c.ModelName, c.Init
-			checks = append(checks, func() error {
-				leak, err := checker.CheckAddFieldLeaks(model, field, init, flows)
+			checks = append(checks, func(lc *limits.Checker) error {
+				leak, err := withLimits(checker, lc).CheckAddFieldLeaks(model, field, init, flows)
 				if err != nil {
 					return fail(err.Error(), nil, nil)
 				}
 				if leak != nil {
+					if leak.Result.Verdict == verify.Inconclusive {
+						return fail(inconclusiveDetail(
+							fmt.Sprintf("dataflow %s -> %s.%s", leak.Flow.SrcModel+"."+leak.Flow.SrcField, model, field.Name),
+							leak.Result), leak.Result, &leak.Flow)
+					}
 					return fail(
 						fmt.Sprintf("data leak: %s flows to %s.%s but has a stricter read policy",
 							leak.Flow.SrcModel+"."+leak.Flow.SrcField, model, field.Name),
@@ -342,10 +406,13 @@ func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Comman
 			}
 			checker := newChecker(cur.Snapshot(), defs.Clone(), opts)
 			model, op, newPol := c.ModelName, c.Op, c.NewPolicy
-			checks = append(checks, func() error {
-				res, err := checker.CheckStrictness(model, old, newPol)
+			checks = append(checks, func(lc *limits.Checker) error {
+				res, err := withLimits(checker, lc).CheckStrictness(model, old, newPol)
 				if err != nil {
 					return fail(err.Error(), nil, nil)
+				}
+				if res.Verdict == verify.Inconclusive {
+					return fail(inconclusiveDetail(fmt.Sprintf("the %s policy", op), res), res, nil)
 				}
 				if res.Verdict != verify.Safe {
 					return fail(
@@ -396,10 +463,13 @@ func verifyCommand(cur *schema.Schema, defs *equiv.Defs, idx int, cmd ast.Comman
 			}
 			ck, model, field := checker, c.ModelName, c.FieldName
 			old, newPol, op := upd.old, *upd.pol, upd.op
-			checks = append(checks, func() error {
-				res, err := ck.CheckStrictness(model, old, newPol)
+			checks = append(checks, func(lc *limits.Checker) error {
+				res, err := withLimits(ck, lc).CheckStrictness(model, old, newPol)
 				if err != nil {
 					return fail(err.Error(), nil, nil)
+				}
+				if res.Verdict == verify.Inconclusive {
+					return fail(inconclusiveDetail(fmt.Sprintf("the %s policy of %s.%s", op, model, field), res), res, nil)
 				}
 				if res.Verdict != verify.Safe {
 					return fail(

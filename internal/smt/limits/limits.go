@@ -1,0 +1,158 @@
+// Package limits provides the shared cancellation and resource-budget
+// vocabulary of the verification stack. Every engine below verify — the
+// CDCL(T) solver, the SAT core, the simplex — reports giving up as a typed
+// *Exhausted status instead of panicking or hanging, and polls a *Checker
+// for wall-clock deadlines and context cancellation from its hot loop.
+//
+// The design follows the paper's §6.1 position (and Mediator/Formulog
+// practice) that resource exhaustion is a first-class, reported outcome: a
+// query outside the budget yields a deterministic "unknown" verdict
+// carrying the reason, never a crash.
+package limits
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Reason classifies why a solver gave up.
+type Reason int
+
+// Exhaustion reasons.
+const (
+	// Deadline means a wall-clock deadline (per proof or global) passed.
+	Deadline Reason = iota
+	// Canceled means the run's context was canceled.
+	Canceled
+	// PivotBudget means the simplex exhausted its pivot cap.
+	PivotBudget
+	// ConflictBudget means the SAT core exhausted its conflict cap.
+	ConflictBudget
+	// RoundCap means the lazy CDCL(T) refinement loop hit its round cap.
+	RoundCap
+	// BranchBudget means integer branch-and-bound hit its depth cap.
+	BranchBudget
+)
+
+func (r Reason) String() string {
+	switch r {
+	case Deadline:
+		return "deadline"
+	case Canceled:
+		return "canceled"
+	case PivotBudget:
+		return "pivot budget"
+	case ConflictBudget:
+		return "conflict budget"
+	case RoundCap:
+		return "round cap"
+	case BranchBudget:
+		return "branch budget"
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// Exhausted is the typed resource-exhaustion status. It implements error
+// so it can flow through error-returning plumbing, and callers recover it
+// with errors.As (or IsExhausted) to convert it into an Unknown verdict
+// rather than a failure.
+type Exhausted struct {
+	Reason Reason
+	// Detail carries partial progress stats ("after 200000 pivots").
+	Detail string
+}
+
+func (e *Exhausted) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("resource exhausted: %s", e.Reason)
+	}
+	return fmt.Sprintf("resource exhausted: %s (%s)", e.Reason, e.Detail)
+}
+
+// Budget constructs an Exhausted status for a non-time resource cap.
+func Budget(r Reason, format string, args ...any) *Exhausted {
+	return &Exhausted{Reason: r, Detail: fmt.Sprintf(format, args...)}
+}
+
+// AsExhausted extracts an *Exhausted from an error chain, or nil.
+func AsExhausted(err error) *Exhausted {
+	var ex *Exhausted
+	if errors.As(err, &ex) {
+		return ex
+	}
+	return nil
+}
+
+// Checker is a cheap, concurrency-safe poll for cancellation and
+// wall-clock deadlines. A nil *Checker is valid and never expires, so the
+// plumbing below verify stays optional. Once expired, the status is cached
+// and every later poll is a single atomic load.
+type Checker struct {
+	ctx      context.Context // may be nil: cancellation not observed
+	deadline time.Time       // zero: no deadline
+	expired  atomic.Pointer[Exhausted]
+}
+
+// New returns a checker observing ctx's cancellation and deadline. A nil
+// ctx yields a checker that never expires.
+func New(ctx context.Context) *Checker {
+	c := &Checker{ctx: ctx}
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok {
+			c.deadline = d
+		}
+	}
+	return c
+}
+
+// WithDeadline returns a derived checker that also expires at t (the
+// tighter of t and the receiver's own deadline wins). The receiver may be
+// nil. No timer is armed: expiry is observed by polling.
+func (c *Checker) WithDeadline(t time.Time) *Checker {
+	d := &Checker{deadline: t}
+	if c != nil {
+		d.ctx = c.ctx
+		if !c.deadline.IsZero() && c.deadline.Before(t) {
+			d.deadline = c.deadline
+		}
+	}
+	return d
+}
+
+// WithTimeout is WithDeadline(now + d).
+func (c *Checker) WithTimeout(d time.Duration) *Checker {
+	return c.WithDeadline(time.Now().Add(d))
+}
+
+// Expired reports whether the checker's context is done or its deadline
+// has passed, returning the typed status (nil while work may continue).
+// Nil-safe; cheap enough to call from conflict/pivot loops at a small
+// stride.
+func (c *Checker) Expired() *Exhausted {
+	if c == nil {
+		return nil
+	}
+	if ex := c.expired.Load(); ex != nil {
+		return ex
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			reason := Canceled
+			if errors.Is(err, context.DeadlineExceeded) {
+				reason = Deadline
+			}
+			ex := &Exhausted{Reason: reason, Detail: err.Error()}
+			c.expired.CompareAndSwap(nil, ex)
+			return c.expired.Load()
+		}
+	}
+	if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
+		ex := &Exhausted{Reason: Deadline, Detail: "deadline exceeded"}
+		c.expired.CompareAndSwap(nil, ex)
+		return c.expired.Load()
+	}
+	return nil
+}

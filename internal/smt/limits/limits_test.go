@@ -1,0 +1,94 @@
+package limits
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerNeverExpires(t *testing.T) {
+	var c *Checker
+	if ex := c.Expired(); ex != nil {
+		t.Fatalf("nil checker expired: %v", ex)
+	}
+	if ex := New(nil).Expired(); ex != nil {
+		t.Fatalf("nil-context checker expired: %v", ex)
+	}
+}
+
+func TestCheckerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx)
+	if ex := c.Expired(); ex != nil {
+		t.Fatalf("expired before cancel: %v", ex)
+	}
+	cancel()
+	ex := c.Expired()
+	if ex == nil || ex.Reason != Canceled {
+		t.Fatalf("want Canceled, got %v", ex)
+	}
+	// Cached: later polls return the same status.
+	if again := c.Expired(); again != ex {
+		t.Fatalf("expired status not cached: %p vs %p", again, ex)
+	}
+}
+
+func TestCheckerDeadline(t *testing.T) {
+	c := New(nil).WithDeadline(time.Now().Add(-time.Second))
+	ex := c.Expired()
+	if ex == nil || ex.Reason != Deadline {
+		t.Fatalf("want Deadline, got %v", ex)
+	}
+}
+
+func TestCheckerContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	ex := New(ctx).Expired()
+	if ex == nil || ex.Reason != Deadline {
+		t.Fatalf("want Deadline from expired context, got %v", ex)
+	}
+}
+
+func TestWithDeadlineTakesTighter(t *testing.T) {
+	near := time.Now().Add(-time.Minute)
+	far := time.Now().Add(time.Hour)
+	c := New(nil).WithDeadline(near).WithDeadline(far)
+	if ex := c.Expired(); ex == nil || ex.Reason != Deadline {
+		t.Fatalf("tighter parent deadline must win: %v", ex)
+	}
+	// A nil receiver works too.
+	var nilc *Checker
+	if ex := nilc.WithTimeout(time.Hour).Expired(); ex != nil {
+		t.Fatalf("fresh timeout expired immediately: %v", ex)
+	}
+}
+
+func TestExhaustedAsError(t *testing.T) {
+	err := fmt.Errorf("solving: %w", Budget(PivotBudget, "%d pivots", 42))
+	ex := AsExhausted(err)
+	if ex == nil || ex.Reason != PivotBudget || ex.Detail != "42 pivots" {
+		t.Fatalf("AsExhausted through wrap: %v", ex)
+	}
+	if AsExhausted(errors.New("plain")) != nil {
+		t.Fatal("plain error is not Exhausted")
+	}
+	want := "resource exhausted: pivot budget (42 pivots)"
+	if got := ex.Error(); got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r, want := range map[Reason]string{
+		Deadline: "deadline", Canceled: "canceled", PivotBudget: "pivot budget",
+		ConflictBudget: "conflict budget", RoundCap: "round cap", BranchBudget: "branch budget",
+	} {
+		if r.String() != want {
+			t.Errorf("Reason %d = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}

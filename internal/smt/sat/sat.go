@@ -7,6 +7,8 @@ package sat
 
 import (
 	"fmt"
+
+	"scooter/internal/smt/limits"
 )
 
 // Var is a propositional variable, numbered from 0.
@@ -116,6 +118,17 @@ type Solver struct {
 	// maxLearnts triggers learnt-clause reduction; it grows geometrically
 	// so the clause database stays bounded relative to the problem.
 	maxLearnts int
+
+	// MaxConflicts, when positive, caps the total conflicts one Solve call
+	// may spend (across restarts). Exhausting it returns Unknown with
+	// Exhaustion() reporting the conflict budget.
+	MaxConflicts int64
+	// Limits, when set, is polled in the conflict loop so deadlines and
+	// cancellation interrupt the search.
+	Limits *limits.Checker
+
+	conflictLimit int64 // lifetime-conflict value that ends this Solve; 0 = none
+	why           *limits.Exhausted
 }
 
 // New returns an empty solver.
@@ -507,17 +520,34 @@ func luby(base int64, i int64) int64 {
 }
 
 // Solve determines satisfiability under the given assumptions. On Sat, the
-// model is available through Value. Assumptions that conflict produce Unsat.
+// model is available through Value. Assumptions that conflict produce
+// Unsat. When the conflict budget (MaxConflicts) runs out or Limits
+// expires, Solve returns Unknown and Exhaustion() reports why; the solver
+// stays usable (learnt clauses are kept) for a later retry.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
 	s.backtrackTo(0)
+	s.why = nil
+	s.conflictLimit = 0
+	if s.MaxConflicts > 0 {
+		s.conflictLimit = s.conflicts + s.MaxConflicts
+	}
 
 	restart := int64(0)
 	for {
-		maxConflicts := luby(100, restart)
-		st := s.search(maxConflicts, assumptions)
+		if s.why == nil {
+			if ex := s.Limits.Expired(); ex != nil {
+				s.why = ex
+			}
+		}
+		if s.why != nil {
+			s.backtrackTo(0)
+			return Unknown
+		}
+		restartBudget := luby(100, restart)
+		st := s.search(restartBudget, assumptions)
 		if st != Unknown {
 			if st == Sat {
 				return Sat
@@ -530,8 +560,13 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 }
 
-// search runs CDCL until a verdict or the conflict budget is exhausted.
-func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
+// Exhaustion reports why the last Solve returned Unknown; nil after a Sat
+// or Unsat verdict.
+func (s *Solver) Exhaustion() *limits.Exhausted { return s.why }
+
+// search runs CDCL until a verdict, a restart (Unknown with no exhaustion
+// recorded), or resource exhaustion (Unknown with s.why set).
+func (s *Solver) search(restartBudget int64, assumptions []Lit) Status {
 	conflictsHere := int64(0)
 	for {
 		confl := s.propagate()
@@ -539,8 +574,21 @@ func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
 			s.conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
+				// A root conflict is a definitive refutation; it outranks
+				// any budget so exhaustion never shadows Unsat.
 				s.ok = false
 				return Unsat
+			}
+			// The conflict loop is the natural poll point: conflicts
+			// dominate runtime on hard instances, and each one is costly
+			// enough that a clock read is in the noise.
+			if ex := s.Limits.Expired(); ex != nil {
+				s.why = ex
+				return Unknown
+			}
+			if s.conflictLimit > 0 && s.conflicts >= s.conflictLimit {
+				s.why = limits.Budget(limits.ConflictBudget, "after %d conflicts", s.MaxConflicts)
+				return Unknown
 			}
 			learnt, btLevel := s.analyze(confl)
 			// Never backtrack past the assumptions.
@@ -576,7 +624,7 @@ func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
 				s.backtrackTo(int32(s.assumedLevels(assumptions)))
 				s.reduceDB()
 			}
-			if conflictsHere >= maxConflicts {
+			if conflictsHere >= restartBudget {
 				return Unknown // restart
 			}
 			continue

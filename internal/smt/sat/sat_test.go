@@ -3,6 +3,9 @@ package sat
 import (
 	"math/rand"
 	"testing"
+	"time"
+
+	"scooter/internal/smt/limits"
 )
 
 func lit(i int) Lit {
@@ -320,5 +323,72 @@ func TestReduceDBSoundness(t *testing.T) {
 		if got != want {
 			t.Fatalf("iter %d: solver=%v brute=%v", iter, got, want)
 		}
+	}
+}
+
+// TestConflictBudgetExhaustion: a hard instance under a tiny conflict
+// budget yields Unknown with a conflict-budget reason — never a bogus
+// verdict, never a hang.
+func TestConflictBudgetExhaustion(t *testing.T) {
+	s := pigeonhole(7)
+	s.MaxConflicts = 10
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("PHP(7) under 10 conflicts: got %v, want Unknown", st)
+	}
+	ex := s.Exhaustion()
+	if ex == nil || ex.Reason != limits.ConflictBudget {
+		t.Fatalf("want conflict-budget exhaustion, got %v", ex)
+	}
+	// Lifting the budget on the same solver completes the proof: learnt
+	// clauses from the budgeted attempt are retained, not corrupted.
+	s.MaxConflicts = 0
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(7) with no budget: got %v, want Unsat", st)
+	}
+	if s.Exhaustion() != nil {
+		t.Fatalf("definitive verdict must clear the exhaustion status")
+	}
+}
+
+// TestConflictBudgetUnderAssumptions: budget exhaustion under assumptions
+// reports Unknown, and the assumptions still decide cleanly once the
+// budget is lifted.
+func TestConflictBudgetUnderAssumptions(t *testing.T) {
+	s := pigeonhole(7)
+	extra := s.NewVar()
+	s.MaxConflicts = 5
+	if st := s.Solve(MkLit(extra, false)); st != Unknown {
+		t.Fatalf("budgeted solve under assumption: got %v, want Unknown", st)
+	}
+	if ex := s.Exhaustion(); ex == nil || ex.Reason != limits.ConflictBudget {
+		t.Fatalf("want conflict-budget exhaustion, got %v", ex)
+	}
+	s.MaxConflicts = 0
+	if st := s.Solve(MkLit(extra, false)); st != Unsat {
+		t.Fatalf("unbudgeted solve under assumption: got %v, want Unsat", st)
+	}
+}
+
+// TestDeadlineExhaustion: an already-expired deadline interrupts the
+// search at its first conflict.
+func TestDeadlineExhaustion(t *testing.T) {
+	s := pigeonhole(7)
+	s.Limits = limits.New(nil).WithDeadline(time.Now().Add(-time.Second))
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("expired deadline: got %v, want Unknown", st)
+	}
+	if ex := s.Exhaustion(); ex == nil || ex.Reason != limits.Deadline {
+		t.Fatalf("want deadline exhaustion, got %v", ex)
+	}
+}
+
+// TestEasyInstanceIgnoresDeadline: a formula decided by propagation alone
+// never reaches the conflict-loop poll, so even an expired deadline does
+// not block trivial verdicts.
+func TestTrivialSatUnderBudget(t *testing.T) {
+	s := addDimacs(2, [][]int{{1}, {2}})
+	s.MaxConflicts = 1
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("trivial instance under budget: got %v, want Sat", st)
 	}
 }

@@ -113,7 +113,7 @@ func TestSimplexIntegerAgainstBruteForce(t *testing.T) {
 			s.AddConstraint(Constraint{Terms: terms, Op: c.op, K: big.NewRat(c.k, 1)})
 		}
 
-		got := s.Check()
+		got := checkOK(t, s)
 		want := bruteSolve(cons, nVars, 6)
 		if got != want {
 			t.Fatalf("iter %d: solver=%v brute=%v cons=%+v", iter, got, want, cons)
@@ -174,8 +174,8 @@ func TestSimplexRationalRelaxation(t *testing.T) {
 			}
 			return s
 		}
-		intSat := build(true).Check()
-		ratSat := build(false).Check()
+		intSat := checkOK(t, build(true))
+		ratSat := checkOK(t, build(false))
 		if intSat && !ratSat {
 			t.Fatalf("iter %d: integer-sat but rational-unsat: %+v", iter, cons)
 		}

@@ -8,6 +8,8 @@ package simplex
 import (
 	"fmt"
 	"math/big"
+
+	"scooter/internal/smt/limits"
 )
 
 // VarID identifies a variable.
@@ -70,14 +72,23 @@ type Solver struct {
 	upper []*QDelta
 	beta  []QDelta // current assignment
 
-	// maxPivots bounds the pivot count as a defensive measure; Bland's
-	// rule guarantees termination, so hitting it indicates a bug.
-	maxPivots int
+	// MaxPivots bounds the pivot count as a defensive measure; Bland's
+	// rule guarantees termination, so hitting it indicates a bug — but
+	// rather than crash, Check reports a typed exhaustion status.
+	MaxPivots int
+	// MaxBranchDepth bounds integer branch-and-bound recursion.
+	MaxBranchDepth int
+	// Limits, when set, is polled in the pivot loop so a wall-clock
+	// deadline or cancellation interrupts even a single hard tableau.
+	Limits *limits.Checker
 }
 
 // New returns an empty solver.
 func New() *Solver {
-	return &Solver{rows: map[int]map[int]*big.Rat{}, basic: map[int]bool{}, maxPivots: 200000}
+	return &Solver{
+		rows: map[int]map[int]*big.Rat{}, basic: map[int]bool{},
+		MaxPivots: 200000, MaxBranchDepth: 40,
+	}
 }
 
 // NewVar allocates a variable; integer variables participate in
@@ -94,16 +105,19 @@ func (s *Solver) AddConstraint(c Constraint) {
 	s.constraints = append(s.constraints, c)
 }
 
-// Check decides feasibility. On success, Value returns a model.
-func (s *Solver) Check() bool {
-	if !s.checkRational() {
-		return false
+// Check decides feasibility. On success, Value returns a model. A non-nil
+// error is always a *limits.Exhausted status (pivot budget, branch budget,
+// deadline, or cancellation): the query was abandoned, not refuted.
+func (s *Solver) Check() (bool, error) {
+	ok, err := s.checkRational()
+	if err != nil || !ok {
+		return false, err
 	}
-	return s.branchAndBound(40)
+	return s.branchAndBound(s.MaxBranchDepth)
 }
 
 // checkRational builds the tableau and runs the primal bounded simplex.
-func (s *Solver) checkRational() bool {
+func (s *Solver) checkRational() (bool, error) {
 	nSlack := len(s.constraints)
 	s.total = s.numVars + nSlack
 	s.rows = map[int]map[int]*big.Rat{}
@@ -153,7 +167,7 @@ func (s *Solver) checkRational() bool {
 	// Quick infeasibility: crossed bounds.
 	for v := 0; v < s.total; v++ {
 		if s.lower[v] != nil && s.upper[v] != nil && s.lower[v].Cmp(*s.upper[v]) > 0 {
-			return false
+			return false, nil
 		}
 	}
 	// Initialise nonbasic variables within bounds, then recompute basics.
@@ -196,8 +210,15 @@ func (s *Solver) rowValue(row map[int]*big.Rat) QDelta {
 }
 
 // solve runs the check loop with Bland's rule.
-func (s *Solver) solve() bool {
-	for pivots := 0; pivots < s.maxPivots; pivots++ {
+func (s *Solver) solve() (bool, error) {
+	for pivots := 0; pivots < s.MaxPivots; pivots++ {
+		// Poll for deadline/cancellation at a small stride: pivots are
+		// heavyweight (big.Rat row updates), so the check is in the noise.
+		if pivots&63 == 0 {
+			if ex := s.Limits.Expired(); ex != nil {
+				return false, ex
+			}
+		}
 		// Find the smallest-index basic variable violating a bound.
 		violated := -1
 		below := false
@@ -215,7 +236,7 @@ func (s *Solver) solve() bool {
 			}
 		}
 		if violated == -1 {
-			return true
+			return true, nil
 		}
 		row := s.rows[violated]
 		// Find the smallest-index nonbasic variable that can compensate.
@@ -248,7 +269,7 @@ func (s *Solver) solve() bool {
 			}
 		}
 		if pivot == -1 {
-			return false // no compensating variable: infeasible
+			return false, nil // no compensating variable: infeasible
 		}
 		var target QDelta
 		if below {
@@ -258,7 +279,7 @@ func (s *Solver) solve() bool {
 		}
 		s.pivotAndUpdate(violated, pivot, target)
 	}
-	panic("simplex: pivot budget exhausted (cycling?)")
+	return false, limits.Budget(limits.PivotBudget, "after %d pivots", s.MaxPivots)
 }
 
 // pivotAndUpdate makes `enter` basic in place of `leave`, setting the value
@@ -351,14 +372,16 @@ func (s *Solver) Value(v VarID) *big.Rat {
 }
 
 // branchAndBound searches for an integral assignment to the integer
-// variables by recursive bound splitting.
-func (s *Solver) branchAndBound(depth int) bool {
+// variables by recursive bound splitting. Exhausting the depth cap is
+// reported as a typed status, not as infeasibility: giving up on a branch
+// must never masquerade as a refutation.
+func (s *Solver) branchAndBound(depth int) (bool, error) {
 	v := s.fractionalIntVar()
 	if v == -1 {
-		return true
+		return true, nil
 	}
 	if depth == 0 {
-		return false
+		return false, limits.Budget(limits.BranchBudget, "branch depth %d", s.MaxBranchDepth)
 	}
 	val := s.Value(VarID(v))
 	floor := ratFloor(val)
@@ -369,9 +392,8 @@ func (s *Solver) branchAndBound(depth int) bool {
 		Terms: []Monomial{{Coeff: big.NewRat(1, 1), Var: VarID(v)}},
 		Op:    Le, K: new(big.Rat).SetInt(floor),
 	})
-	if lo.checkRational() && lo.branchAndBound(depth-1) {
-		s.adopt(lo)
-		return true
+	if ok, err := s.branchInto(lo, depth); err != nil || ok {
+		return ok, err
 	}
 	// Branch x >= floor+1.
 	hi := cloneProblem(s)
@@ -380,11 +402,22 @@ func (s *Solver) branchAndBound(depth int) bool {
 		Terms: []Monomial{{Coeff: big.NewRat(1, 1), Var: VarID(v)}},
 		Op:    Ge, K: new(big.Rat).SetInt(ceil),
 	})
-	if hi.checkRational() && hi.branchAndBound(depth-1) {
-		s.adopt(hi)
-		return true
+	return s.branchInto(hi, depth)
+}
+
+// branchInto solves one branch-and-bound child and adopts its model on
+// success.
+func (s *Solver) branchInto(child *Solver, depth int) (bool, error) {
+	ok, err := child.checkRational()
+	if err != nil || !ok {
+		return false, err
 	}
-	return false
+	ok, err = child.branchAndBound(depth - 1)
+	if err != nil || !ok {
+		return false, err
+	}
+	s.adopt(child)
+	return true, nil
 }
 
 // fractionalIntVar returns a structural integer variable with a
@@ -402,11 +435,15 @@ func (s *Solver) fractionalIntVar() int {
 }
 
 // cloneProblem copies the constraint set (not the tableau) for branching.
+// Budgets and the limits checker carry over so every branch honours them.
 func cloneProblem(s *Solver) *Solver {
 	n := New()
 	n.numVars = s.numVars
 	n.isInt = append([]bool(nil), s.isInt...)
 	n.constraints = append([]Constraint(nil), s.constraints...)
+	n.MaxPivots = s.MaxPivots
+	n.MaxBranchDepth = s.MaxBranchDepth
+	n.Limits = s.Limits
 	return n
 }
 

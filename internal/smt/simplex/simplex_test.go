@@ -3,6 +3,9 @@ package simplex
 import (
 	"math/big"
 	"testing"
+	"time"
+
+	"scooter/internal/smt/limits"
 )
 
 func r(n, d int64) *big.Rat { return big.NewRat(n, d) }
@@ -13,12 +16,23 @@ func con(op Op, k int64, ms ...Monomial) Constraint {
 	return Constraint{Terms: ms, Op: op, K: big.NewRat(k, 1)}
 }
 
+// checkOK runs Check and fails the test on resource exhaustion: none of
+// these systems should come near a budget.
+func checkOK(t *testing.T, s *Solver) bool {
+	t.Helper()
+	ok, err := s.Check()
+	if err != nil {
+		t.Fatalf("unexpected exhaustion: %v", err)
+	}
+	return ok
+}
+
 func TestSimpleBounds(t *testing.T) {
 	s := New()
 	x := s.NewVar(false)
 	s.AddConstraint(con(Ge, 2, mono(1, x)))
 	s.AddConstraint(con(Le, 5, mono(1, x)))
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("2 <= x <= 5 is feasible")
 	}
 	v := s.Value(x)
@@ -32,7 +46,7 @@ func TestCrossedBoundsInfeasible(t *testing.T) {
 	x := s.NewVar(false)
 	s.AddConstraint(con(Ge, 5, mono(1, x)))
 	s.AddConstraint(con(Le, 2, mono(1, x)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("5 <= x <= 2 is infeasible")
 	}
 }
@@ -42,7 +56,7 @@ func TestStrictInequality(t *testing.T) {
 	x := s.NewVar(false)
 	s.AddConstraint(con(Gt, 0, mono(1, x)))
 	s.AddConstraint(con(Lt, 1, mono(1, x)))
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("0 < x < 1 is feasible over rationals")
 	}
 	v := s.Value(x)
@@ -56,14 +70,14 @@ func TestStrictInfeasible(t *testing.T) {
 	x := s.NewVar(false)
 	s.AddConstraint(con(Gt, 3, mono(1, x)))
 	s.AddConstraint(con(Lt, 3, mono(1, x)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("x > 3 and x < 3 infeasible")
 	}
 	s2 := New()
 	y := s2.NewVar(false)
 	s2.AddConstraint(con(Ge, 3, mono(1, y)))
 	s2.AddConstraint(con(Lt, 3, mono(1, y)))
-	if s2.Check() {
+	if checkOK(t, s2) {
 		t.Fatal("x >= 3 and x < 3 infeasible")
 	}
 }
@@ -74,7 +88,7 @@ func TestEquationSystem(t *testing.T) {
 	x, y := s.NewVar(false), s.NewVar(false)
 	s.AddConstraint(con(EqOp, 10, mono(1, x), mono(1, y)))
 	s.AddConstraint(con(EqOp, 4, mono(1, x), mono(-1, y)))
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("system is feasible")
 	}
 	if s.Value(x).Cmp(r(7, 1)) != 0 || s.Value(y).Cmp(r(3, 1)) != 0 {
@@ -88,7 +102,7 @@ func TestInconsistentEquations(t *testing.T) {
 	x, y := s.NewVar(false), s.NewVar(false)
 	s.AddConstraint(con(EqOp, 1, mono(1, x), mono(1, y)))
 	s.AddConstraint(con(EqOp, 2, mono(1, x), mono(1, y)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("infeasible system accepted")
 	}
 }
@@ -100,7 +114,7 @@ func TestChainedDifferences(t *testing.T) {
 	s.AddConstraint(con(Le, -1, mono(1, x), mono(-1, y)))
 	s.AddConstraint(con(Le, -1, mono(1, y), mono(-1, z)))
 	s.AddConstraint(con(Le, -1, mono(1, z), mono(-1, x)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("negative cycle accepted")
 	}
 	// Drop one edge: feasible.
@@ -108,7 +122,7 @@ func TestChainedDifferences(t *testing.T) {
 	x, y, z = s2.NewVar(false), s2.NewVar(false), s2.NewVar(false)
 	s2.AddConstraint(con(Le, -1, mono(1, x), mono(-1, y)))
 	s2.AddConstraint(con(Le, -1, mono(1, y), mono(-1, z)))
-	if !s2.Check() {
+	if !checkOK(t, s2) {
 		t.Fatal("chain without cycle should be feasible")
 	}
 	if diff := new(big.Rat).Sub(s2.Value(x), s2.Value(y)); diff.Cmp(r(-1, 1)) > 0 {
@@ -121,14 +135,14 @@ func TestIntegerBranching(t *testing.T) {
 	s := New()
 	x := s.NewVar(true)
 	s.AddConstraint(con(EqOp, 3, mono(2, x)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("2x=3 has no integer solution")
 	}
 	// Rational variant is fine.
 	s2 := New()
 	y := s2.NewVar(false)
 	s2.AddConstraint(con(EqOp, 3, mono(2, y)))
-	if !s2.Check() {
+	if !checkOK(t, s2) {
 		t.Fatal("2y=3 has rational solution")
 	}
 	if s2.Value(y).Cmp(r(3, 2)) != 0 {
@@ -142,7 +156,7 @@ func TestIntegerInterval(t *testing.T) {
 	x := s.NewVar(true)
 	s.AddConstraint(con(Gt, 0, mono(1, x)))
 	s.AddConstraint(con(Lt, 1, mono(1, x)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("no integer strictly between 0 and 1")
 	}
 	// 0 < x < 2 => x = 1.
@@ -150,7 +164,7 @@ func TestIntegerInterval(t *testing.T) {
 	x = s2.NewVar(true)
 	s2.AddConstraint(con(Gt, 0, mono(1, x)))
 	s2.AddConstraint(con(Lt, 2, mono(1, x)))
-	if !s2.Check() {
+	if !checkOK(t, s2) {
 		t.Fatal("x=1 exists")
 	}
 	if s2.Value(x).Cmp(r(1, 1)) != 0 {
@@ -164,7 +178,7 @@ func TestIntegerCombination(t *testing.T) {
 	x, y := s.NewVar(true), s.NewVar(true)
 	s.AddConstraint(con(EqOp, 1, mono(1, x), mono(1, y)))
 	s.AddConstraint(con(EqOp, 0, mono(1, x), mono(-1, y)))
-	if s.Check() {
+	if checkOK(t, s) {
 		t.Fatal("no integer solution to x+y=1, x=y")
 	}
 }
@@ -178,7 +192,7 @@ func TestLargerLP(t *testing.T) {
 	s.AddConstraint(con(Ge, 1, mono(1, y)))
 	s.AddConstraint(con(Ge, 1, mono(1, z)))
 	s.AddConstraint(con(Le, 4, mono(1, x), mono(1, y)))
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("feasible LP rejected")
 	}
 	// Verify model satisfies all constraints.
@@ -199,7 +213,7 @@ func TestZeroCoefficientDropped(t *testing.T) {
 		Terms: []Monomial{{Coeff: r(0, 1), Var: x}, {Coeff: r(1, 1), Var: y}},
 		Op:    EqOp, K: r(5, 1),
 	})
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("feasible")
 	}
 	if s.Value(y).Cmp(r(5, 1)) != 0 {
@@ -212,7 +226,7 @@ func TestDuplicateVarInTerms(t *testing.T) {
 	s := New()
 	x := s.NewVar(false)
 	s.AddConstraint(con(EqOp, 4, mono(1, x), mono(1, x)))
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("feasible")
 	}
 	if s.Value(x).Cmp(r(2, 1)) != 0 {
@@ -223,7 +237,59 @@ func TestDuplicateVarInTerms(t *testing.T) {
 func TestUnconstrainedVar(t *testing.T) {
 	s := New()
 	s.NewVar(false)
-	if !s.Check() {
+	if !checkOK(t, s) {
 		t.Fatal("empty constraint set is feasible")
+	}
+}
+
+func TestPivotBudgetExhaustedStatus(t *testing.T) {
+	// A system that needs pivots to repair the initial assignment; with a
+	// zero pivot budget the solver must report exhaustion, not panic and
+	// not claim infeasibility.
+	s := New()
+	s.MaxPivots = 0
+	x, y := s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(con(EqOp, 10, mono(1, x), mono(1, y)))
+	s.AddConstraint(con(EqOp, 4, mono(1, x), mono(-1, y)))
+	ok, err := s.Check()
+	if ok {
+		t.Fatal("exhausted check must not report sat")
+	}
+	ex := limits.AsExhausted(err)
+	if ex == nil || ex.Reason != limits.PivotBudget {
+		t.Fatalf("want pivot-budget exhaustion, got %v", err)
+	}
+}
+
+func TestDeadlineInterruptsSolve(t *testing.T) {
+	s := New()
+	s.Limits = limits.New(nil).WithDeadline(time.Now().Add(-time.Second))
+	x, y := s.NewVar(false), s.NewVar(false)
+	s.AddConstraint(con(EqOp, 10, mono(1, x), mono(1, y)))
+	s.AddConstraint(con(EqOp, 4, mono(1, x), mono(-1, y)))
+	ok, err := s.Check()
+	if ok {
+		t.Fatal("expired deadline must not report sat")
+	}
+	ex := limits.AsExhausted(err)
+	if ex == nil || ex.Reason != limits.Deadline {
+		t.Fatalf("want deadline exhaustion, got %v", err)
+	}
+}
+
+func TestBranchBudgetExhaustedStatus(t *testing.T) {
+	// 2x = 3 over integers forces a branch; with no branch depth the
+	// solver reports exhaustion instead of a bogus "infeasible".
+	s := New()
+	s.MaxBranchDepth = 0
+	x := s.NewVar(true)
+	s.AddConstraint(con(EqOp, 3, mono(2, x)))
+	ok, err := s.Check()
+	if ok {
+		t.Fatal("exhausted check must not report sat")
+	}
+	ex := limits.AsExhausted(err)
+	if ex == nil || ex.Reason != limits.BranchBudget {
+		t.Fatalf("want branch-budget exhaustion, got %v", err)
 	}
 }

@@ -1,0 +1,118 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scooter/internal/smt/limits"
+	"scooter/internal/smt/term"
+)
+
+// TestRoundCapExhaustion: a query needing a theory-refinement round beyond
+// the cap yields Unknown with a round-cap reason, and solves once the cap
+// is lifted.
+func TestRoundCapExhaustion(t *testing.T) {
+	build := func() (*term.Builder, *Solver) {
+		b, s := newSI()
+		x := b.Const("x", term.Int)
+		y := b.Const("y", term.Int)
+		s.Assert(b.Lt(x, y))
+		s.Assert(b.Lt(y, x))
+		return b, s
+	}
+	_, s := build()
+	s.MaxRounds = 1
+	st, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Fatalf("1-round budget: got %v, want Unknown", st)
+	}
+	if ex := s.Exhaustion(); ex == nil || ex.Reason != limits.RoundCap {
+		t.Fatalf("want round-cap exhaustion, got %v", ex)
+	}
+	_, s2 := build()
+	if mustCheck(t, s2) != Unsat {
+		t.Fatal("x<y, y<x is unsat with a full budget")
+	}
+	if s2.Exhaustion() != nil {
+		t.Fatal("definitive verdict must leave no exhaustion status")
+	}
+}
+
+// TestConflictBudgetThroughSolver: the SAT conflict budget propagates from
+// the SMT solver down to the CDCL core and back up as a reasoned Unknown.
+func TestConflictBudgetThroughSolver(t *testing.T) {
+	b, s := newSI()
+	// Pigeonhole PHP(4): 5 pigeons, 4 holes — propositionally unsat and
+	// hard enough to need well over five conflicts.
+	const holes = 4
+	var p [holes + 1][holes]term.T
+	for i := 0; i <= holes; i++ {
+		for h := 0; h < holes; h++ {
+			p[i][h] = b.Const(fmt.Sprintf("p%d_%d", i, h), term.Bool)
+		}
+	}
+	for i := 0; i <= holes; i++ {
+		s.Assert(b.Or(p[i][:]...))
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i <= holes; i++ {
+			for j := i + 1; j <= holes; j++ {
+				s.Assert(b.Or(b.Not(p[i][h]), b.Not(p[j][h])))
+			}
+		}
+	}
+	s.MaxConflicts = 5
+	st, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Fatalf("PHP(4) under 5 conflicts: got %v, want Unknown", st)
+	}
+	if ex := s.Exhaustion(); ex == nil || ex.Reason != limits.ConflictBudget {
+		t.Fatalf("want conflict-budget exhaustion, got %v", ex)
+	}
+}
+
+// TestDeadlineThroughSolver: an expired deadline stops Check before any
+// refinement round.
+func TestDeadlineThroughSolver(t *testing.T) {
+	b, s := newSI()
+	x := b.Const("x", term.Int)
+	s.Assert(b.Lt(x, b.IntLit(10)))
+	s.Limits = limits.New(nil).WithDeadline(time.Now().Add(-time.Second))
+	st, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unknown {
+		t.Fatalf("expired deadline: got %v, want Unknown", st)
+	}
+	if ex := s.Exhaustion(); ex == nil || ex.Reason != limits.Deadline {
+		t.Fatalf("want deadline exhaustion, got %v", ex)
+	}
+}
+
+// TestNonLinearMulDiagnostic: a non-literal coefficient is a returned
+// diagnostic from MulConst, and the raw constructor never panics.
+func TestNonLinearMulDiagnostic(t *testing.T) {
+	b := term.NewBuilder()
+	x := b.Const("x", term.Int)
+	y := b.Const("y", term.Int)
+	if _, err := b.MulConst(x, y); err == nil {
+		t.Fatal("MulConst with non-literal coefficient must error")
+	}
+	k, err := b.MulConst(b.IntLit(3), y)
+	if err != nil {
+		t.Fatalf("literal coefficient: %v", err)
+	}
+	s := New(b)
+	s.Assert(b.Eq(k, b.IntLit(6)))
+	if mustCheck(t, s) != Sat {
+		t.Fatal("3y = 6 is satisfiable")
+	}
+}

@@ -15,6 +15,10 @@ type preprocessor struct {
 	memo           map[term.T]term.T
 	sideConditions []term.T
 	fresh          int
+	// err records the first malformed construct met during rewriting
+	// (e.g. a non-linear multiplication); Check aborts with it as a
+	// diagnostic instead of solving a formula outside the fragment.
+	err error
 }
 
 func newPreprocessor(b *term.Builder) *preprocessor {
@@ -71,7 +75,15 @@ func (p *preprocessor) rewrite(t term.T) term.T {
 		out = b.Sub(p.rewrite(args[0]), p.rewrite(args[1]))
 	case term.OpMul:
 		args := b.Args(t)
-		out = b.MulConst(p.rewrite(args[0]), p.rewrite(args[1]))
+		mul, err := b.MulConst(p.rewrite(args[0]), p.rewrite(args[1]))
+		if err != nil {
+			if p.err == nil {
+				p.err = err
+			}
+			out = t // placeholder; Check aborts on p.err before solving
+		} else {
+			out = mul
+		}
 	case term.OpApp:
 		out = b.App(b.Name(t), b.SortOf(t), p.rewriteAll(b.Args(t))...)
 	default:

@@ -199,7 +199,7 @@ func TestSolverAgainstBruteForce(t *testing.T) {
 		f := v.randFormula(rng, 2+rng.Intn(2))
 		s := New(v.b)
 		s.Assert(f)
-		switch s.Check() {
+		switch mustCheck(t, s) {
 		case Sat:
 			sat++
 			if !s.Model().EvalBool(f) {
@@ -238,7 +238,7 @@ func TestSolverConjunctionsAgainstBruteForce(t *testing.T) {
 		f := v.b.And(lits...)
 		s := New(v.b)
 		s.Assert(f)
-		switch s.Check() {
+		switch mustCheck(t, s) {
 		case Sat:
 			if !s.Model().EvalBool(f) {
 				t.Fatalf("iter %d: bad model for %s", iter, v.b.String(f))

@@ -16,6 +16,7 @@ import (
 
 	"scooter/internal/smt/cnf"
 	"scooter/internal/smt/euf"
+	"scooter/internal/smt/limits"
 	"scooter/internal/smt/sat"
 	"scooter/internal/smt/simplex"
 	"scooter/internal/smt/term"
@@ -24,7 +25,9 @@ import (
 // Status is a solver verdict.
 type Status int
 
-// Verdicts. Unknown arises only from the round cap, a defensive limit.
+// Verdicts. Unknown arises from resource exhaustion — the refinement round
+// cap, the SAT conflict budget, the simplex pivot/branch budgets, a
+// wall-clock deadline, or cancellation; Exhaustion() reports which.
 const (
 	Unknown Status = iota
 	Sat
@@ -55,6 +58,15 @@ type Solver struct {
 	// MaxRounds caps the lazy refinement loop.
 	MaxRounds int
 
+	// MaxConflicts, when positive, caps the SAT core's total conflicts per
+	// Check (across refinement rounds), bounding work deterministically.
+	MaxConflicts int64
+
+	// Limits, when set, carries the wall-clock deadline / cancellation
+	// checker into every engine: the refinement loop polls it each round,
+	// the SAT core each conflict, and the simplex each pivot stride.
+	Limits *limits.Checker
+
 	// DisableCoreMinimization skips deletion-based shrinking of theory
 	// conflicts, blocking the full assignment instead. Exposed for the
 	// ablation benchmarks; minimisation produces far stronger lemmas.
@@ -66,6 +78,7 @@ type Solver struct {
 	trueConst term.T // $true constant for boolean apps in EUF
 
 	model *Model
+	why   *limits.Exhausted
 
 	// Stats.
 	Rounds       int
@@ -88,9 +101,15 @@ type tlit struct {
 	val  bool
 }
 
-// Check decides satisfiability of the asserted formulas.
-func (s *Solver) Check() Status {
+// Check decides satisfiability of the asserted formulas. A non-nil error
+// is a diagnostic for malformed input (e.g. a non-linear multiplication
+// outside the solver's fragment); resource exhaustion is not an error but
+// an Unknown verdict whose reason Exhaustion() reports.
+func (s *Solver) Check() (Status, error) {
+	s.why = nil
 	s.sat = sat.New()
+	s.sat.Limits = s.Limits
+	s.sat.MaxConflicts = s.MaxConflicts
 	s.conv = cnf.New(s.B, s.sat)
 	s.trueConst = s.B.Const("$true", term.Uninterp(boolTrueSortName))
 
@@ -98,21 +117,38 @@ func (s *Solver) Check() Status {
 	for _, t := range s.asserted {
 		s.conv.Assert(pre.rewrite(t))
 	}
+	if pre.err != nil {
+		return Unknown, pre.err
+	}
 	for _, side := range pre.sideConditions {
 		s.conv.Assert(side)
 	}
 	s.addArithEqualitySplits()
 
 	for s.Rounds = 0; s.Rounds < s.MaxRounds; s.Rounds++ {
-		if s.sat.Solve() != sat.Sat {
-			return Unsat
+		if ex := s.Limits.Expired(); ex != nil {
+			s.why = ex
+			return Unknown, nil
+		}
+		switch s.sat.Solve() {
+		case sat.Unsat:
+			return Unsat, nil
+		case sat.Unknown:
+			s.why = s.sat.Exhaustion()
+			return Unknown, nil
 		}
 		lits := s.assignment()
-		tc := s.runTheories(lits)
+		tc, err := s.runTheories(lits)
+		if err != nil {
+			return s.giveUp(err)
+		}
 		if !tc.ok {
 			core := lits
 			if !s.DisableCoreMinimization {
-				core = s.minimizeCore(lits)
+				core, err = s.minimizeCore(lits)
+				if err != nil {
+					return s.giveUp(err)
+				}
 			}
 			s.blockLits(core)
 			continue
@@ -125,10 +161,27 @@ func (s *Solver) Check() Status {
 			continue
 		}
 		s.model = m
-		return Sat
+		return Sat, nil
 	}
-	return Unknown
+	s.why = limits.Budget(limits.RoundCap, "after %d refinement rounds", s.MaxRounds)
+	return Unknown, nil
 }
+
+// giveUp folds an engine error into the verdict: exhaustion becomes a
+// graceful Unknown with the reason recorded, anything else surfaces as a
+// diagnostic.
+func (s *Solver) giveUp(err error) (Status, error) {
+	if ex := limits.AsExhausted(err); ex != nil {
+		s.why = ex
+		return Unknown, nil
+	}
+	return Unknown, err
+}
+
+// Exhaustion reports why the last Check returned Unknown (round cap,
+// conflict budget, pivot/branch budget, deadline, or cancellation); nil
+// after Sat or Unsat.
+func (s *Solver) Exhaustion() *limits.Exhausted { return s.why }
 
 // Model returns the model found by the last successful Check.
 func (s *Solver) Model() *Model { return s.model }
@@ -210,8 +263,11 @@ type theoryResult struct {
 	liaVars map[term.T]simplex.VarID
 }
 
-// runTheories checks the assignment against EUF and linear arithmetic.
-func (s *Solver) runTheories(lits []tlit) theoryResult {
+// runTheories checks the assignment against EUF and linear arithmetic. A
+// non-nil error is a *limits.Exhausted status from the simplex (pivot or
+// branch budget, deadline): the assignment was neither accepted nor
+// refuted.
+func (s *Solver) runTheories(lits []tlit) (theoryResult, error) {
 	s.TheoryChecks++
 	// --- EUF ---
 	var assertions []euf.Assertion
@@ -237,11 +293,12 @@ func (s *Solver) runTheories(lits []tlit) theoryResult {
 	}
 	eufRes := euf.CheckWithTerms(s.B, assertions, extraTerms)
 	if !eufRes.Sat {
-		return theoryResult{ok: false}
+		return theoryResult{ok: false}, nil
 	}
 
 	// --- Linear arithmetic ---
 	lia := simplex.New()
+	lia.Limits = s.Limits
 	liaVars := map[term.T]simplex.VarID{}
 	leaf := func(t term.T) simplex.VarID {
 		if v, ok := liaVars[t]; ok {
@@ -297,10 +354,14 @@ func (s *Solver) runTheories(lits []tlit) theoryResult {
 			addAtom(members[0], members[i], simplex.EqOp)
 		}
 	}
-	if !lia.Check() {
-		return theoryResult{ok: false}
+	ok, err := lia.Check()
+	if err != nil {
+		return theoryResult{}, err
 	}
-	return theoryResult{ok: true, euf: eufRes, lia: lia, liaVars: liaVars}
+	if !ok {
+		return theoryResult{ok: false}, nil
+	}
+	return theoryResult{ok: true, euf: eufRes, lia: lia, liaVars: liaVars}, nil
 }
 
 // collectAppLeaves gathers uninterpreted application terms nested in an
@@ -317,20 +378,26 @@ func (s *Solver) collectAppLeaves(t term.T, out map[term.T]bool) {
 }
 
 // minimizeCore shrinks an infeasible assignment by deletion: drop each
-// literal whose removal keeps the set infeasible.
-func (s *Solver) minimizeCore(lits []tlit) []tlit {
+// literal whose removal keeps the set infeasible. An exhaustion error from
+// a trial check aborts minimisation — the deadline has passed, so the
+// caller gives up on the whole query rather than block a maybe-sound core.
+func (s *Solver) minimizeCore(lits []tlit) ([]tlit, error) {
 	cur := append([]tlit(nil), lits...)
 	for i := 0; i < len(cur); {
 		trial := make([]tlit, 0, len(cur)-1)
 		trial = append(trial, cur[:i]...)
 		trial = append(trial, cur[i+1:]...)
-		if !s.runTheories(trial).ok {
+		tc, err := s.runTheories(trial)
+		if err != nil {
+			return nil, err
+		}
+		if !tc.ok {
 			cur = trial
 		} else {
 			i++
 		}
 	}
-	return cur
+	return cur, nil
 }
 
 // linear is a linearized arithmetic expression: sum of monomials plus a

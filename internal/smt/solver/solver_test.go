@@ -18,14 +18,14 @@ func TestPropositional(t *testing.T) {
 	q := b.Const("q", term.Bool)
 	s.Assert(b.Or(p, q))
 	s.Assert(b.Not(p))
-	if s.Check() != Sat {
+	if mustCheck(t, s) != Sat {
 		t.Fatal("sat expected")
 	}
 	b2, s2 := newSI()
 	p2 := b2.Const("p", term.Bool)
 	s2.Assert(p2)
 	s2.Assert(b2.Not(p2))
-	if s2.Check() != Unsat {
+	if mustCheck(t, s2) != Unsat {
 		t.Fatal("unsat expected")
 	}
 }
@@ -37,7 +37,7 @@ func TestEUFTransitivityUnsat(t *testing.T) {
 	s.Assert(b.Eq(x, y))
 	s.Assert(b.Eq(y, z))
 	s.Assert(b.Not(b.Eq(x, z)))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("unsat expected")
 	}
 }
@@ -50,7 +50,7 @@ func TestEUFCongruenceWithDisjunction(t *testing.T) {
 	// (x=y or f(x)=f(y)) and f(x)!=f(y)  =>  x != y must hold.
 	s.Assert(b.Or(b.Eq(x, y), b.Eq(fx, fy)))
 	s.Assert(b.Not(b.Eq(fx, fy)))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("x=y branch forces f(x)=f(y); both branches contradict")
 	}
 }
@@ -60,7 +60,7 @@ func TestArithmeticBasics(t *testing.T) {
 	x := b.Const("x", term.Int)
 	s.Assert(b.Le(b.IntLit(2), x))
 	s.Assert(b.Lt(x, b.IntLit(4)))
-	if s.Check() != Sat {
+	if mustCheck(t, s) != Sat {
 		t.Fatal("2 <= x < 4 sat")
 	}
 	v := s.Model().NumVal(x)
@@ -72,7 +72,7 @@ func TestArithmeticBasics(t *testing.T) {
 	y := b2.Const("y", term.Int)
 	s2.Assert(b2.Lt(y, b2.IntLit(2)))
 	s2.Assert(b2.Lt(b2.IntLit(1), y))
-	if s2.Check() != Unsat {
+	if mustCheck(t, s2) != Unsat {
 		t.Fatal("1 < y < 2 unsat over Int")
 	}
 }
@@ -84,7 +84,7 @@ func TestArithEqualitySplit(t *testing.T) {
 	s.Assert(b.Not(b.Eq(x, y)))
 	s.Assert(b.Le(x, y))
 	s.Assert(b.Le(y, x))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("antisymmetry violation must be unsat")
 	}
 }
@@ -99,7 +99,7 @@ func TestEUFArithCombination(t *testing.T) {
 	s.Assert(b.Eq(x, y))
 	s.Assert(b.Eq(fx, b.IntLit(2)))
 	s.Assert(b.Eq(fy, b.IntLit(0)))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("congruent terms with different values must be unsat")
 	}
 }
@@ -115,7 +115,7 @@ func TestEUFArithCombinationViaInequalities(t *testing.T) {
 	s.Assert(b.Eq(x, y))
 	s.Assert(b.Ge(fx, b.IntLit(2)))
 	s.Assert(b.Lt(fy, b.IntLit(2)))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("unsat expected")
 	}
 }
@@ -129,7 +129,7 @@ func TestIteTerm(t *testing.T) {
 	// level = 2 and not isAdmin: unsat.
 	s.Assert(b.Eq(level, b.IntLit(2)))
 	s.Assert(b.Not(isAdmin))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("ite contradiction must be unsat")
 	}
 
@@ -138,7 +138,7 @@ func TestIteTerm(t *testing.T) {
 	isAdmin2 := b2.App("isAdmin", term.Bool, x2)
 	level2 := b2.Ite(isAdmin2, b2.IntLit(2), b2.IntLit(0))
 	s2.Assert(b2.Eq(level2, b2.IntLit(2)))
-	if s2.Check() != Sat {
+	if mustCheck(t, s2) != Sat {
 		t.Fatal("sat expected")
 	}
 	if !s2.Model().EvalBool(isAdmin2) {
@@ -152,7 +152,7 @@ func TestDistinct(t *testing.T) {
 	a, c, d := b.Const("a", u), b.Const("c", u), b.Const("d", u)
 	s.Assert(b.Distinct(a, c, d))
 	s.Assert(b.Eq(a, c))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("distinct violated")
 	}
 }
@@ -163,7 +163,7 @@ func TestModelClasses(t *testing.T) {
 	x, y, z := b.Const("x", u), b.Const("y", u), b.Const("z", u)
 	s.Assert(b.Eq(x, y))
 	s.Assert(b.Not(b.Eq(y, z)))
-	if s.Check() != Sat {
+	if mustCheck(t, s) != Sat {
 		t.Fatal("sat expected")
 	}
 	m := s.Model()
@@ -185,7 +185,7 @@ func TestLinearCombination(t *testing.T) {
 	// x + y = 10, x - y = 4.
 	s.Assert(b.Eq(b.Add(x, y), b.IntLit(10)))
 	s.Assert(b.Eq(b.Sub(x, y), b.IntLit(4)))
-	if s.Check() != Sat {
+	if mustCheck(t, s) != Sat {
 		t.Fatal("sat expected")
 	}
 	m := s.Model()
@@ -199,7 +199,7 @@ func TestRealStrictInterval(t *testing.T) {
 	x := b.Const("x", term.Real)
 	s.Assert(b.Lt(b.FloatLit(0), x))
 	s.Assert(b.Lt(x, b.FloatLit(1)))
-	if s.Check() != Sat {
+	if mustCheck(t, s) != Sat {
 		t.Fatal("0 < x < 1 sat over reals")
 	}
 	v := s.Model().NumVal(x)
@@ -218,7 +218,7 @@ func TestPredicateAtoms(t *testing.T) {
 	s.Assert(b.Eq(x, y))
 	s.Assert(px)
 	s.Assert(b.Not(py))
-	if s.Check() != Unsat {
+	if mustCheck(t, s) != Unsat {
 		t.Fatal("predicate congruence must be unsat")
 	}
 }
@@ -233,7 +233,7 @@ func TestModelEvaluatesFormula(t *testing.T) {
 		b.Not(b.Eq(x, y)),
 	)
 	s.Assert(f)
-	if s.Check() != Sat {
+	if mustCheck(t, s) != Sat {
 		t.Fatal("sat expected")
 	}
 	m := s.Model()
@@ -243,4 +243,15 @@ func TestModelEvaluatesFormula(t *testing.T) {
 	if m.NumVal(lvl).Cmp(big.NewRat(2, 1)) < 0 {
 		t.Errorf("level = %v, want >= 2", m.NumVal(lvl))
 	}
+}
+
+// mustCheck runs Check and fails the test on a diagnostic error: these
+// formulas are all well-formed.
+func mustCheck(t *testing.T, s *Solver) Status {
+	t.Helper()
+	st, err := s.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return st
 }

@@ -394,12 +394,15 @@ func (b *Builder) Sub(a, c T) T {
 	return b.intern(node{op: OpSub, sort: b.nodes[a].sort, args: []T{a, c}})
 }
 
-// MulConst returns k * t for a literal coefficient k.
-func (b *Builder) MulConst(k T, t T) T {
+// MulConst returns k * t for a literal coefficient k. A non-literal
+// coefficient means the caller lowered a non-linear multiplication, which
+// the solver's theory cannot decide; it is reported as a diagnostic error
+// rather than a crash so malformed policies surface cleanly.
+func (b *Builder) MulConst(k T, t T) (T, error) {
 	if !b.IsLiteralValue(k) {
-		panic("term: MulConst coefficient must be a literal")
+		return NilTerm, fmt.Errorf("term: non-linear multiplication: coefficient %s is not a literal", b.String(k))
 	}
-	return b.intern(node{op: OpMul, sort: b.nodes[t].sort, args: []T{k, t}})
+	return b.intern(node{op: OpMul, sort: b.nodes[t].sort, args: []T{k, t}}), nil
 }
 
 // Ite returns if cond then a else c. The branches must share a sort.

@@ -88,8 +88,14 @@ func (c *Cache) Lookup(key CacheKey) (Result, bool) {
 }
 
 // Insert stores res under key, evicting the least recently used entry
-// when the cache is full.
+// when the cache is full. Inconclusive results are not admitted: which
+// budget ran out (deadline, conflicts, pivots) depends on the run, and a
+// cached Unknown would shadow a later retry under a larger budget whose
+// key matches.
 func (c *Cache) Insert(key CacheKey, res Result) {
+	if res.Verdict == Inconclusive {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

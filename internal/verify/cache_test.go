@@ -15,14 +15,14 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	c := NewCache(2)
 	c.Insert(key(1), Result{Verdict: Safe})
 	c.Insert(key(2), Result{Verdict: Violation})
-	c.Insert(key(3), Result{Verdict: Inconclusive})
+	c.Insert(key(3), Result{Verdict: Safe})
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
 	if _, ok := c.Lookup(key(1)); ok {
 		t.Error("key 1 should have been evicted")
 	}
-	for n, want := range map[uint64]Verdict{2: Violation, 3: Inconclusive} {
+	for n, want := range map[uint64]Verdict{2: Violation, 3: Safe} {
 		res, ok := c.Lookup(key(n))
 		if !ok || res.Verdict != want {
 			t.Errorf("key %d: got (%v, %v), want (%v, true)", n, res.Verdict, ok, want)
@@ -63,11 +63,22 @@ func TestCacheKeySeparatesSolverOptions(t *testing.T) {
 	c := NewCache(8)
 	k := key(7)
 	k.Rounds = 10
-	c.Insert(k, Result{Verdict: Inconclusive})
+	c.Insert(k, Result{Verdict: Safe})
 	k2 := k
 	k2.Rounds = 20000
 	if _, ok := c.Lookup(k2); ok {
 		t.Error("a verdict under one round budget must not answer for another")
+	}
+}
+
+func TestCacheRejectsInconclusive(t *testing.T) {
+	c := NewCache(8)
+	c.Insert(key(1), Result{Verdict: Inconclusive})
+	if _, ok := c.Lookup(key(1)); ok {
+		t.Error("Inconclusive must not be cached: a budget-dependent verdict would shadow retries under a larger budget")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
 	}
 }
 

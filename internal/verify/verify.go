@@ -12,14 +12,18 @@ import (
 	"scooter/internal/equiv"
 	"scooter/internal/lower"
 	"scooter/internal/schema"
+	"scooter/internal/smt/limits"
 	"scooter/internal/smt/solver"
 )
 
 // Verdict classifies a strictness check.
 type Verdict int
 
-// Verdicts. Inconclusive arises when the solver exhausts its round budget
-// (possible for policies using the undecidable features of §6.1).
+// Verdicts. Inconclusive arises when the solver exhausts a resource budget
+// — refinement rounds, SAT conflicts, simplex pivots, or a wall-clock
+// deadline (possible for policies using the undecidable features of §6.1,
+// or under an aggressive -proof-timeout). The exhausted resource is
+// reported in Result.Why.
 const (
 	Safe Verdict = iota
 	Violation
@@ -48,6 +52,9 @@ type Result struct {
 	// counterexample may be spurious and a Safe verdict holds only up to
 	// the instantiation bound.
 	Incomplete bool
+	// Why records which resource budget ran out when Verdict is
+	// Inconclusive (nil for definitive verdicts).
+	Why *limits.Exhausted
 }
 
 // DefaultSolverRounds is the per-query cap on the lazy SMT loop used when
@@ -65,6 +72,12 @@ type Checker struct {
 	Defs *equiv.Defs
 	// SolverRounds caps the lazy SMT loop per query.
 	SolverRounds int
+	// SolverConflicts, when positive, caps SAT conflicts per query.
+	SolverConflicts int64
+	// Limits, when set, carries the deadline/cancellation budget for this
+	// check. A nil checker never expires. Expiry yields Inconclusive, not
+	// an error: a timed-out proof is an Unknown verdict, not a failure.
+	Limits *limits.Checker
 	// DisableCoreMinimization passes through to the SMT solver; exposed
 	// for the ablation benchmarks.
 	DisableCoreMinimization bool
@@ -163,18 +176,30 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 		}
 		c.Stats.recordMiss()
 	}
+	if ex := c.Limits.Expired(); ex != nil {
+		// The budget was gone before solving started; report it without
+		// spinning up a solver.
+		out.res = &Result{Verdict: Inconclusive, Kind: kind, Incomplete: true, Why: ex}
+		return
+	}
 	s := solver.New(q.B)
 	s.MaxRounds = c.SolverRounds
+	s.MaxConflicts = c.SolverConflicts
+	s.Limits = c.Limits
 	s.DisableCoreMinimization = c.DisableCoreMinimization
 	s.Assert(q.Formula)
-	status := s.Check()
+	status, serr := s.Check()
 	conflicts, decisions, props := s.SATStats()
 	c.Stats.recordSolve(s.Rounds, s.TheoryChecks, conflicts, decisions, props)
+	if serr != nil {
+		out.err = fmt.Errorf("solving flow %s -> %s for principal kind %s: %w", srcModel, dstModel, kind, serr)
+		return
+	}
 	switch status {
 	case solver.Unsat:
 		out.res = &Result{Verdict: Safe, Incomplete: q.Incomplete}
 	case solver.Unknown:
-		out.res = &Result{Verdict: Inconclusive, Kind: kind, Incomplete: true}
+		out.res = &Result{Verdict: Inconclusive, Kind: kind, Incomplete: true, Why: s.Exhaustion()}
 	case solver.Sat:
 		ce := renderCounterexample(c.Schema, q, s.Model())
 		out.res = &Result{Verdict: Violation, Kind: kind, Counterexample: ce, Incomplete: q.Incomplete}

@@ -2,6 +2,9 @@ package verify
 
 import (
 	"testing"
+	"time"
+
+	"scooter/internal/smt/limits"
 )
 
 // TestByIdChainPolicies covers policies that dereference ids across models
@@ -208,6 +211,34 @@ func TestInconclusiveOnRoundCap(t *testing.T) {
 	}
 	if res.Verdict != Inconclusive {
 		t.Fatalf("expected Inconclusive under a 1-round budget, got %v", res.Verdict)
+	}
+	if res.Why == nil || res.Why.Reason != limits.RoundCap {
+		t.Fatalf("Inconclusive must carry the exhausted budget, got %v", res.Why)
+	}
+}
+
+// TestInconclusiveOnExpiredDeadline: a checker whose budget is already gone
+// reports Inconclusive with a deadline reason for every kind — no error, no
+// panic, and nothing is cached.
+func TestInconclusiveOnExpiredDeadline(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	c := New(s, nil)
+	c.Cache = NewCache(8)
+	c.Limits = limits.New(nil).WithDeadline(time.Now().Add(-time.Second))
+	res, err := c.CheckStrictness("User",
+		policyOn(t, s, "User", `public`),
+		policyOn(t, s, "User", `none`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Inconclusive {
+		t.Fatalf("expected Inconclusive under an expired deadline, got %v", res.Verdict)
+	}
+	if res.Why == nil || res.Why.Reason != limits.Deadline {
+		t.Fatalf("want deadline exhaustion, got %v", res.Why)
+	}
+	if c.Cache.Len() != 0 {
+		t.Fatalf("Inconclusive leaked into the cache (%d entries)", c.Cache.Len())
 	}
 }
 

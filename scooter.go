@@ -231,6 +231,9 @@ func (w *Workspace) CheckPolicyStrictness(model, oldPolicy, newPolicy string) (*
 		return res.Counterexample, nil
 	}
 	if res.Verdict == verify.Inconclusive {
+		if res.Why != nil {
+			return nil, fmt.Errorf("scooter: verifier was inconclusive: %v", res.Why)
+		}
 		return nil, fmt.Errorf("scooter: verifier was inconclusive (policy may use undecidable features, §6.1)")
 	}
 	return nil, nil
