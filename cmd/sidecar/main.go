@@ -6,6 +6,14 @@
 //
 //	sidecar -spec policy.scp migration.scm...
 //	sidecar -spec policy.scp -check-strictness MODEL OLD_POLICY NEW_POLICY
+//	sidecar -apply -data-dir DIR migration.scm...
+//
+// -apply additionally executes the scripts against the write-ahead-logged
+// store in -data-dir, journalling per-command progress: scripts already
+// applied are skipped, and a migration interrupted by a crash resumes at
+// its first unapplied command on the next run. The scripts listed must be
+// the full history in order (the specification is reconstructed by
+// replaying them). -fsync selects the log's durability mode.
 //
 // -solver-rounds tunes the per-query SMT round budget, -cache-size bounds
 // the verdict cache shared across all scripts on the command line (0
@@ -30,7 +38,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 
+	"scooter"
 	"scooter/internal/ast"
 	"scooter/internal/migrate"
 	"scooter/internal/parser"
@@ -50,6 +60,9 @@ func main() {
 	proofTimeout := flag.Duration("proof-timeout", 0, "wall-clock budget per strictness proof (0 = none)")
 	cacheSize := flag.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
 	showStats := flag.Bool("stats", false, "print verification statistics on exit")
+	applyMode := flag.Bool("apply", false, "verify and durably apply the scripts against the store in -data-dir")
+	dataDir := flag.String("data-dir", "", "write-ahead log directory for -apply")
+	fsyncMode := flag.String("fsync", "always", "fsync policy for -apply: always, batch, or never")
 	flag.Parse()
 
 	s, err := loadSpec(*specPath)
@@ -97,11 +110,78 @@ func main() {
 	}
 	stats := &verify.Stats{}
 	opts.Stats = stats
-	code := verifyScripts(s, flag.Args(), opts)
+	var code int
+	if *applyMode {
+		code = applyScripts(*dataDir, *fsyncMode, flag.Args(), opts)
+	} else {
+		code = verifyScripts(s, flag.Args(), opts)
+	}
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "sidecar: %s\n", stats.Snapshot())
 	}
 	exit(stop, code)
+}
+
+// applyScripts opens (or recovers) the durable store and runs the scripts
+// as a journalled migration history.
+func applyScripts(dataDir, fsyncMode string, paths []string, opts migrate.Options) int {
+	if dataDir == "" {
+		fmt.Fprintln(os.Stderr, "sidecar: -apply needs -data-dir")
+		return 2
+	}
+	var wopts scooter.DurabilityOptions
+	switch fsyncMode {
+	case "always":
+		wopts.SyncEvery = 1
+	case "batch":
+		wopts.SyncEvery = 64
+	case "never":
+		wopts.SyncEvery = -1
+	default:
+		fmt.Fprintf(os.Stderr, "sidecar: unknown -fsync mode %q\n", fsyncMode)
+		return 2
+	}
+	w, err := scooter.OpenDurable(dataDir, wopts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+		return 2
+	}
+	if n := w.Replayed(); n > 0 {
+		fmt.Printf("recovered %d logged writes\n", n)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			w.Close()
+			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			return 2
+		}
+		applied, err := w.MigrateNamedOpts(filepath.Base(path), string(data), opts)
+		if err != nil {
+			w.Close()
+			var uerr *migrate.UnsafeError
+			if errors.As(err, &uerr) {
+				if uerr.Result != nil && uerr.Result.Verdict == verify.Inconclusive {
+					fmt.Printf("%s: UNKNOWN\n%v\n", path, uerr)
+					return 3
+				}
+				fmt.Printf("%s: UNSAFE\n%v\n", path, uerr)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
+			return 2
+		}
+		if applied {
+			fmt.Printf("%s: APPLIED\n", path)
+		} else {
+			fmt.Printf("%s: already applied, skipped\n", path)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "sidecar: closing log: %v\n", err)
+		return 2
+	}
+	return 0
 }
 
 // exit releases the signal handler before terminating; os.Exit skips

@@ -69,11 +69,26 @@ var profileTmpl = template.Must(template.New("profile").Parse(`<!doctype html>
 <dl><dt>Email</dt><dd>{{.Email}}</dd><dt>School</dt><dd>{{.School}}</dd></dl>
 `))
 
-// New builds the application on a fresh workspace, applying the schema
-// migration and seeding demo data.
-func New() (*Server, error) {
-	w := scooter.NewWorkspace()
-	if err := w.Migrate(Spec); err != nil {
+// New builds the application on a fresh in-memory workspace, applying the
+// schema migration.
+func New() (*Server, error) { return Open("", scooter.DurabilityOptions{}) }
+
+// Open builds the application. With a data directory, the workspace is
+// backed by a write-ahead log there: previously durable state is recovered
+// (including a migration interrupted by a crash, which resumes), and every
+// later write is logged before the HTTP response acknowledges it. An empty
+// dataDir gives the in-memory workspace New provides.
+func Open(dataDir string, opts scooter.DurabilityOptions) (*Server, error) {
+	var w *scooter.Workspace
+	var err error
+	if dataDir == "" {
+		w = scooter.NewWorkspace()
+	} else if w, err = scooter.OpenDurable(dataDir, opts); err != nil {
+		return nil, err
+	}
+	// The named migration replays the schema over recovered data: a fresh
+	// directory applies it, a recovered one just advances the spec.
+	if _, err := w.MigrateNamed("001_init", Spec); err != nil {
 		return nil, err
 	}
 	s := &Server{W: w, mux: http.NewServeMux()}
@@ -83,8 +98,17 @@ func New() (*Server, error) {
 }
 
 // Seed inserts n users, one contest, and a set of announcements, and
-// returns the created user ids.
+// returns the created user ids. On a recovered database that is already
+// seeded it inserts nothing and returns the existing user ids, so a
+// restarted server keeps its data.
 func (s *Server) Seed(users, announcements int) []scooter.ID {
+	if existing, err := s.W.AsPrinc(scooter.Static("Admin")).Find("User"); err == nil && len(existing) > 0 {
+		ids := make([]scooter.ID, 0, len(existing))
+		for _, u := range existing {
+			ids = append(ids, u.ID)
+		}
+		return ids
+	}
 	contest := s.W.InsertRaw("Contest", scooter.Doc{
 		"title": "Fall Contest", "buildStart": int64(1_600_000_000), "buildEnd": int64(1_600_600_000),
 	})

@@ -1,24 +1,62 @@
-// Command bibifi-web serves the BIBIFI slice on :8080.
+// Command bibifi-web serves the BIBIFI slice.
 //
-//	go run ./examples/bibifi-web
+//	go run ./examples/bibifi-web -addr :8080
 //	curl localhost:8080/announcements
 //	curl -H 'X-User-Id: 5' localhost:8080/profile
+//
+// With -data-dir the store is backed by a write-ahead log: kill the
+// process, restart it, and the data (and any half-finished migration)
+// recovers. -fsync selects the durability/throughput trade-off.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 
+	"scooter"
 	"scooter/examples/bibifi-web/app"
 )
 
 func main() {
-	srv, err := app.New()
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	dataDir := flag.String("data-dir", "", "write-ahead log directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "always", "fsync policy: always (every write), batch (every 64 writes or 10ms), never (rotation/shutdown only)")
+	flag.Parse()
+
+	opts, err := durabilityOptions(*fsync)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv, err := app.Open(*dataDir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := srv.W.Replayed(); n > 0 {
+		fmt.Printf("recovered %d logged writes from %s\n", n, *dataDir)
+	}
 	ids := srv.Seed(10, 5)
-	fmt.Printf("seeded %d users (ids %v..%v); listening on :8080\n", len(ids), ids[0], ids[len(ids)-1])
-	log.Fatal(http.ListenAndServe(":8080", srv))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seeded %d users (ids %v..%v); listening on %v\n", len(ids), ids[0], ids[len(ids)-1], ln.Addr())
+	err = http.Serve(ln, srv)
+	srv.W.Close()
+	log.Fatal(err)
+}
+
+// durabilityOptions maps the -fsync flag onto WAL options.
+func durabilityOptions(mode string) (scooter.DurabilityOptions, error) {
+	switch mode {
+	case "always":
+		return scooter.DurabilityOptions{SyncEvery: 1}, nil
+	case "batch":
+		return scooter.DurabilityOptions{SyncEvery: 64}, nil
+	case "never":
+		return scooter.DurabilityOptions{SyncEvery: -1}, nil
+	}
+	return scooter.DurabilityOptions{}, fmt.Errorf("bibifi-web: unknown -fsync mode %q (want always, batch, or never)", mode)
 }

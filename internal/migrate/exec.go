@@ -17,11 +17,30 @@ import (
 // needs to roll back (paper §3.2): verification of the whole script
 // happened before any data was touched.
 func Execute(plan *Plan, db *store.DB) error {
+	return ExecuteFrom(plan, db, 0, nil)
+}
+
+// ExecuteFrom applies a plan starting at command index start; earlier
+// commands only advance the schema-so-far (their data effects are assumed
+// already present — the crash-recovery resume path). onApplied, when set,
+// runs after each executed command; Apply uses it to journal durable
+// per-command progress. Commands are idempotent against their own partial
+// effects (re-populating a field recomputes the same values; collection
+// create/drop and field removal are naturally idempotent), so resuming at
+// the last journalled command is safe even if it half-ran before a crash.
+func ExecuteFrom(plan *Plan, db *store.DB, start int, onApplied func(idx int) error) error {
 	cur := plan.Before.Clone()
 	defs := equiv.New()
 	for i, cmd := range plan.Script.Commands {
-		if err := executeCommand(cur, defs, db, cmd); err != nil {
-			return fmt.Errorf("executing command %d (%s): %w", i+1, cmd.Name(), err)
+		if i >= start {
+			if err := executeCommand(cur, defs, db, cmd); err != nil {
+				return fmt.Errorf("executing command %d (%s): %w", i+1, cmd.Name(), err)
+			}
+			if onApplied != nil {
+				if err := onApplied(i); err != nil {
+					return fmt.Errorf("journalling command %d (%s): %w", i+1, cmd.Name(), err)
+				}
+			}
 		}
 		if err := applyCommand(cur, defs, cmd); err != nil {
 			return fmt.Errorf("recording command %d (%s): %w", i+1, cmd.Name(), err)
@@ -40,22 +59,27 @@ func executeCommand(cur *schema.Schema, defs *equiv.Defs, db *store.DB, cmd ast.
 		return nil
 	case *ast.AddField:
 		// Populate existing rows. The initialiser runs against the schema
-		// in effect before this command.
+		// in effect before this command. Find-then-Update rather than
+		// UpdateAll: the initialiser may probe other collections, and
+		// evaluating it while holding this collection's write lock can
+		// deadlock against a concurrent multi-collection snapshot (WAL
+		// compaction acquires every collection lock at its cut). Each
+		// update is durable on its own, and recomputing the initialiser on
+		// a resumed run yields the same values, so a crash mid-populate
+		// recovers cleanly.
 		ev := eval.New(cur, db)
 		coll := db.Collection(c.ModelName)
-		var evalErr error
-		coll.UpdateAll(nil, func(doc store.Doc) store.Doc {
-			if evalErr != nil {
-				return nil
-			}
+		for _, doc := range coll.Find() {
 			v, err := ev.EvalInit(c.ModelName, doc, c.Init)
 			if err != nil {
-				evalErr = err
-				return nil
+				return err
 			}
-			return store.Doc{c.Field.Name: normaliseForField(c.Field.Type, v)}
-		})
-		return evalErr
+			fields := store.Doc{c.Field.Name: normaliseForField(c.Field.Type, v)}
+			if err := coll.Update(doc.ID(), fields); err != nil {
+				return err
+			}
+		}
+		return nil
 	case *ast.RemoveField:
 		db.Collection(c.ModelName).RemoveField(c.FieldName)
 		return nil

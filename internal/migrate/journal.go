@@ -22,12 +22,14 @@ import (
 // records.
 const JournalCollection = "$migrations"
 
-// JournalEntry describes one applied migration.
+// JournalEntry describes one applied (or partially applied) migration.
 type JournalEntry struct {
 	Name      string
 	Hash      string // SHA-256 of the script source
 	AppliedAt int64  // UNIX seconds
-	Commands  int
+	Commands  int    // total commands in the script
+	Applied   int    // commands durably applied so far
+	Done      bool   // the whole script completed
 }
 
 // scriptHash fingerprints a migration source.
@@ -39,24 +41,45 @@ func scriptHash(src string) string {
 // Journal reads and writes the applied-migration log of a database.
 type Journal struct {
 	db *store.DB
+	// Clock supplies entry timestamps; nil means time.Now. Injected so
+	// journal contents (and thus WAL bytes) are deterministic in tests.
+	Clock func() time.Time
 }
 
 // NewJournal returns the journal of db.
 func NewJournal(db *store.DB) *Journal { return &Journal{db: db} }
 
-// Lookup returns the entry for a migration name, if present.
-func (j *Journal) Lookup(name string) (*JournalEntry, bool) {
-	docs := j.db.Collection(JournalCollection).Find(store.Eq("name", name))
-	if len(docs) == 0 {
-		return nil, false
+func (j *Journal) now() int64 {
+	if j.Clock != nil {
+		return j.Clock().Unix()
 	}
-	d := docs[0]
-	return &JournalEntry{
+	return time.Now().Unix()
+}
+
+func entryFromDoc(d store.Doc) JournalEntry {
+	return JournalEntry{
 		Name:      asString(d["name"]),
 		Hash:      asString(d["hash"]),
 		AppliedAt: asInt64(d["appliedAt"]),
 		Commands:  int(asInt64(d["commands"])),
-	}, true
+		Applied:   int(asInt64(d["applied"])),
+		Done:      asBool(d["done"]),
+	}
+}
+
+// Lookup returns the entry for a migration name, if present.
+func (j *Journal) Lookup(name string) (*JournalEntry, bool) {
+	e, _, ok := j.lookupDoc(name)
+	return e, ok
+}
+
+func (j *Journal) lookupDoc(name string) (*JournalEntry, store.ID, bool) {
+	docs := j.db.Collection(JournalCollection).Find(store.Eq("name", name))
+	if len(docs) == 0 {
+		return nil, store.Nil, false
+	}
+	e := entryFromDoc(docs[0])
+	return &e, docs[0].ID(), true
 }
 
 // Entries lists applied migrations in application order.
@@ -64,12 +87,7 @@ func (j *Journal) Entries() []JournalEntry {
 	docs := j.db.Collection(JournalCollection).Find()
 	out := make([]JournalEntry, 0, len(docs))
 	for _, d := range docs {
-		out = append(out, JournalEntry{
-			Name:      asString(d["name"]),
-			Hash:      asString(d["hash"]),
-			AppliedAt: asInt64(d["appliedAt"]),
-			Commands:  int(asInt64(d["commands"])),
-		})
+		out = append(out, entryFromDoc(d))
 	}
 	return out
 }
@@ -81,10 +99,13 @@ type Status int
 const (
 	// StatusNew means the name has never been applied.
 	StatusNew Status = iota
-	// StatusApplied means this exact script already ran; skip it.
+	// StatusApplied means this exact script already ran to completion.
 	StatusApplied
 	// StatusConflict means a different script ran under this name.
 	StatusConflict
+	// StatusPartial means this exact script started but did not finish
+	// (the process crashed mid-migration); Apply resumes it.
+	StatusPartial
 )
 
 // Check classifies the (name, source) pair.
@@ -93,19 +114,64 @@ func (j *Journal) Check(name, src string) Status {
 	if !ok {
 		return StatusNew
 	}
-	if entry.Hash == scriptHash(src) {
-		return StatusApplied
+	if entry.Hash != scriptHash(src) {
+		return StatusConflict
 	}
-	return StatusConflict
+	if !entry.Done {
+		return StatusPartial
+	}
+	return StatusApplied
 }
 
-// Record journals a successful application.
+// Begin opens a journal entry before the first command executes. If an
+// unfinished entry for the same script already exists (a crashed run), its
+// id is returned and progress continues from Applied. With a durable store
+// attached, the entry is on disk before Begin returns.
+func (j *Journal) Begin(name, src string, commands int) (store.ID, error) {
+	if entry, id, ok := j.lookupDoc(name); ok {
+		if entry.Hash != scriptHash(src) {
+			return store.Nil, &ErrJournalConflict{Name: name}
+		}
+		return id, nil
+	}
+	id := j.db.Collection(JournalCollection).Insert(store.Doc{
+		"name":      name,
+		"hash":      scriptHash(src),
+		"appliedAt": j.now(),
+		"commands":  int64(commands),
+		"applied":   int64(0),
+		"done":      false,
+	})
+	return id, j.db.DurabilityErr()
+}
+
+// Progress records that the first `applied` commands have executed. The
+// journal update is logged after the command's own mutations, so a
+// recovered journal never claims more than the data reflects.
+func (j *Journal) Progress(id store.ID, applied int) error {
+	return j.db.Collection(JournalCollection).Update(id, store.Doc{
+		"applied": int64(applied),
+	})
+}
+
+// Finish marks the entry complete.
+func (j *Journal) Finish(id store.ID, applied int) error {
+	return j.db.Collection(JournalCollection).Update(id, store.Doc{
+		"applied": int64(applied),
+		"done":    true,
+	})
+}
+
+// Record journals an already-completed application in one step; callers
+// that need crash-safe progress use Begin/Progress/Finish instead.
 func (j *Journal) Record(name, src string, commands int) {
 	j.db.Collection(JournalCollection).Insert(store.Doc{
 		"name":      name,
 		"hash":      scriptHash(src),
-		"appliedAt": time.Now().Unix(),
+		"appliedAt": j.now(),
 		"commands":  int64(commands),
+		"applied":   int64(commands),
+		"done":      true,
 	})
 }
 
@@ -126,4 +192,9 @@ func asString(v store.Value) string {
 func asInt64(v store.Value) int64 {
 	n, _ := v.(int64)
 	return n
+}
+
+func asBool(v store.Value) bool {
+	b, _ := v.(bool)
+	return b
 }

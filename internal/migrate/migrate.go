@@ -55,6 +55,10 @@ type Options struct {
 	// SolverConflicts, when positive, caps SAT conflicts per query
 	// (deterministic alternative to ProofTimeout).
 	SolverConflicts int64
+	// Clock supplies journal timestamps for Apply; nil means time.Now.
+	// Injecting it makes JournalEntry.AppliedAt — and therefore the exact
+	// bytes a migration writes to the store and its WAL — deterministic.
+	Clock func() time.Time
 }
 
 // DefaultOptions returns the standard configuration.

@@ -184,7 +184,14 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 			return store.Nil, &PolicyError{Op: ast.OpCreate, Principal: pr.p, Model: model}
 		}
 	}
-	return pr.conn.DB.Collection(model).Insert(fields), nil
+	id := pr.conn.DB.Collection(model).Insert(fields)
+	// With a write-ahead log attached, Insert returns only after the record
+	// is logged; a durability failure means the write may not survive a
+	// crash, and is surfaced instead of acknowledged.
+	if err := pr.conn.DB.DurabilityErr(); err != nil {
+		return store.Nil, err
+	}
+	return id, nil
 }
 
 // Update overwrites fields after checking each one's write policy against
@@ -238,5 +245,5 @@ func (pr *Princ) Delete(model string, id store.ID) error {
 	if !pr.conn.DB.Collection(model).Delete(id) {
 		return fmt.Errorf("orm: no %s with id %v", model, id)
 	}
-	return nil
+	return pr.conn.DB.DurabilityErr()
 }

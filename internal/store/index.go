@@ -96,11 +96,11 @@ func (c *Collection) EnsureIndex(field string) {
 		return // the primary map already serves id lookups
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.indexes == nil {
 		c.indexes = map[string]*fieldIndex{}
 	}
 	if _, ok := c.indexes[field]; ok {
+		c.mu.Unlock()
 		return
 	}
 	ix := newFieldIndex(field)
@@ -108,6 +108,9 @@ func (c *Collection) EnsureIndex(field string) {
 		ix.add(id, d)
 	}
 	c.indexes[field] = ix
+	wait := c.db.logMutation(Mutation{Op: MutCreateIndex, Coll: c.name, Field: field})
+	c.mu.Unlock()
+	c.db.finish(wait)
 }
 
 // Indexes lists the indexed fields.

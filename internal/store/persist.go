@@ -130,27 +130,55 @@ func decodeValue(tv taggedValue) (Value, error) {
 }
 
 // Snapshot writes the whole database as JSON. Collections are written in
-// sorted order so snapshots are deterministic.
-func (db *DB) Snapshot(w io.Writer) error {
+// sorted order so snapshots are deterministic. The snapshot is a consistent
+// point-in-time cut: every collection lock is acquired before any data is
+// read, so a concurrent writer's mutations are either all visible or all
+// absent relative to the mutations that happened before them.
+func (db *DB) Snapshot(w io.Writer) error { return db.SnapshotCut(w, nil) }
+
+// SnapshotCut is Snapshot with a hook invoked at the cut point, while every
+// lock is held and no writer can sit between applying a mutation and
+// logging it. The WAL uses the hook to rotate segments exactly at the
+// snapshot boundary during compaction.
+func (db *DB) SnapshotCut(w io.Writer, cut func()) error {
+	file, err := db.capture(cut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// capture encodes the database under a full lock set: the DB lock plus
+// every collection lock, acquired in sorted name order before any document
+// is read. Encoding deep-copies values into JSON bytes, so the result is
+// immune to mutations after release.
+func (db *DB) capture(cut func()) (*snapshotFile, error) {
 	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.colls))
 	for n := range db.colls {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	file := snapshotFile{
+	colls := make([]*Collection, len(names))
+	for i, n := range names {
+		colls[i] = db.colls[n]
+		colls[i].mu.RLock()
+		defer colls[i].mu.RUnlock()
+	}
+
+	if cut != nil {
+		cut()
+	}
+
+	file := &snapshotFile{
 		Version:     1,
 		NextID:      db.nextID.Load(),
 		Collections: map[string]collectionSnap{},
 	}
-	colls := make([]*Collection, len(names))
-	for i, n := range names {
-		colls[i] = db.colls[n]
-	}
-	db.mu.RUnlock()
-
 	for i, c := range colls {
-		c.mu.RLock()
 		snap := collectionSnap{Docs: map[string]docSnap{}}
 		for f := range c.indexes {
 			snap.Indexes = append(snap.Indexes, f)
@@ -164,20 +192,50 @@ func (db *DB) Snapshot(w io.Writer) error {
 				}
 				tv, err := encodeValue(v)
 				if err != nil {
-					c.mu.RUnlock()
-					return fmt.Errorf("collection %s doc %v field %s: %w", names[i], id, k, err)
+					return nil, fmt.Errorf("collection %s doc %v field %s: %w", names[i], id, k, err)
 				}
 				ds[k] = tv
 			}
 			snap.Docs[fmt.Sprint(int64(id))] = ds
 		}
-		c.mu.RUnlock()
 		file.Collections[names[i]] = snap
 	}
+	return file, nil
+}
 
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(file)
+// MarshalDoc encodes a document with the same typed tagging Snapshot uses,
+// skipping the "id" field (it travels beside the document). The WAL logs
+// documents in this form.
+func MarshalDoc(d Doc) ([]byte, error) {
+	ds := docSnap{}
+	for k, v := range d {
+		if k == "id" {
+			continue
+		}
+		tv, err := encodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", k, err)
+		}
+		ds[k] = tv
+	}
+	return json.Marshal(ds)
+}
+
+// UnmarshalDoc decodes a MarshalDoc payload.
+func UnmarshalDoc(b []byte) (Doc, error) {
+	var ds docSnap
+	if err := json.Unmarshal(b, &ds); err != nil {
+		return nil, err
+	}
+	doc := Doc{}
+	for k, tv := range ds {
+		v, err := decodeValue(tv)
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", k, err)
+		}
+		doc[k] = v
+	}
+	return doc, nil
 }
 
 // Restore loads a snapshot into a fresh database.

@@ -104,11 +104,107 @@ type Collection struct {
 	indexes map[string]*fieldIndex
 }
 
+// MutationOp identifies the kind of state change a Mutation records.
+type MutationOp uint8
+
+// Mutation kinds, covering every write the store performs.
+const (
+	MutInsert MutationOp = iota + 1
+	MutUpdate
+	MutDelete
+	MutRemoveField
+	MutCreateCollection
+	MutDropCollection
+	MutCreateIndex
+)
+
+// Mutation describes one committed state change, in the store's
+// serialization order. Doc carries the full document for MutInsert and the
+// changed fields for MutUpdate; Field names the target of MutRemoveField
+// and MutCreateIndex.
+type Mutation struct {
+	Op    MutationOp
+	Coll  string
+	ID    ID
+	Doc   Doc
+	Field string
+}
+
+// WaitFunc blocks until the mutation it was returned for is durable.
+type WaitFunc func() error
+
+// Durability receives every mutation the store commits. Append is called
+// with the mutated collection's lock held, so the record order equals the
+// store's serialization order; implementations must only enqueue (and
+// serialise the Doc synchronously — it aliases caller memory) and defer all
+// I/O to the returned wait function, which the store invokes after
+// releasing the lock and before acknowledging the write.
+type Durability interface {
+	Append(m Mutation) WaitFunc
+}
+
 // DB is an in-memory database: named collections plus an id allocator.
 type DB struct {
 	mu     sync.RWMutex
 	colls  map[string]*Collection
 	nextID atomic.Int64
+
+	dur    atomic.Pointer[durabilityBox]
+	durErr atomic.Pointer[error]
+}
+
+type durabilityBox struct{ d Durability }
+
+// SetDurability attaches a write-ahead logger; every subsequent mutation is
+// appended to it before the write is acknowledged. Pass nil to detach.
+func (db *DB) SetDurability(d Durability) {
+	if d == nil {
+		db.dur.Store(nil)
+		return
+	}
+	db.dur.Store(&durabilityBox{d: d})
+}
+
+// DurabilityErr returns the first error the durability layer reported, if
+// any. Once set, acknowledged writes are no longer guaranteed durable; the
+// ORM surfaces this to callers of every later write.
+func (db *DB) DurabilityErr() error {
+	if p := db.durErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// logMutation hands a mutation to the durability layer; callers hold the
+// lock covering the mutation. The returned wait must be passed to finish
+// after the lock is released.
+func (db *DB) logMutation(m Mutation) WaitFunc {
+	box := db.dur.Load()
+	if box == nil {
+		return nil
+	}
+	return box.d.Append(m)
+}
+
+// finish awaits durability of a logged mutation; call with no locks held.
+func (db *DB) finish(wait WaitFunc) {
+	if wait == nil {
+		return
+	}
+	if err := wait(); err != nil {
+		db.durErr.CompareAndSwap(nil, &err)
+	}
+}
+
+// AdvanceNextID raises the id allocator so future NewID calls never return
+// id or anything below it. The WAL uses it when replaying inserts.
+func (db *DB) AdvanceNextID(id ID) {
+	for {
+		cur := db.nextID.Load()
+		if int64(id) <= cur || db.nextID.CompareAndSwap(cur, int64(id)) {
+			return
+		}
+	}
 }
 
 // Open returns an empty database.
@@ -120,21 +216,35 @@ func Open() *DB {
 
 // Collection returns (creating if needed) the named collection.
 func (db *DB) Collection(name string) *Collection {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
 	if c, ok := db.colls[name]; ok {
+		db.mu.RUnlock()
+		return c
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	if c, ok := db.colls[name]; ok {
+		db.mu.Unlock()
 		return c
 	}
 	c := &Collection{name: name, docs: map[ID]Doc{}, db: db}
 	db.colls[name] = c
+	wait := db.logMutation(Mutation{Op: MutCreateCollection, Coll: name})
+	db.mu.Unlock()
+	db.finish(wait)
 	return c
 }
 
 // DropCollection removes a collection and its documents.
 func (db *DB) DropCollection(name string) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	delete(db.colls, name)
+	var wait WaitFunc
+	if _, ok := db.colls[name]; ok {
+		delete(db.colls, name)
+		wait = db.logMutation(Mutation{Op: MutDropCollection, Coll: name})
+	}
+	db.mu.Unlock()
+	db.finish(wait)
 }
 
 // CollectionNames lists collections in sorted order.
@@ -156,6 +266,8 @@ func (db *DB) NewID() ID { return ID(db.nextID.Add(1)) }
 func (c *Collection) Name() string { return c.name }
 
 // Insert stores a copy of doc, assigning a fresh id, and returns the id.
+// When a durability layer is attached, the insert is logged before it is
+// acknowledged; a logging failure is reported via DB.DurabilityErr.
 func (c *Collection) Insert(doc Doc) ID {
 	id := c.db.NewID()
 	cp := doc.Clone()
@@ -163,7 +275,9 @@ func (c *Collection) Insert(doc Doc) ID {
 	c.mu.Lock()
 	c.docs[id] = cp
 	c.indexAdd(id, cp)
+	wait := c.db.logMutation(Mutation{Op: MutInsert, Coll: c.name, ID: id, Doc: cp})
 	c.mu.Unlock()
+	c.db.finish(wait)
 	return id
 }
 
@@ -173,13 +287,16 @@ func (c *Collection) InsertWithID(id ID, doc Doc) error {
 	cp := doc.Clone()
 	cp["id"] = id
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, exists := c.docs[id]; exists {
+		c.mu.Unlock()
 		return fmt.Errorf("store: id %v already exists in %s", id, c.name)
 	}
 	c.docs[id] = cp
 	c.indexAdd(id, cp)
-	return nil
+	wait := c.db.logMutation(Mutation{Op: MutInsert, Coll: c.name, ID: id, Doc: cp})
+	c.mu.Unlock()
+	c.db.finish(wait)
+	return c.db.DurabilityErr()
 }
 
 // Get returns a copy of the document with the given id.
@@ -242,9 +359,9 @@ func (c *Collection) Count(filters ...Filter) int {
 // the document does not exist.
 func (c *Collection) Update(id ID, fields Doc) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	d, ok := c.docs[id]
 	if !ok {
+		c.mu.Unlock()
 		return fmt.Errorf("store: no document %v in %s", id, c.name)
 	}
 	c.indexRemove(id, d)
@@ -255,17 +372,24 @@ func (c *Collection) Update(id ID, fields Doc) error {
 		d[k] = cloneValue(v)
 	}
 	c.indexAdd(id, d)
-	return nil
+	wait := c.db.logMutation(Mutation{Op: MutUpdate, Coll: c.name, ID: id, Doc: fields})
+	c.mu.Unlock()
+	c.db.finish(wait)
+	return c.db.DurabilityErr()
 }
 
 // UpdateAll applies an updater function to every document matching the
 // filters; the updater returns the fields to overwrite (nil for no change).
 // It returns the number of updated documents. Used by migrations to
 // populate new fields.
+// Durability is per document: each modified document is logged as its own
+// update record, so a crash mid-bulk-update recovers a prefix of the
+// individual document updates. The records share one lock hold, so they
+// are contiguous in the log and the final wait covers them all.
 func (c *Collection) UpdateAll(filters []Filter, update func(Doc) Doc) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
+	var wait WaitFunc
 	for _, d := range c.docs {
 		if !matchAll(d, filters) {
 			continue
@@ -282,33 +406,41 @@ func (c *Collection) UpdateAll(filters []Filter, update func(Doc) Doc) int {
 			d[k] = cloneValue(v)
 		}
 		c.indexAdd(d.ID(), d)
+		wait = c.db.logMutation(Mutation{Op: MutUpdate, Coll: c.name, ID: d.ID(), Doc: fields})
 		n++
 	}
+	c.mu.Unlock()
+	c.db.finish(wait)
 	return n
 }
 
 // RemoveField deletes a field from every document (schema migration).
 func (c *Collection) RemoveField(field string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for id, d := range c.docs {
 		c.indexRemove(id, d)
 		delete(d, field)
 		c.indexAdd(id, d)
 	}
+	wait := c.db.logMutation(Mutation{Op: MutRemoveField, Coll: c.name, Field: field})
+	c.mu.Unlock()
+	c.db.finish(wait)
 }
 
 // Delete removes the document with the given id, reporting whether it
 // existed.
 func (c *Collection) Delete(id ID) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	d, ok := c.docs[id]
 	if !ok {
+		c.mu.Unlock()
 		return false
 	}
 	c.indexRemove(id, d)
 	delete(c.docs, id)
+	wait := c.db.logMutation(Mutation{Op: MutDelete, Coll: c.name, ID: id})
+	c.mu.Unlock()
+	c.db.finish(wait)
 	return true
 }
 

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"scooter/internal/store"
+)
+
+// BenchmarkWALGroupCommit measures durable insert throughput with many
+// concurrent writers sharing fsyncs through the committer (SyncEvery: 1 —
+// every insert is durable before it returns, but one fsync covers a whole
+// batch). Compare against BenchmarkWALPerWriteFsync, where each insert
+// pays its own fsync; the gap is the group-commit win reported in
+// EXPERIMENTS.md.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	l, db, err := Open(b.TempDir(), Options{SyncEvery: 1, SegmentMaxBytes: 1 << 30, CompactAfterBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	users := db.Collection("users")
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			users.Insert(store.Doc{"name": "bench", "age": int64(30)})
+		}
+	})
+	b.StopTimer()
+	if err := db.DurabilityErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWALPerWriteFsync is the baseline: one writer, so every durable
+// insert is its own commit group and its own fsync.
+func BenchmarkWALPerWriteFsync(b *testing.B) {
+	l, db, err := Open(b.TempDir(), Options{SyncEvery: 1, SegmentMaxBytes: 1 << 30, CompactAfterBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	users := db.Collection("users")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		users.Insert(store.Doc{"name": "bench", "age": int64(30)})
+	}
+	b.StopTimer()
+	if err := db.DurabilityErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWALRelaxedSync measures the batched-durability mode (fsync every
+// 64 records or 10ms) with a single writer.
+func BenchmarkWALRelaxedSync(b *testing.B) {
+	l, db, err := Open(b.TempDir(), Options{SyncEvery: 64, SegmentMaxBytes: 1 << 30, CompactAfterBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := db.Collection("users")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		users.Insert(store.Doc{"name": "bench", "age": int64(30)})
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	l.Close()
+}
+
+// BenchmarkWALRecovery measures Open (replay) time against log size.
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			l, db, err := Open(dir, Options{SyncEvery: -1, SegmentMaxBytes: 1 << 30, CompactAfterBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			users := db.Collection("users")
+			for i := 0; i < n; i++ {
+				users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i), "age": int64(i % 80)})
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l, _, err := Open(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := l.Replayed(); got != n+1 { // +1: create-collection record
+					b.Fatalf("replayed %d, want %d", got, n+1)
+				}
+				b.StopTimer()
+				// Close appends nothing, but reopening must see the same
+				// log, so keep teardown out of the timed region.
+				if err := l.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"scooter/internal/store"
+)
+
+// On-disk layout. Each segment starts with a 16-byte header:
+//
+//	[8B magic "SCWAL001"][8B little-endian segment index]
+//
+// followed by framed records:
+//
+//	[4B little-endian payload length][4B CRC32C(payload)][payload]
+//
+// The payload is a JSON record (typed-tagged document values, shared with
+// the snapshot codec). A record whose frame is short, whose length is
+// implausible, or whose checksum fails marks the torn tail: recovery
+// truncates there and replays nothing after it.
+
+const (
+	segMagic     = "SCWAL001"
+	headerSize   = 16
+	frameSize    = 8
+	maxRecordLen = 64 << 20 // sanity bound on a single record
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record op codes, kept short because they appear in every payload.
+const (
+	opInsert     = "ins"
+	opUpdate     = "upd"
+	opDelete     = "del"
+	opRemField   = "rmf"
+	opCreateColl = "mkc"
+	opDropColl   = "drc"
+	opIndex      = "idx"
+	opCheckpoint = "ckp"
+)
+
+// record is the JSON payload of one WAL entry. LSNs are assigned
+// contiguously, so recovery can detect a gap (dropped record) as
+// corruption.
+type record struct {
+	LSN   uint64          `json:"l"`
+	Op    string          `json:"o"`
+	Coll  string          `json:"c,omitempty"`
+	ID    int64           `json:"i,omitempty"`
+	Doc   json.RawMessage `json:"d,omitempty"`
+	Field string          `json:"f,omitempty"`
+	// Snap marks a checkpoint: a snapshot covering every record before
+	// this one exists under the segment index Snap.
+	Snap uint64 `json:"s,omitempty"`
+}
+
+// encodeMutation renders a store mutation as a framed record. It runs
+// synchronously inside Durability.Append (under the collection lock), so
+// the Doc may alias caller memory.
+func encodeMutation(lsn uint64, m store.Mutation) ([]byte, error) {
+	rec := record{LSN: lsn, Coll: m.Coll, ID: int64(m.ID), Field: m.Field}
+	switch m.Op {
+	case store.MutInsert:
+		rec.Op = opInsert
+	case store.MutUpdate:
+		rec.Op = opUpdate
+	case store.MutDelete:
+		rec.Op = opDelete
+	case store.MutRemoveField:
+		rec.Op = opRemField
+	case store.MutCreateCollection:
+		rec.Op = opCreateColl
+	case store.MutDropCollection:
+		rec.Op = opDropColl
+	case store.MutCreateIndex:
+		rec.Op = opIndex
+	default:
+		return nil, fmt.Errorf("wal: unknown mutation op %d", m.Op)
+	}
+	if m.Op == store.MutInsert || m.Op == store.MutUpdate {
+		doc, err := store.MarshalDoc(m.Doc)
+		if err != nil {
+			return nil, fmt.Errorf("wal: encoding %s/%v: %w", m.Coll, m.ID, err)
+		}
+		rec.Doc = doc
+	}
+	return frameRecord(rec)
+}
+
+// encodeCheckpoint renders a checkpoint record for a compaction boundary.
+func encodeCheckpoint(lsn, boundary uint64) ([]byte, error) {
+	return frameRecord(record{LSN: lsn, Op: opCheckpoint, Snap: boundary})
+}
+
+// frameRecord wraps a record payload in the length+CRC frame.
+func frameRecord(rec record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, frameSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
+	copy(out[frameSize:], payload)
+	return out, nil
+}
+
+// segmentHeader renders the 16-byte header of a segment file.
+func segmentHeader(seg uint64) []byte {
+	h := make([]byte, headerSize)
+	copy(h, segMagic)
+	binary.LittleEndian.PutUint64(h[8:], seg)
+	return h
+}
+
+// segScan is the result of parsing one segment file.
+type segScan struct {
+	recs []record
+	ends []int64 // ends[i]: byte offset just past recs[i]
+	good int64   // offset just past the last well-formed record
+	ok   bool    // whole file consumed without a torn tail
+	// headerOK is false when the file lacks a valid header for its index;
+	// nothing in it is recoverable.
+	headerOK bool
+}
+
+// parseSegment reads the records of one segment from buf (the whole file).
+// A record whose frame is short, whose length is implausible, whose
+// checksum fails, or whose payload does not parse marks the torn tail:
+// everything before it is returned and ok is false. Recovery truncates at
+// good and never fails or panics on a torn tail.
+func parseSegment(buf []byte, seg uint64) segScan {
+	if len(buf) < headerSize || string(buf[:8]) != segMagic ||
+		binary.LittleEndian.Uint64(buf[8:16]) != seg {
+		return segScan{}
+	}
+	s := segScan{good: headerSize, headerOK: true}
+	off := int64(headerSize)
+	for {
+		rest := buf[off:]
+		if len(rest) == 0 {
+			s.ok = true
+			return s
+		}
+		if len(rest) < frameSize {
+			return s
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > maxRecordLen || frameSize+n > int64(len(rest)) {
+			return s
+		}
+		payload := rest[frameSize : frameSize+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return s
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return s
+		}
+		off += frameSize + n
+		s.recs = append(s.recs, rec)
+		s.ends = append(s.ends, off)
+		s.good = off
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"scooter/internal/schema"
 	"scooter/internal/specfmt"
 	"scooter/internal/store"
+	"scooter/internal/store/wal"
 	"scooter/internal/typer"
 	"scooter/internal/verify"
 )
@@ -115,6 +116,10 @@ type Workspace struct {
 	schema *schema.Schema
 	db     *store.DB
 	conn   *orm.Conn
+	wal    *wal.Log
+	// journaled tracks migrations applied during this session, whose
+	// schema effects the live schema already includes.
+	journaled map[string]bool
 }
 
 // NewWorkspace returns a workspace with an empty specification and a fresh
@@ -123,6 +128,64 @@ func NewWorkspace() *Workspace {
 	s := schema.New()
 	db := store.Open()
 	return &Workspace{schema: s, db: db, conn: orm.Open(s, db)}
+}
+
+// DurabilityOptions tunes the write-ahead log of a durable workspace.
+type DurabilityOptions = wal.Options
+
+// OpenDurable opens a workspace backed by a write-ahead log in dir,
+// recovering whatever a previous process made durable: the log is replayed
+// over the latest snapshot, torn tails are truncated, and every later
+// mutation is logged before it is acknowledged. The specification starts
+// empty; replay the migration history with MigrateNamed — already-applied
+// scripts only advance the schema, a half-applied one resumes — and the
+// workspace converges to the pre-crash state.
+func OpenDurable(dir string, opts DurabilityOptions) (*Workspace, error) {
+	l, db, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := schema.New()
+	return &Workspace{schema: s, db: db, conn: orm.Open(s, db), wal: l}, nil
+}
+
+// Close flushes and detaches the write-ahead log, if any. The workspace
+// remains usable in memory, but writes are no longer durable (and report
+// an error through the ORM).
+func (w *Workspace) Close() error {
+	if w.wal == nil {
+		return nil
+	}
+	return w.wal.Close()
+}
+
+// Sync forces an fsync of the write-ahead log; a no-op without one. Useful
+// under relaxed DurabilityOptions (SyncEvery > 1) before acknowledging
+// externally visible state.
+func (w *Workspace) Sync() error {
+	if w.wal == nil {
+		return nil
+	}
+	return w.wal.Sync()
+}
+
+// Compact folds the write-ahead log into a fresh snapshot; a no-op without
+// one. The log also compacts itself once it passes
+// DurabilityOptions.CompactAfterBytes.
+func (w *Workspace) Compact() error {
+	if w.wal == nil {
+		return nil
+	}
+	return w.wal.Compact()
+}
+
+// Replayed reports how many log records recovery replayed when the
+// workspace was opened (0 without a write-ahead log).
+func (w *Workspace) Replayed() int {
+	if w.wal == nil {
+		return 0
+	}
+	return w.wal.Replayed()
 }
 
 // LoadSpec returns a workspace whose specification is parsed from Scooter_p
@@ -275,26 +338,38 @@ func (w *Workspace) EnsureIndex(model, field string) {
 // re-run of an applied script is a no-op (returning applied=false), and a
 // *different* script under an already-used name is rejected so applied
 // history is never silently rewritten.
+//
+// On a durable workspace the journal entry advances command by command
+// through the write-ahead log, so a process killed mid-migration resumes
+// at the first unapplied command on the next run. Re-running an applied
+// script against a freshly recovered workspace advances the specification
+// to include it, which is how a migration history replays after recovery.
 func (w *Workspace) MigrateNamed(name, src string) (bool, error) {
-	journal := migrate.NewJournal(w.db)
-	switch journal.Check(name, src) {
-	case migrate.StatusApplied:
+	return w.MigrateNamedOpts(name, src, migrate.DefaultOptions())
+}
+
+// MigrateNamedOpts is MigrateNamed with explicit options (e.g. an injected
+// Clock for deterministic journal timestamps).
+func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, error) {
+	if w.journaled[name] {
+		// Applied earlier in this session: the live schema already has its
+		// effects, so only classify (the conflict check must still bite).
+		if migrate.NewJournal(w.db).Check(name, src) == migrate.StatusConflict {
+			return false, &migrate.ErrJournalConflict{Name: name}
+		}
 		return false, nil
-	case migrate.StatusConflict:
-		return false, &migrate.ErrJournalConflict{Name: name}
 	}
-	script, err := parser.ParseMigration(src)
-	if err != nil {
-		return false, err
-	}
-	after, err := migrate.VerifyAndExecute(w.schema, script, w.db, migrate.DefaultOptions())
+	after, applied, err := migrate.Apply(w.db, w.schema, name, src, opts)
 	if err != nil {
 		return false, err
 	}
 	w.schema = after
 	w.conn.SetSchema(after)
-	journal.Record(name, src, len(script.Commands))
-	return true, nil
+	if w.journaled == nil {
+		w.journaled = map[string]bool{}
+	}
+	w.journaled[name] = true
+	return applied, nil
 }
 
 // AppliedMigrations lists the journal of named migrations run against this
