@@ -1,0 +1,396 @@
+// Command replwatch is the replication fault-injection driver. It runs a
+// primary workspace and a follower in one process, writes a policy-checked
+// workload through the primary's ORM, and between rounds kills and
+// restarts either end: the follower crashes with a torn tail in its
+// mirrored log, the primary's replication server restarts on the same
+// address. After every follower crash it checks the recovered state is
+// byte-identical to a committed prefix of the primary's history (the
+// driver records the primary's state hash at every LSN), and after every
+// restart it waits for reconvergence and compares full state hashes. Each
+// round also proves the follower's ORM still enforces read policies and
+// rejects writes.
+//
+//	replwatch              # default: 12 rounds, 8 ops per round
+//	replwatch -rounds N -ops N -seed S
+//
+// Output ends with "all converged"; the CI replication smoke job greps
+// for it.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"scooter"
+	"scooter/internal/store"
+	"scooter/internal/store/wal"
+)
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "replwatch: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+const spec = `
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  email: String { read: u -> [u], write: u -> [u] },
+});
+CreateModel(Note {
+  create: n -> [n.owner],
+  delete: n -> [n.owner],
+  owner: Id(User) { read: public, write: none },
+  body: String { read: n -> [n.owner], write: n -> [n.owner] },
+});
+`
+
+// primaryOpts uses tiny segments so the run crosses many rotations, and
+// manual compaction so every LSN maps to one driver action.
+func primaryOpts() scooter.DurabilityOptions {
+	return scooter.DurabilityOptions{SegmentMaxBytes: 2048, CompactAfterBytes: -1}
+}
+
+func followerOpts() scooter.FollowerOptions {
+	return scooter.FollowerOptions{
+		MinBackoff:  5 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		AckInterval: 10 * time.Millisecond,
+	}
+}
+
+// harness owns both ends of the replication pair plus the recorded
+// per-LSN state history.
+type harness struct {
+	rng        *rand.Rand
+	primaryDir string
+	follDir    string
+	addr       string
+
+	w   *scooter.Workspace
+	srv *scooter.ReplicationServer
+	fw  *scooter.FollowerWorkspace
+
+	aliceID, bobID scooter.ID
+	noteIDs        []scooter.ID
+
+	// states maps every durable LSN (from firstLSN on) to the primary's
+	// state hash after that record committed.
+	states   map[uint64]string
+	firstLSN uint64
+
+	ops, follKills, primKills, bootstraps int
+}
+
+// record stores the primary's state hash at its current durable LSN. The
+// driver is single-threaded, so the pair is consistent.
+func (h *harness) record() {
+	lsn, hash, err := h.w.StateHash()
+	if err != nil {
+		fatal("state hash: %v", err)
+	}
+	h.states[lsn] = hash
+	if h.firstLSN == 0 || lsn < h.firstLSN {
+		h.firstLSN = lsn
+	}
+}
+
+// openPrimary (re)opens the durable workspace, replays the migration
+// history, and serves replication. addr is empty on first boot.
+func (h *harness) openPrimary() {
+	w, err := scooter.OpenDurable(h.primaryDir, primaryOpts())
+	if err != nil {
+		fatal("open primary: %v", err)
+	}
+	if _, err := w.MigrateNamed("setup", spec); err != nil {
+		fatal("migrate: %v", err)
+	}
+	bind := h.addr
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	srv, err := w.ServeReplication(bind)
+	if err != nil {
+		fatal("serve replication: %v", err)
+	}
+	h.w, h.srv, h.addr = w, srv, srv.Addr().String()
+}
+
+// oneOp performs one random single-record write through the primary's
+// policy-checked ORM and records the resulting state.
+func (h *harness) oneOp() {
+	alice := h.w.AsPrinc(scooter.Instance("User", h.aliceID))
+	switch r := h.rng.Intn(10); {
+	case r < 5 || len(h.noteIDs) == 0:
+		id, err := alice.Insert("Note", scooter.Doc{
+			"owner": h.aliceID,
+			"body":  fmt.Sprintf("note-%d-%d", h.ops, h.rng.Intn(1000)),
+		})
+		if err != nil {
+			fatal("insert: %v", err)
+		}
+		h.noteIDs = append(h.noteIDs, id)
+	case r < 8:
+		id := h.noteIDs[h.rng.Intn(len(h.noteIDs))]
+		if err := alice.Update("Note", id, scooter.Doc{
+			"body": fmt.Sprintf("edit-%d", h.ops),
+		}); err != nil {
+			fatal("update: %v", err)
+		}
+	default:
+		i := h.rng.Intn(len(h.noteIDs))
+		id := h.noteIDs[i]
+		h.noteIDs = append(h.noteIDs[:i], h.noteIDs[i+1:]...)
+		if err := alice.Delete("Note", id); err != nil {
+			fatal("delete: %v", err)
+		}
+	}
+	h.ops++
+	h.record()
+}
+
+// checkFollowerPolicies proves reads on the follower still enforce
+// policies and writes are refused.
+func (h *harness) checkFollowerPolicies() {
+	bob := h.fw.AsPrinc(scooter.Instance("User", h.bobID))
+	obj, err := bob.FindByID("User", h.aliceID)
+	if err != nil {
+		fatal("follower read: %v", err)
+	}
+	if obj == nil {
+		fatal("follower lost a replicated instance")
+	}
+	if _, visible := obj.Get("email"); visible {
+		fatal("POLICY LEAK: follower exposed a field its read policy hides")
+	}
+	if _, visible := obj.Get("name"); !visible {
+		fatal("follower hid a public field")
+	}
+	if _, err := bob.Insert("User", scooter.Doc{"name": "evil", "email": "e@x"}); !errors.Is(err, scooter.ErrReadOnly) {
+		fatal("follower accepted a write: %v", err)
+	}
+}
+
+// converge waits until the follower applied everything durable on the
+// primary and the state hashes match.
+func (h *harness) converge() {
+	target := h.w.DurableLSN()
+	if err := h.fw.WaitForLSN(target, 20*time.Second); err != nil {
+		fatal("catch-up: %v", err)
+	}
+	plsn, phash, err := h.w.StateHash()
+	if err != nil {
+		fatal("%v", err)
+	}
+	flsn, fhash, err := h.fw.StateHash()
+	if err != nil {
+		fatal("%v", err)
+	}
+	if flsn != plsn || fhash != phash {
+		fatal("DIVERGED: follower LSN %d hash %.12s, primary LSN %d hash %.12s",
+			flsn, fhash, plsn, phash)
+	}
+}
+
+// crashFollower closes the follower, tears random bytes off its newest
+// mirrored segment (a torn write), verifies the recovered state is a
+// committed prefix of the primary's history, and restarts it. With
+// fallBehind, the primary writes on and compacts while the follower is
+// down, so the restart must bootstrap from a snapshot.
+func (h *harness) crashFollower(fallBehind bool) {
+	h.bootstraps += h.fw.ReplicationStatus().Bootstraps
+	if err := h.fw.Close(); err != nil {
+		fatal("close follower: %v", err)
+	}
+	tearTail(h.follDir, int64(1+h.rng.Intn(24)))
+
+	// Recover the mirrored log directly and check the committed-prefix
+	// guarantee: whatever LSN the follower recovered to, its state must
+	// be byte-identical to the primary's state at that same LSN.
+	l, db, err := wal.Open(h.follDir, wal.Options{CompactAfterBytes: -1})
+	if err != nil {
+		fatal("recover follower dir: %v", err)
+	}
+	lsn := l.LastLSN()
+	hash, err := snapHash(db)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := l.Close(); err != nil {
+		fatal("close recovered follower log: %v", err)
+	}
+	if lsn >= h.firstLSN {
+		want, ok := h.states[lsn]
+		if !ok {
+			fatal("follower recovered to LSN %d, which no committed primary state matches", lsn)
+		}
+		if hash != want {
+			fatal("PREFIX VIOLATION: follower state at LSN %d differs from the primary's history", lsn)
+		}
+	}
+
+	if fallBehind {
+		for i := 0; i < 6; i++ {
+			h.oneOp()
+		}
+		if err := h.w.Compact(); err != nil {
+			fatal("compact while follower down: %v", err)
+		}
+		h.record()
+	}
+
+	fw, err := scooter.OpenFollower(h.follDir, h.addr, followerOpts())
+	if err != nil {
+		fatal("reopen follower: %v", err)
+	}
+	h.fw = fw
+	h.follKills++
+}
+
+// restartPrimary closes the replication server and the workspace, then
+// reopens both on the same address. fsync-per-record durability means a
+// clean close loses nothing the primary ever acknowledged.
+func (h *harness) restartPrimary() {
+	if err := h.w.Close(); err != nil {
+		fatal("close primary: %v", err)
+	}
+	h.openPrimary()
+	// Journal replay rewrites the (identical) spec record; account for
+	// its LSN so the prefix map stays complete.
+	h.record()
+	h.primKills++
+}
+
+func main() {
+	rounds := flag.Int("rounds", 12, "fault-injection rounds")
+	opsPerRound := flag.Int("ops", 8, "ORM write operations per round")
+	seed := flag.Int64("seed", 1, "PRNG seed (deterministic fault schedule)")
+	dir := flag.String("dir", "", "working directory (default: a temp dir)")
+	flag.Parse()
+
+	work := *dir
+	if work == "" {
+		var err error
+		work, err = os.MkdirTemp("", "replwatch")
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer os.RemoveAll(work)
+	}
+
+	h := &harness{
+		rng:        rand.New(rand.NewSource(*seed)),
+		primaryDir: filepath.Join(work, "primary"),
+		follDir:    filepath.Join(work, "follower"),
+		states:     map[uint64]string{},
+	}
+	h.openPrimary()
+
+	anon := h.w.AsPrinc(scooter.Static("Unauthenticated"))
+	var err error
+	if h.aliceID, err = anon.Insert("User", scooter.Doc{"name": "alice", "email": "a@x"}); err != nil {
+		fatal("seed: %v", err)
+	}
+	if h.bobID, err = anon.Insert("User", scooter.Doc{"name": "bob", "email": "b@x"}); err != nil {
+		fatal("seed: %v", err)
+	}
+	h.record()
+
+	if h.fw, err = scooter.OpenFollower(h.follDir, h.addr, followerOpts()); err != nil {
+		fatal("open follower: %v", err)
+	}
+	h.converge()
+
+	for round := 0; round < *rounds; round++ {
+		for i := 0; i < *opsPerRound; i++ {
+			h.oneOp()
+		}
+		// Compact sometimes, so a follower that crashed and fell behind
+		// the horizon must bootstrap from a snapshot.
+		if h.rng.Intn(3) == 0 {
+			if err := h.w.Compact(); err != nil {
+				fatal("compact: %v", err)
+			}
+			h.record()
+		}
+		switch f := h.rng.Intn(10); {
+		case f < 3:
+			h.crashFollower(false)
+		case f < 5:
+			h.crashFollower(true) // forces a snapshot bootstrap
+		case f < 8:
+			h.restartPrimary()
+		default:
+			h.crashFollower(false)
+			h.restartPrimary()
+		}
+		h.converge()
+		h.checkFollowerPolicies()
+	}
+
+	h.bootstraps += h.fw.ReplicationStatus().Bootstraps
+	if err := h.fw.Close(); err != nil {
+		fatal("final follower close: %v", err)
+	}
+	if err := h.w.Close(); err != nil {
+		fatal("final primary close: %v", err)
+	}
+	fmt.Printf("replwatch: %d rounds, %d ops, %d follower crashes, %d primary restarts, %d bootstraps\n",
+		*rounds, h.ops, h.follKills, h.primKills, h.bootstraps)
+	fmt.Println("all converged")
+}
+
+// snapHash fingerprints a recovered store the same way StateHash does.
+func snapHash(db *store.DB) (string, error) {
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// tearTail truncates n bytes off the newest non-empty mirrored segment.
+func tearTail(dir string, n int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
+			segs = append(segs, e.Name())
+		}
+	}
+	sort.Strings(segs)
+	for i := len(segs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, segs[i])
+		st, err := os.Stat(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if st.Size() <= 16 {
+			continue
+		}
+		cut := st.Size() - n
+		if cut < 16 {
+			cut = 16
+		}
+		if err := os.Truncate(path, cut); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+}

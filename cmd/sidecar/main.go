@@ -36,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -51,24 +52,36 @@ import (
 )
 
 func main() {
-	specPath := flag.String("spec", "policy.scp", "authoritative specification file")
-	strictness := flag.Bool("check-strictness", false, "compare two policies instead of verifying scripts")
-	noEquiv := flag.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
-	solverRounds := flag.Int("solver-rounds", 0, "per-query SMT round budget (0 = default)")
-	solverConflicts := flag.Int64("solver-conflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
-	proofTimeout := flag.Duration("proof-timeout", 0, "wall-clock budget per strictness proof (0 = none)")
-	cacheSize := flag.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
-	showStats := flag.Bool("stats", false, "print verification statistics on exit")
-	applyMode := flag.Bool("apply", false, "verify and durably apply the scripts against the store in -data-dir")
-	dataDir := flag.String("data-dir", "", "write-ahead log directory for -apply")
-	fsyncMode := flag.String("fsync", "always", "fsync policy for -apply: always, batch, or never")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind the process boundary: it parses args,
+// performs the requested checks, and returns the exit code. Tests call it
+// in-process to assert the exit-code contract without a subprocess per
+// flag combination.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sidecar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
+	strictness := fs.Bool("check-strictness", false, "compare two policies instead of verifying scripts")
+	noEquiv := fs.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
+	solverRounds := fs.Int("solver-rounds", 0, "per-query SMT round budget (0 = default)")
+	solverConflicts := fs.Int64("solver-conflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	proofTimeout := fs.Duration("proof-timeout", 0, "wall-clock budget per strictness proof (0 = none)")
+	cacheSize := fs.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
+	showStats := fs.Bool("stats", false, "print verification statistics on exit")
+	applyMode := fs.Bool("apply", false, "verify and durably apply the scripts against the store in -data-dir")
+	dataDir := fs.String("data-dir", "", "write-ahead log directory for -apply")
+	fsyncMode := fs.String("fsync", "always", "fsync policy for -apply: always, batch, or never")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	s, err := loadSpec(*specPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sidecar: %v\n", err)
+		return 2
 	}
 
 	// Ctrl-C and -timeout both flow through one context; proofs in flight
@@ -82,20 +95,20 @@ func main() {
 	}
 
 	if *strictness {
-		if flag.NArg() != 3 {
-			fmt.Fprintln(os.Stderr, "sidecar: -check-strictness needs MODEL OLD_POLICY NEW_POLICY")
-			exit(stop, 2)
+		if fs.NArg() != 3 {
+			fmt.Fprintln(stderr, "sidecar: -check-strictness needs MODEL OLD_POLICY NEW_POLICY")
+			return 2
 		}
 		lim := limits.New(ctx)
 		if *proofTimeout > 0 {
 			lim = lim.WithTimeout(*proofTimeout)
 		}
-		exit(stop, checkStrictness(s, flag.Arg(0), flag.Arg(1), flag.Arg(2), *solverRounds, *solverConflicts, lim))
+		return checkStrictness(s, fs.Arg(0), fs.Arg(1), fs.Arg(2), *solverRounds, *solverConflicts, lim, stdout, stderr)
 	}
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "sidecar: no migration scripts given")
-		exit(stop, 2)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "sidecar: no migration scripts given")
+		return 2
 	}
 	opts := migrate.DefaultOptions()
 	opts.TrackEquivalences = !*noEquiv
@@ -112,21 +125,21 @@ func main() {
 	opts.Stats = stats
 	var code int
 	if *applyMode {
-		code = applyScripts(*dataDir, *fsyncMode, flag.Args(), opts)
+		code = applyScripts(*dataDir, *fsyncMode, fs.Args(), opts, stdout, stderr)
 	} else {
-		code = verifyScripts(s, flag.Args(), opts)
+		code = verifyScripts(s, fs.Args(), opts, stdout, stderr)
 	}
 	if *showStats {
-		fmt.Fprintf(os.Stderr, "sidecar: %s\n", stats.Snapshot())
+		fmt.Fprintf(stderr, "sidecar: %s\n", stats.Snapshot())
 	}
-	exit(stop, code)
+	return code
 }
 
 // applyScripts opens (or recovers) the durable store and runs the scripts
 // as a journalled migration history.
-func applyScripts(dataDir, fsyncMode string, paths []string, opts migrate.Options) int {
+func applyScripts(dataDir, fsyncMode string, paths []string, opts migrate.Options, stdout, stderr io.Writer) int {
 	if dataDir == "" {
-		fmt.Fprintln(os.Stderr, "sidecar: -apply needs -data-dir")
+		fmt.Fprintln(stderr, "sidecar: -apply needs -data-dir")
 		return 2
 	}
 	var wopts scooter.DurabilityOptions
@@ -138,22 +151,22 @@ func applyScripts(dataDir, fsyncMode string, paths []string, opts migrate.Option
 	case "never":
 		wopts.SyncEvery = -1
 	default:
-		fmt.Fprintf(os.Stderr, "sidecar: unknown -fsync mode %q\n", fsyncMode)
+		fmt.Fprintf(stderr, "sidecar: unknown -fsync mode %q\n", fsyncMode)
 		return 2
 	}
 	w, err := scooter.OpenDurable(dataDir, wopts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+		fmt.Fprintf(stderr, "sidecar: %v\n", err)
 		return 2
 	}
 	if n := w.Replayed(); n > 0 {
-		fmt.Printf("recovered %d logged writes\n", n)
+		fmt.Fprintf(stdout, "recovered %d logged writes\n", n)
 	}
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			w.Close()
-			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			fmt.Fprintf(stderr, "sidecar: %v\n", err)
 			return 2
 		}
 		applied, err := w.MigrateNamedOpts(filepath.Base(path), string(data), opts)
@@ -162,47 +175,40 @@ func applyScripts(dataDir, fsyncMode string, paths []string, opts migrate.Option
 			var uerr *migrate.UnsafeError
 			if errors.As(err, &uerr) {
 				if uerr.Result != nil && uerr.Result.Verdict == verify.Inconclusive {
-					fmt.Printf("%s: UNKNOWN\n%v\n", path, uerr)
+					fmt.Fprintf(stdout, "%s: UNKNOWN\n%v\n", path, uerr)
 					return 3
 				}
-				fmt.Printf("%s: UNSAFE\n%v\n", path, uerr)
+				fmt.Fprintf(stdout, "%s: UNSAFE\n%v\n", path, uerr)
 				return 1
 			}
-			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
+			fmt.Fprintf(stderr, "sidecar: %s: %v\n", path, err)
 			return 2
 		}
 		if applied {
-			fmt.Printf("%s: APPLIED\n", path)
+			fmt.Fprintf(stdout, "%s: APPLIED\n", path)
 		} else {
-			fmt.Printf("%s: already applied, skipped\n", path)
+			fmt.Fprintf(stdout, "%s: already applied, skipped\n", path)
 		}
 	}
 	if err := w.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "sidecar: closing log: %v\n", err)
+		fmt.Fprintf(stderr, "sidecar: closing log: %v\n", err)
 		return 2
 	}
 	return 0
 }
 
-// exit releases the signal handler before terminating; os.Exit skips
-// deferred calls.
-func exit(stop context.CancelFunc, code int) {
-	stop()
-	os.Exit(code)
-}
-
 // verifyScripts checks each script in order against the evolving spec,
 // returning the process exit code.
-func verifyScripts(s *schema.Schema, paths []string, opts migrate.Options) int {
+func verifyScripts(s *schema.Schema, paths []string, opts migrate.Options, stdout, stderr io.Writer) int {
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			fmt.Fprintf(stderr, "sidecar: %v\n", err)
 			return 2
 		}
 		script, err := parser.ParseMigration(string(data))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
+			fmt.Fprintf(stderr, "sidecar: %s: %v\n", path, err)
 			return 2
 		}
 		plan, err := migrate.Verify(s, script, opts)
@@ -210,16 +216,16 @@ func verifyScripts(s *schema.Schema, paths []string, opts migrate.Options) int {
 			var uerr *migrate.UnsafeError
 			if errors.As(err, &uerr) {
 				if uerr.Result != nil && uerr.Result.Verdict == verify.Inconclusive {
-					fmt.Printf("%s: UNKNOWN\n%v\n", path, uerr)
+					fmt.Fprintf(stdout, "%s: UNKNOWN\n%v\n", path, uerr)
 					return 3
 				}
-				fmt.Printf("%s: UNSAFE\n%v\n", path, uerr)
+				fmt.Fprintf(stdout, "%s: UNSAFE\n%v\n", path, uerr)
 				return 1
 			}
-			fmt.Fprintf(os.Stderr, "sidecar: %s: %v\n", path, err)
+			fmt.Fprintf(stderr, "sidecar: %s: %v\n", path, err)
 			return 2
 		}
-		fmt.Printf("%s: OK (%d commands)\n", path, len(plan.Reports))
+		fmt.Fprintf(stdout, "%s: OK (%d commands)\n", path, len(plan.Reports))
 		s = plan.After
 	}
 	return 0
@@ -244,15 +250,15 @@ func loadSpec(path string) (*schema.Schema, error) {
 	return s, nil
 }
 
-func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRounds int, solverConflicts int64, lim *limits.Checker) int {
+func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRounds int, solverConflicts int64, lim *limits.Checker, stdout, stderr io.Writer) int {
 	parse := func(src string) (ast.Policy, bool) {
 		p, err := parser.ParsePolicy(src)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			fmt.Fprintf(stderr, "sidecar: %v\n", err)
 			return ast.Policy{}, false
 		}
 		if err := typer.New(s).CheckPolicy(model, p); err != nil {
-			fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+			fmt.Fprintf(stderr, "sidecar: %v\n", err)
 			return ast.Policy{}, false
 		}
 		return p, true
@@ -273,19 +279,19 @@ func checkStrictness(s *schema.Schema, model, oldSrc, newSrc string, solverRound
 	checker.Limits = lim
 	res, err := checker.CheckStrictness(model, pOld, pNew)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sidecar: %v\n", err)
+		fmt.Fprintf(stderr, "sidecar: %v\n", err)
 		return 2
 	}
 	switch res.Verdict {
 	case verify.Safe:
-		fmt.Println("OK: the new policy is at least as strict as the old one")
+		fmt.Fprintln(stdout, "OK: the new policy is at least as strict as the old one")
 		return 0
 	case verify.Inconclusive:
-		fmt.Printf("UNKNOWN: %s\n", inconclusiveReason(res))
+		fmt.Fprintf(stdout, "UNKNOWN: %s\n", inconclusiveReason(res))
 		return 3
 	default:
-		fmt.Println("UNSAFE: the new policy admits principals the old one rejects")
-		fmt.Print(res.Counterexample)
+		fmt.Fprintln(stdout, "UNSAFE: the new policy admits principals the old one rejects")
+		fmt.Fprint(stdout, res.Counterexample)
 		return 1
 	}
 }

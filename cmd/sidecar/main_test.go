@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CI-facing exit-code contract — 0 safe, 1 unsafe
+// (counterexample printed), 2 usage error, 3 inconclusive (with the
+// exhausted budget named) — by calling run() in-process for every flag
+// combination instead of spawning a subprocess per case.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	spec := write("policy.scp", `
+@principal
+User {
+  create: public,
+  delete: none,
+  email: String { read: public, write: none },
+  secret: String { read: none, write: none },
+}
+`)
+	tighten := write("tighten.scm", "User::UpdateFieldReadPolicy(email, none);\n")
+	loosen := write("loosen.scm", "User::UpdateFieldReadPolicy(secret, public);\n")
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string // substring of stdout
+		wantErr  string // substring of stderr
+	}{
+		{
+			name:     "safe migration",
+			args:     []string{"-spec", spec, tighten},
+			wantCode: 0,
+			wantOut:  "OK (1 commands)",
+		},
+		{
+			name:     "unsafe migration prints the counterexample",
+			args:     []string{"-spec", spec, loosen},
+			wantCode: 1,
+			wantOut:  "UNSAFE",
+		},
+		{
+			name:     "exhausted proof budget is UNKNOWN with a reason",
+			args:     []string{"-spec", spec, "-proof-timeout", "1ns", tighten},
+			wantCode: 3,
+			wantOut:  "UNKNOWN",
+		},
+		{
+			name:     "strictness check accepts a tightening",
+			args:     []string{"-spec", spec, "-check-strictness", "User", "public", "none"},
+			wantCode: 0,
+			wantOut:  "at least as strict",
+		},
+		{
+			name:     "strictness check rejects a loosening",
+			args:     []string{"-spec", spec, "-check-strictness", "User", "none", "public"},
+			wantCode: 1,
+			wantOut:  "UNSAFE",
+		},
+		{
+			name:     "strictness check degrades to UNKNOWN on a dead budget",
+			args:     []string{"-spec", spec, "-proof-timeout", "1ns", "-check-strictness", "User", "public", "none"},
+			wantCode: 3,
+			wantOut:  "UNKNOWN",
+		},
+		{
+			name:     "no scripts is a usage error",
+			args:     []string{"-spec", spec},
+			wantCode: 2,
+			wantErr:  "no migration scripts",
+		},
+		{
+			name:     "unknown flag is a usage error",
+			args:     []string{"-definitely-not-a-flag"},
+			wantCode: 2,
+		},
+		{
+			name:     "apply without a data dir is a usage error",
+			args:     []string{"-spec", spec, "-apply", tighten},
+			wantCode: 2,
+			wantErr:  "-apply needs -data-dir",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Fatalf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestUnknownReportsTheExhaustedBudget checks that inconclusive output
+// names what ran out, so CI logs distinguish "raise the budget" from a
+// real violation.
+func TestUnknownReportsTheExhaustedBudget(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "policy.scp")
+	if err := os.WriteFile(spec, []byte(`
+@principal
+User {
+  create: public,
+  delete: none,
+  email: String { read: public, write: none },
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "m.scm")
+	if err := os.WriteFile(script, []byte("User::UpdateFieldReadPolicy(email, none);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-spec", spec, "-proof-timeout", "1ns", script}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "deadline") {
+		t.Fatalf("UNKNOWN output does not name the exhausted budget:\n%s", stdout.String())
+	}
+}

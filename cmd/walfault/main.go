@@ -6,9 +6,16 @@
 // result is exactly the state after some prefix of the committed history —
 // never a partially applied record, never a panic.
 //
-//	walfault            # run the full sweep in a temp directory
-//	walfault -dir DIR   # keep the working files under DIR
-//	walfault -ops N     # workload size (default 40)
+//	walfault             # run the full sweep in a temp directory
+//	walfault -dir DIR    # keep the working files under DIR
+//	walfault -ops N      # workload size (default 40)
+//	walfault -trials N   # bound the sweep to N trials (0 = exhaustive)
+//	walfault -seed S     # which N trials the bound picks (default 1)
+//
+// With -trials the sweep runs a deterministic random subset: the full
+// candidate list is shuffled by -seed and the first N are run, so a bounded
+// CI job still covers every segment region over time while any failure
+// reproduces exactly from the same -seed/-trials/-ops triple.
 //
 // Output ends with "all recovered" and the total of replayed records; the
 // CI crash-recovery smoke job greps for both.
@@ -18,6 +25,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -90,6 +98,8 @@ func fatal(format string, args ...any) {
 func main() {
 	dir := flag.String("dir", "", "working directory (default: a temp dir)")
 	nOps := flag.Int("ops", 40, "workload size in single-record operations")
+	maxTrials := flag.Int("trials", 0, "run at most this many fault trials, sampled deterministically (0 = every offset)")
+	seed := flag.Int64("seed", 1, "seed selecting which trials a bounded run picks")
 	flag.Parse()
 
 	work := *dir
@@ -130,19 +140,40 @@ func main() {
 	segs := segmentFiles(pristine)
 	fmt.Printf("workload: %d ops across %d segments\n", len(ops), len(segs))
 
-	trials, replayedTotal := 0, 0
+	// Enumerate every candidate fault first, so a bounded run can sample
+	// from the same universe the exhaustive sweep covers.
+	type trial struct {
+		seg      string
+		data     []byte
+		off      int
+		truncate bool
+	}
+	var candidates []trial
 	for _, seg := range segs {
 		data, err := os.ReadFile(filepath.Join(pristine, seg))
 		if err != nil {
 			fatal("%v", err)
 		}
 		for off := 0; off < len(data); off++ {
-			replayedTotal += runTrial(work, pristine, seg, data, off, true, prefixes)
-			replayedTotal += runTrial(work, pristine, seg, data, off, false, prefixes)
-			trials += 2
+			candidates = append(candidates,
+				trial{seg, data, off, true},
+				trial{seg, data, off, false})
 		}
 	}
-	fmt.Printf("fault trials: %d (torn writes and bit flips at every byte offset)\n", trials)
+	if *maxTrials > 0 && *maxTrials < len(candidates) {
+		rng := rand.New(rand.NewSource(*seed))
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		candidates = candidates[:*maxTrials]
+		fmt.Printf("bounded run: %d of the possible trials (seed %d)\n", len(candidates), *seed)
+	}
+
+	replayedTotal := 0
+	for _, c := range candidates {
+		replayedTotal += runTrial(work, pristine, c.seg, c.data, c.off, c.truncate, prefixes)
+	}
+	fmt.Printf("fault trials: %d (torn writes and bit flips)\n", len(candidates))
 	fmt.Printf("replayed records: %d\n", replayedTotal)
 	fmt.Println("all recovered")
 }

@@ -48,10 +48,22 @@ CreateModel(Announcement {
 });
 `
 
-// Server is the BIBIFI web application.
+// Server is the BIBIFI web application. Exactly one of W (primary) and F
+// (read-only replica) is set.
 type Server struct {
 	W   *scooter.Workspace
+	F   *scooter.FollowerWorkspace
 	mux *http.ServeMux
+}
+
+// princ returns a policy-checked handle for p against whichever workspace
+// backs this server. On a replica the handle is read-only, but read
+// policies are enforced exactly as on the primary.
+func (s *Server) princ(p scooter.Principal) *scooter.Princ {
+	if s.F != nil {
+		return s.F.AsPrinc(p)
+	}
+	return s.W.AsPrinc(p)
 }
 
 var announcementsTmpl = template.Must(template.New("announcements").Parse(`<!doctype html>
@@ -92,9 +104,36 @@ func Open(dataDir string, opts scooter.DurabilityOptions) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{W: w, mux: http.NewServeMux()}
+	s.routes()
+	return s, nil
+}
+
+// OpenFollower builds the application as a read-only replica: the data
+// directory mirrors the primary's write-ahead log (streamed from
+// primaryAddr, the primary's -serve-replication address), and both the
+// data and the schema's policies replicate with it. The replica serves
+// the same read endpoints; it needs no migration of its own.
+func OpenFollower(dataDir, primaryAddr string) (*Server, error) {
+	fw, err := scooter.OpenFollower(dataDir, primaryAddr, scooter.FollowerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{F: fw, mux: http.NewServeMux()}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
 	s.mux.HandleFunc("/announcements", s.handleAnnouncements)
 	s.mux.HandleFunc("/profile", s.handleProfile)
-	return s, nil
+}
+
+// Close releases whichever workspace backs the server. Idempotent.
+func (s *Server) Close() error {
+	if s.F != nil {
+		return s.F.Close()
+	}
+	return s.W.Close()
 }
 
 // Seed inserts n users, one contest, and a set of announcements, and
@@ -144,7 +183,7 @@ func (s *Server) principal(r *http.Request) scooter.Principal {
 }
 
 func (s *Server) handleAnnouncements(rw http.ResponseWriter, r *http.Request) {
-	pr := s.W.AsPrinc(s.principal(r))
+	pr := s.princ(s.principal(r))
 	anns, err := pr.Find("Announcement")
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
@@ -189,7 +228,7 @@ func (s *Server) handleProfile(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "Forbidden", http.StatusForbidden)
 		return
 	}
-	pr := s.W.AsPrinc(p)
+	pr := s.princ(p)
 	obj, err := pr.FindByID("User", p.ID)
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)

@@ -7,6 +7,14 @@
 // With -data-dir the store is backed by a write-ahead log: kill the
 // process, restart it, and the data (and any half-finished migration)
 // recovers. -fsync selects the durability/throughput trade-off.
+//
+// Replication: a durable primary streams its log to read replicas.
+//
+//	bibifi-web -data-dir p -serve-replication :7070   # primary
+//	bibifi-web -data-dir f -follow localhost:7070     # read-only replica
+//
+// The replica serves the same endpoints from replicated state; read
+// policies are enforced on its side too, and writes are refused.
 package main
 
 import (
@@ -24,7 +32,27 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	dataDir := flag.String("data-dir", "", "write-ahead log directory (empty = in-memory only)")
 	fsync := flag.String("fsync", "always", "fsync policy: always (every write), batch (every 64 writes or 10ms), never (rotation/shutdown only)")
+	follow := flag.String("follow", "", "run as a read-only replica of a primary's -serve-replication address (requires -data-dir)")
+	replAddr := flag.String("serve-replication", "", "stream the write-ahead log to replicas on this address (requires -data-dir)")
 	flag.Parse()
+
+	if *follow != "" {
+		if *dataDir == "" {
+			log.Fatal("bibifi-web: -follow needs -data-dir for the mirrored log")
+		}
+		srv, err := app.OpenFollower(*dataDir, *follow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replicating from %s; listening on %v\n", *follow, ln.Addr())
+		err = http.Serve(ln, srv)
+		srv.Close()
+		log.Fatal(err)
+	}
 
 	opts, err := durabilityOptions(*fsync)
 	if err != nil {
@@ -38,13 +66,23 @@ func main() {
 		fmt.Printf("recovered %d logged writes from %s\n", n, *dataDir)
 	}
 	ids := srv.Seed(10, 5)
+	if *replAddr != "" {
+		if *dataDir == "" {
+			log.Fatal("bibifi-web: -serve-replication needs -data-dir (replication streams the write-ahead log)")
+		}
+		rs, err := srv.W.ServeReplication(*replAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replication on %v\n", rs.Addr())
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("seeded %d users (ids %v..%v); listening on %v\n", len(ids), ids[0], ids[len(ids)-1], ln.Addr())
 	err = http.Serve(ln, srv)
-	srv.W.Close()
+	srv.Close()
 	log.Fatal(err)
 }
 

@@ -104,3 +104,137 @@ func TestServesAndRecovers(t *testing.T) {
 		t.Fatalf("announcements changed across crash:\n%s\n---\n%s", first, second)
 	}
 }
+
+// TestFollowerServesReplicatedState boots a primary with -serve-replication
+// and a second process with -follow, and checks that the replica serves the
+// primary's pages from replicated state — including the policy-checked
+// profile endpoint. Skipped under -short: it builds and runs the binary.
+func TestFollowerServesReplicatedState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "bibifi-web")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// start launches the binary and scans the banner for the listen address,
+	// (on the primary) the replication address, and the first seeded user id.
+	start := func(args ...string) (addr, repl, userID string) {
+		cmd := exec.Command(bin, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		var banner strings.Builder
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			banner.WriteString(line + "\n")
+			if i := strings.LastIndex(line, "replication on "); i >= 0 {
+				repl = strings.TrimSpace(line[i+len("replication on "):])
+			}
+			if i := strings.Index(line, "(ids "); i >= 0 {
+				rest := line[i+len("(ids "):]
+				if j := strings.Index(rest, ".."); j >= 0 {
+					// IDs render as "#10": keep only the number.
+					userID = strings.TrimLeft(rest[:j], "#")
+				}
+			}
+			if i := strings.LastIndex(line, "listening on "); i >= 0 {
+				addr = strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+		if addr == "" {
+			t.Fatalf("no listen address in output:\n%s", banner.String())
+		}
+		go io.Copy(io.Discard, stdout)
+		return addr, repl, userID
+	}
+
+	get := func(addr, path, userID string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", "http://"+addr+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if userID != "" {
+			req.Header.Set("X-User-Id", userID)
+		}
+		var lastErr error
+		for i := 0; i < 50; i++ {
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				lastErr = err
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp.StatusCode, string(body)
+		}
+		t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+		return 0, ""
+	}
+
+	primAddr, replAddr, userID := start(
+		"-addr", "127.0.0.1:0",
+		"-data-dir", filepath.Join(t.TempDir(), "primary"),
+		"-serve-replication", "127.0.0.1:0")
+	if replAddr == "" {
+		t.Fatal("primary never reported its replication address")
+	}
+	if userID == "" {
+		t.Fatal("primary never reported its seeded user ids")
+	}
+	follAddr, _, _ := start(
+		"-addr", "127.0.0.1:0",
+		"-data-dir", filepath.Join(t.TempDir(), "follower"),
+		"-follow", replAddr)
+
+	code, want := get(primAddr, "/announcements", "")
+	if code != http.StatusOK {
+		t.Fatalf("primary announcements: %d\n%s", code, want)
+	}
+	// The follower converges asynchronously: retry until its page matches
+	// the primary's byte for byte.
+	var got string
+	for i := 0; i < 250; i++ {
+		if _, got = get(follAddr, "/announcements", ""); got == want {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got != want {
+		t.Fatalf("follower never converged:\n%s\n---\n%s", want, got)
+	}
+
+	// Policy enforcement on the replica: a user reads their own profile,
+	// an unauthenticated request is refused. Users are seeded after the
+	// announcements, so retry until they replicate too.
+	var prof string
+	for i := 0; i < 250; i++ {
+		if code, prof = get(follAddr, "/profile", userID); code == http.StatusOK {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code != http.StatusOK || !strings.Contains(prof, "@example.com") {
+		t.Fatalf("follower profile: %d\n%s", code, prof)
+	}
+	if code, _ = get(follAddr, "/profile", ""); code != http.StatusForbidden {
+		t.Fatalf("unauthenticated profile on follower: %d", code)
+	}
+}

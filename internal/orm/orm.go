@@ -28,7 +28,15 @@ type Conn struct {
 	// ORM "in debug mode also allows developers to temporarily turn off
 	// enforcement", e.g. for application-level migrations).
 	enforcement bool
+	// readOnly rejects every write before its policy is even evaluated.
+	// Replication followers set it: their store mirrors the primary's log,
+	// so a local write would diverge from the replicated history.
+	readOnly bool
 }
+
+// ErrReadOnly reports a write attempted through a read-only connection
+// (e.g. a replication follower).
+var ErrReadOnly = fmt.Errorf("orm: connection is read-only (replica)")
 
 // Open binds a schema to a database with enforcement on.
 func Open(s *schema.Schema, db *store.DB) *Conn {
@@ -37,6 +45,10 @@ func Open(s *schema.Schema, db *store.DB) *Conn {
 
 // SetEnforcement toggles policy enforcement (debug only).
 func (c *Conn) SetEnforcement(on bool) { c.enforcement = on }
+
+// SetReadOnly marks the connection read-only: Insert, Update, and Delete
+// fail with ErrReadOnly. Read policies are still enforced in full.
+func (c *Conn) SetReadOnly(on bool) { c.readOnly = on }
 
 // SetSchema swaps the schema after a migration; the evaluator follows.
 func (c *Conn) SetSchema(s *schema.Schema) {
@@ -165,6 +177,9 @@ func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
 // Insert creates an instance after checking the model's create policy. All
 // declared fields must be present.
 func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
+	if pr.conn.readOnly {
+		return store.Nil, ErrReadOnly
+	}
 	m := pr.conn.Schema.Model(model)
 	if m == nil {
 		return store.Nil, fmt.Errorf("orm: unknown model %s", model)
@@ -197,6 +212,9 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 // Update overwrites fields after checking each one's write policy against
 // the stored document.
 func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
+	if pr.conn.readOnly {
+		return ErrReadOnly
+	}
 	m := pr.conn.Schema.Model(model)
 	if m == nil {
 		return fmt.Errorf("orm: unknown model %s", model)
@@ -225,6 +243,9 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 
 // Delete removes an instance after checking the model's delete policy.
 func (pr *Princ) Delete(model string, id store.ID) error {
+	if pr.conn.readOnly {
+		return ErrReadOnly
+	}
 	m := pr.conn.Schema.Model(model)
 	if m == nil {
 		return fmt.Errorf("orm: unknown model %s", model)

@@ -1,0 +1,134 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scooter/internal/store"
+	"scooter/internal/store/wal"
+)
+
+// benchPrimary opens a primary with batched fsyncs (group commit already
+// measured in the wal benches; here the shipping path is under test) and
+// serves replication on an ephemeral port.
+func benchPrimary(b *testing.B, dir string) (*wal.Log, *store.DB, *Server) {
+	b.Helper()
+	l, db, err := wal.Open(dir, wal.Options{SyncEvery: 64, CompactAfterBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := Serve(l, "127.0.0.1:0", ServerOptions{HeartbeatInterval: 10 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l, db, srv
+}
+
+// BenchmarkReplicationThroughput measures end-to-end replicated writes:
+// each op is one insert on the primary, and the clock stops only after
+// the attached follower has durably mirrored and applied every record.
+func BenchmarkReplicationThroughput(b *testing.B) {
+	l, db, srv := benchPrimary(b, b.TempDir())
+	defer srv.Close()
+	defer l.Close()
+	f, err := Open(b.TempDir(), srv.Addr().String(), fastOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	users := db.Collection("users")
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.WaitForLSN(l.DurableLSN(), 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i), "age": int64(i)})
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.WaitForLSN(l.DurableLSN(), 60*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if st := f.Status(); st.AppliedLSN != l.DurableLSN() {
+		b.Fatalf("follower at %d, primary at %d", st.AppliedLSN, l.DurableLSN())
+	}
+}
+
+// BenchmarkFollowerCatchUp measures a fresh follower draining an existing
+// 10k-record backlog: connect, stream, mirror, apply. Reported per
+// backlog record.
+func BenchmarkFollowerCatchUp(b *testing.B) {
+	const backlog = 10_000
+	l, db, srv := benchPrimary(b, b.TempDir())
+	defer srv.Close()
+	defer l.Close()
+	users := db.Collection("users")
+	for i := 0; i < backlog; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i), "age": int64(i)})
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Open(b.TempDir(), srv.Addr().String(), fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.WaitForLSN(l.DurableLSN(), 60*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/backlog, "ns/record")
+}
+
+// BenchmarkReplicationLag measures steady-state lag: with a writer
+// pushing records at full speed, each op samples how far (in LSNs) the
+// follower's applied watermark trails the primary's durable one.
+func BenchmarkReplicationLag(b *testing.B) {
+	l, db, srv := benchPrimary(b, b.TempDir())
+	defer srv.Close()
+	defer l.Close()
+	f, err := Open(b.TempDir(), srv.Addr().String(), fastOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	users := db.Collection("users")
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.WaitForLSN(l.DurableLSN(), 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+
+	var lagSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i)})
+		st := f.Status()
+		durable := l.DurableLSN()
+		if durable > st.AppliedLSN {
+			lagSum += float64(durable - st.AppliedLSN)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(lagSum/float64(b.N), "lag-lsns")
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.WaitForLSN(l.DurableLSN(), 60*time.Second); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,354 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"scooter/internal/store"
+	"scooter/internal/store/wal"
+)
+
+// fastOpts keeps test reconnects snappy.
+func fastOpts() Options {
+	return Options{
+		MinBackoff:  5 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		AckInterval: 10 * time.Millisecond,
+	}
+}
+
+func snapshotBytes(t *testing.T, db *store.DB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// startPrimary opens a primary log+db and serves replication on an
+// ephemeral port.
+func startPrimary(t *testing.T, dir string, walOpts wal.Options) (*wal.Log, *store.DB, *Server) {
+	t.Helper()
+	l, db, err := wal.Open(dir, walOpts)
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	srv, err := Serve(l, "127.0.0.1:0", ServerOptions{HeartbeatInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return l, db, srv
+}
+
+func waitConverged(t *testing.T, f *Follower, l *wal.Log, pdb *store.DB) {
+	t.Helper()
+	if err := f.WaitForLSN(l.DurableLSN(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshotBytes(t, f.DB()), snapshotBytes(t, pdb); !bytes.Equal(got, want) {
+		t.Fatal("follower state differs from primary")
+	}
+}
+
+func TestFollowerReplicatesLiveWrites(t *testing.T) {
+	pl, pdb, srv := startPrimary(t, t.TempDir(), wal.Options{CompactAfterBytes: -1})
+	defer pl.Close()
+	defer srv.Close()
+
+	users := pdb.Collection("users")
+	users.EnsureIndex("name")
+	var ids []store.ID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i)}))
+	}
+
+	f, err := Open(t.TempDir(), srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	defer f.Close()
+	waitConverged(t, f, pl, pdb)
+
+	// Writes made after the follower attached must flow through too.
+	users.Update(ids[2], store.Doc{"name": "updated", "n": store.Some(int64(7))})
+	users.Delete(ids[4])
+	pdb.Collection("posts").Insert(store.Doc{"title": "hello"})
+	waitConverged(t, f, pl, pdb)
+
+	st := f.Status()
+	if !st.Connected || st.Bootstraps != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.AppliedLSN != pl.DurableLSN() {
+		t.Fatalf("applied %d, primary durable %d", st.AppliedLSN, pl.DurableLSN())
+	}
+}
+
+func TestServerReportsFollowerProgress(t *testing.T) {
+	pl, pdb, srv := startPrimary(t, t.TempDir(), wal.Options{CompactAfterBytes: -1})
+	defer pl.Close()
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		pdb.Collection("users").Insert(store.Doc{"i": int64(i)})
+	}
+	f, err := Open(t.TempDir(), srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, f, pl, pdb)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos := srv.Followers()
+		if len(infos) == 1 && infos[0].AckedLSN == pl.DurableLSN() {
+			if infos[0].SentLSN != pl.DurableLSN() {
+				t.Fatalf("sent %d, durable %d", infos[0].SentLSN, pl.DurableLSN())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ack never reached the primary: %+v", infos)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerTornTailRestart crashes the follower (torn tail in its
+// mirrored log), restarts it, and checks it recovers a committed prefix
+// and catches back up to the primary.
+func TestFollowerTornTailRestart(t *testing.T) {
+	pl, pdb, srv := startPrimary(t, t.TempDir(), wal.Options{CompactAfterBytes: -1})
+	defer pl.Close()
+	defer srv.Close()
+	users := pdb.Collection("users")
+	for i := 0; i < 20; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i)})
+	}
+
+	fdir := t.TempDir()
+	f, err := Open(fdir, srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, f, pl, pdb)
+	if err := f.Close(); err != nil {
+		t.Fatalf("close follower: %v", err)
+	}
+
+	// Simulate a crash mid-write: tear bytes off the end of the
+	// follower's newest segment.
+	tearTail(t, fdir, 7)
+
+	// More primary writes while the follower is down.
+	for i := 0; i < 10; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("late%d", i)})
+	}
+
+	f2, err := Open(fdir, srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatalf("reopen follower: %v", err)
+	}
+	defer f2.Close()
+	waitConverged(t, f2, pl, pdb)
+	if st := f2.Status(); st.Bootstraps != 0 {
+		t.Fatalf("catch-up should stream, not bootstrap: %+v", st)
+	}
+}
+
+// tearTail truncates n bytes off the follower's newest non-empty segment,
+// mimicking a torn write.
+func tearTail(t *testing.T, dir string, n int64) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".log" {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments to tear")
+	}
+	sort.Strings(segs)
+	for i := len(segs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, segs[i])
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() <= 16 { // header only
+			continue
+		}
+		cut := st.Size() - n
+		if cut < 16 {
+			cut = 16
+		}
+		if err := os.Truncate(path, cut); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatal("no non-empty segment to tear")
+}
+
+// TestPrimaryRestartReconnect kills the replication server mid-stream,
+// writes more on the primary, restarts the server on the same address,
+// and checks the follower reconnects and converges.
+func TestPrimaryRestartReconnect(t *testing.T) {
+	pdir := t.TempDir()
+	pl, pdb, srv := startPrimary(t, pdir, wal.Options{CompactAfterBytes: -1})
+	defer pl.Close()
+	addr := srv.Addr().String()
+	users := pdb.Collection("users")
+	for i := 0; i < 8; i++ {
+		users.Insert(store.Doc{"i": int64(i)})
+	}
+	f, err := Open(t.TempDir(), addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, f, pl, pdb)
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close server: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		users.Insert(store.Doc{"late": int64(i)})
+	}
+
+	// Rebind the same address; the ephemeral port is free again.
+	srv2, err := Serve(pl, addr, ServerOptions{HeartbeatInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("restart server: %v", err)
+	}
+	defer srv2.Close()
+	waitConverged(t, f, pl, pdb)
+	if st := f.Status(); st.Reconnects == 0 {
+		t.Fatalf("expected a reconnect: %+v", st)
+	}
+}
+
+// TestFreshFollowerBootstrapsPastCompaction compacts the primary before
+// the follower's first connection, forcing a snapshot bootstrap.
+func TestFreshFollowerBootstrapsPastCompaction(t *testing.T) {
+	pl, pdb, srv := startPrimary(t, t.TempDir(),
+		wal.Options{SegmentMaxBytes: 512, CompactAfterBytes: -1})
+	defer pl.Close()
+	defer srv.Close()
+	users := pdb.Collection("users")
+	for i := 0; i < 30; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("u%d", i)})
+	}
+	if err := pl.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	// Post-compaction writes stream on top of the snapshot.
+	for i := 0; i < 5; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("post%d", i)})
+	}
+
+	f, err := Open(t.TempDir(), srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitConverged(t, f, pl, pdb)
+	if st := f.Status(); st.Bootstraps != 1 {
+		t.Fatalf("expected exactly one bootstrap: %+v", st)
+	}
+
+	// The bootstrapped follower keeps following live writes.
+	users.Insert(store.Doc{"name": "after-bootstrap"})
+	waitConverged(t, f, pl, pdb)
+}
+
+// TestFollowerSurvivesPrimaryDownAtOpen opens a follower pointing at a
+// dead address; it must serve local state and connect once the primary
+// appears.
+func TestFollowerSurvivesPrimaryDownAtOpen(t *testing.T) {
+	pdir := t.TempDir()
+	pl, pdb, err := wal.Open(pdir, wal.Options{CompactAfterBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	pdb.Collection("users").Insert(store.Doc{"name": "early"})
+
+	// Reserve an address, then close it so the follower dials a dead port.
+	srv0, err := Serve(pl, "127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv0.Addr().String()
+	srv0.Close()
+
+	f, err := Open(t.TempDir(), addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.DB() == nil {
+		t.Fatal("follower must serve local (empty) state while disconnected")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if st := f.Status(); st.Connected {
+		t.Fatalf("connected to a dead primary? %+v", st)
+	}
+
+	srv, err := Serve(pl, addr, ServerOptions{HeartbeatInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	waitConverged(t, f, pl, pdb)
+}
+
+// TestDivergedFollowerRefused checks the primary refuses a follower whose
+// log claims LSNs the primary never committed.
+func TestDivergedFollowerRefused(t *testing.T) {
+	pl, pdb, srv := startPrimary(t, t.TempDir(), wal.Options{CompactAfterBytes: -1})
+	defer pl.Close()
+	defer srv.Close()
+	pdb.Collection("users").Insert(store.Doc{"name": "only"})
+
+	// Build a "follower" dir whose history is longer than the primary's.
+	fdir := t.TempDir()
+	ol, odb, err := wal.Open(fdir, wal.Options{CompactAfterBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		odb.Collection("junk").Insert(store.Doc{"i": int64(i)})
+	}
+	if err := ol.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(fdir, srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := f.Status()
+		if st.LastError != "" && !st.Connected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diverged follower was never refused: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

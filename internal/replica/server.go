@@ -1,0 +1,330 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"scooter/internal/store/wal"
+)
+
+// ServerOptions tunes the replication server. The zero value means 100ms
+// heartbeats and a 10s per-message write budget.
+type ServerOptions struct {
+	// HeartbeatInterval is how often an idle connection carries the
+	// primary's durable watermark and the follower's backlog.
+	HeartbeatInterval time.Duration
+	// WriteTimeout bounds each message write; a follower that stops
+	// draining its socket is disconnected rather than blocking a server
+	// goroutine forever.
+	WriteTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// FollowerInfo is the primary's view of one connected follower.
+type FollowerInfo struct {
+	Remote string
+	// SentLSN is the last frame shipped on this connection.
+	SentLSN uint64
+	// AckedLSN / AckedDurableLSN are the follower's last reported applied
+	// and locally-durable watermarks.
+	AckedLSN        uint64
+	AckedDurableLSN uint64
+	// PendingBytes is the byte backlog still to ship to this follower.
+	PendingBytes int64
+}
+
+// Server accepts follower connections and streams the primary's durable
+// WAL to each: snapshot bootstrap for followers behind the compaction
+// horizon, live frame streaming for the rest.
+type Server struct {
+	log  *wal.Log
+	ln   net.Listener
+	opts ServerOptions
+
+	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type serverConn struct {
+	c    net.Conn
+	stop chan struct{}
+
+	mu      sync.Mutex
+	sent    uint64
+	acked   uint64
+	ackedD  uint64
+	pending int64
+}
+
+// Serve starts a replication server for the log on addr (e.g. ":7070" or
+// "127.0.0.1:0" for an ephemeral port).
+func Serve(l *wal.Log, addr string, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{log: l, ln: ln, opts: opts.withDefaults(), conns: map[*serverConn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Followers reports the connected followers, most advanced first.
+func (s *Server) Followers() []FollowerInfo {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	out := make([]FollowerInfo, 0, len(conns))
+	for _, c := range conns {
+		c.mu.Lock()
+		out = append(out, FollowerInfo{
+			Remote:  c.c.RemoteAddr().String(),
+			SentLSN: c.sent, AckedLSN: c.acked, AckedDurableLSN: c.ackedD,
+			PendingBytes: c.pending,
+		})
+		c.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AckedLSN > out[j].AckedLSN })
+	return out
+}
+
+// Close stops accepting, disconnects every follower, and waits for the
+// connection goroutines to finish. The log itself stays open.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		close(c.stop)
+		c.c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &serverConn{c: c, stop: make(chan struct{})}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(sc)
+	}
+}
+
+func (s *Server) dropConn(sc *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+	sc.c.Close()
+}
+
+// serveConn drives one follower: handshake, optional snapshot bootstrap,
+// then frame streaming with heartbeats, while a reader goroutine consumes
+// acks.
+func (s *Server) serveConn(sc *serverConn) {
+	defer s.wg.Done()
+	defer s.dropConn(sc)
+
+	br := bufio.NewReader(sc.c)
+	sc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var h handshake
+	if err := readJSONLine(br, &h); err != nil {
+		return
+	}
+	sc.c.SetReadDeadline(time.Time{})
+
+	from := h.From
+	if from == 0 {
+		from = 1
+	}
+	bw := bufio.NewWriter(sc.c)
+	reply := func(r handshakeReply) bool {
+		sc.c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		if err := writeJSONLine(bw, r); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	// A follower claiming LSNs past the primary's durable history holds
+	// records this primary never committed: divergence, not lag.
+	if from > s.log.DurableLSN()+1 {
+		reply(handshakeReply{Mode: "error", Error: fmt.Sprintf(
+			"follower at LSN %d is ahead of the primary's durable LSN %d (diverged history?)",
+			from-1, s.log.DurableLSN())})
+		return
+	}
+
+	tail, err := s.log.TailFrom(from)
+	if errors.Is(err, wal.ErrCompacted) {
+		var snap []byte
+		var snapLSN uint64
+		snap, snapLSN, tail, err = s.log.BootstrapTail()
+		if err != nil {
+			reply(handshakeReply{Mode: "error", Error: err.Error()})
+			return
+		}
+		boundary := snapLSN + 1 // the checkpoint opening the boundary segment
+		if !reply(handshakeReply{Mode: "snapshot", LSN: snapLSN, Boundary: boundary, Size: int64(len(snap))}) {
+			tail.Close()
+			return
+		}
+		sc.c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		if _, err := bw.Write(snap); err != nil {
+			tail.Close()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			tail.Close()
+			return
+		}
+	} else if err != nil {
+		reply(handshakeReply{Mode: "error", Error: err.Error()})
+		return
+	} else if !reply(handshakeReply{Mode: "stream"}) {
+		tail.Close()
+		return
+	}
+
+	// Reader: drain acks; its exit (EOF, error) tears the connection down.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			kind, err := br.ReadByte()
+			if err != nil {
+				return
+			}
+			if kind != msgAck {
+				return
+			}
+			applied, durable, err := readU64Pair(br)
+			if err != nil {
+				return
+			}
+			sc.mu.Lock()
+			sc.acked, sc.ackedD = applied, durable
+			sc.mu.Unlock()
+		}
+	}()
+
+	// Pump: tail frames into a channel the writer can select on. Any tail
+	// error (log closed, stream stopped, segment compacted under a slow
+	// tail) closes the channel; the follower reconnects and renegotiates.
+	// The pump owns the tail — all Tail methods except PendingBytes are
+	// single-goroutine — so it closes it, and serveConn waits for that.
+	frames := make(chan wal.Frame)
+	stopPump := make(chan struct{})
+	pumpDone := make(chan struct{})
+	defer func() { <-pumpDone }()
+	defer close(stopPump)
+	go func() {
+		defer close(pumpDone)
+		defer tail.Close()
+		defer close(frames)
+		for {
+			fr, err := tail.Next(stopPump)
+			if err != nil {
+				return
+			}
+			select {
+			case frames <- fr:
+			case <-stopPump:
+				return
+			}
+		}
+	}()
+
+	tick := time.NewTicker(s.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case fr, ok := <-frames:
+			if !ok {
+				return // tail ended: log closed, stream stopped, or compacted under us
+			}
+			sc.c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			if err := writeFrameMsg(bw, fr.Data); err != nil {
+				return
+			}
+			// Drain whatever the tail has ready before flushing once.
+			for done := false; !done; {
+				select {
+				case more, ok := <-frames:
+					if !ok {
+						done = true
+						break
+					}
+					if err := writeFrameMsg(bw, more.Data); err != nil {
+						return
+					}
+					fr = more
+				default:
+					done = true
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			sc.mu.Lock()
+			sc.sent = fr.LSN
+			sc.mu.Unlock()
+		case <-tick.C:
+			pending := tail.PendingBytes()
+			sc.mu.Lock()
+			sc.pending = pending
+			sc.mu.Unlock()
+			sc.c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			if err := writeU64Msg(bw, msgHeartbeat, s.log.DurableLSN(), uint64(pending)); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case <-readerDone:
+			return
+		case <-sc.stop:
+			return
+		}
+	}
+}

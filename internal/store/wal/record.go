@@ -117,6 +117,52 @@ func segmentHeader(seg uint64) []byte {
 	return h
 }
 
+// ParsedFrame is one decoded record frame, as shipped between replication
+// peers. Parsing and applying are split so a follower can validate a frame
+// and learn its LSN before mirroring the bytes into its own log, then apply
+// the record to its store without re-decoding.
+type ParsedFrame struct {
+	lsn  uint64
+	data []byte
+	rec  record
+}
+
+// LSN returns the record's log sequence number.
+func (p *ParsedFrame) LSN() uint64 { return p.lsn }
+
+// Data returns the frame bytes exactly as framed on disk and on the wire.
+func (p *ParsedFrame) Data() []byte { return p.data }
+
+// IsCheckpoint reports whether the record is a compaction checkpoint (a
+// boundary marker that mutates nothing).
+func (p *ParsedFrame) IsCheckpoint() bool { return p.rec.Op == opCheckpoint }
+
+// Apply replays the record into db. The database must have no durability
+// hook attached when the caller mirrors frames itself.
+func (p *ParsedFrame) Apply(db *store.DB) error { return applyRecord(db, p.rec) }
+
+// ParseFrame validates one framed record — length, checksum, payload — and
+// returns its decoded form. It rejects trailing bytes: a frame is exactly
+// one record.
+func ParseFrame(frame []byte) (*ParsedFrame, error) {
+	if len(frame) < frameSize {
+		return nil, fmt.Errorf("wal: frame shorter than its header (%d bytes)", len(frame))
+	}
+	n := int64(binary.LittleEndian.Uint32(frame[0:4]))
+	if n > maxRecordLen || frameSize+n != int64(len(frame)) {
+		return nil, fmt.Errorf("wal: frame length %d does not match payload (%d bytes)", n, len(frame)-frameSize)
+	}
+	payload := frame[frameSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+		return nil, fmt.Errorf("wal: frame checksum mismatch")
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("wal: frame payload: %w", err)
+	}
+	return &ParsedFrame{lsn: rec.LSN, data: frame, rec: rec}, nil
+}
+
 // segScan is the result of parsing one segment file.
 type segScan struct {
 	recs []record

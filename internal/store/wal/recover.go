@@ -187,6 +187,7 @@ func Open(dir string, opts Options) (*Log, *store.DB, error) {
 		done:      make(chan struct{}),
 	}
 	l.stateCond = sync.NewCond(&l.stateMu)
+	l.durableCh = make(chan struct{})
 	l.writtenLSN = lastLSN
 	l.durableLSN = lastLSN
 	db.SetDurability(l)

@@ -111,6 +111,13 @@ type Log struct {
 	writtenLSN uint64
 	durableLSN uint64
 	errState   error
+	// durableCh is closed and replaced whenever durableLSN advances or the
+	// log shuts down, so tailers can select on progress alongside their own
+	// stop channels (a sync.Cond cannot be selected on).
+	durableCh chan struct{}
+	// finished is set once the committer has exited; tailers treat it as
+	// end-of-stream once they have drained up to the final watermark.
+	finished bool
 
 	// committer-owned state.
 	f            *os.File
@@ -161,6 +168,34 @@ func (l *Log) Append(m store.Mutation) store.WaitFunc {
 	l.lastLSN++
 	lsn := l.lastLSN
 	l.queue = append(l.queue, queued{frame: frame, lsn: lsn})
+	l.mu.Unlock()
+	l.kick()
+	strict := l.opts.strict()
+	return func() error { return l.waitFor(lsn, strict) }
+}
+
+// AppendRaw appends a pre-framed record under an externally assigned LSN.
+// Replication followers use it to mirror the primary's log record-for-
+// record: frame must be a well-formed record frame whose payload LSN is
+// lsn, and lsn must exceed every LSN appended so far (gaps are allowed —
+// the first frame after a snapshot bootstrap anchors the sequence). The
+// caller applies the record to the store itself; the store attached to a
+// mirrored log must have no durability hook, or every record would be
+// logged twice. Do not mix AppendRaw with store-driven Append on one log.
+func (l *Log) AppendRaw(lsn uint64, frame []byte) store.WaitFunc {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return func() error { return ErrClosed }
+	}
+	if lsn <= l.lastLSN {
+		last := l.lastLSN
+		l.mu.Unlock()
+		err := fmt.Errorf("wal: raw append of LSN %d at or below the log's last LSN %d", lsn, last)
+		return func() error { return err }
+	}
+	l.lastLSN = lsn
+	l.queue = append(l.queue, queued{frame: append([]byte(nil), frame...), lsn: lsn})
 	l.mu.Unlock()
 	l.kick()
 	strict := l.opts.strict()
@@ -229,6 +264,7 @@ func (l *Log) fail(err error) {
 	if l.errState == nil {
 		l.errState = err
 	}
+	l.notifyTailersLocked()
 	l.stateCond.Broadcast()
 	l.stateMu.Unlock()
 }
@@ -241,9 +277,53 @@ func (l *Log) advance(written, durable uint64) {
 	}
 	if durable > l.durableLSN {
 		l.durableLSN = durable
+		l.notifyTailersLocked()
 	}
 	l.stateCond.Broadcast()
 	l.stateMu.Unlock()
+}
+
+// notifyTailersLocked wakes everyone selecting on the durable-progress
+// channel; stateMu must be held.
+func (l *Log) notifyTailersLocked() {
+	close(l.durableCh)
+	l.durableCh = make(chan struct{})
+}
+
+// markSynced raises the durable watermark to the written one after an
+// fsync and wakes waiters and tailers.
+func (l *Log) markSynced() {
+	l.stateMu.Lock()
+	if l.writtenLSN > l.durableLSN {
+		l.durableLSN = l.writtenLSN
+		l.notifyTailersLocked()
+	}
+	l.stateCond.Broadcast()
+	l.stateMu.Unlock()
+}
+
+// DurableLSN reports the highest LSN known to be durable (fsynced, or — in
+// relaxed modes — handed to the OS and later fsynced).
+func (l *Log) DurableLSN() uint64 {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	return l.durableLSN
+}
+
+// LastLSN reports the highest LSN allocated so far (appended, though not
+// necessarily durable yet).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// durableState returns the current durable watermark, a channel closed on
+// the next advance (or shutdown), and whether the log is still live.
+func (l *Log) durableState() (lsn uint64, ch <-chan struct{}, live bool) {
+	l.stateMu.Lock()
+	defer l.stateMu.Unlock()
+	return l.durableLSN, l.durableCh, !l.finished && l.errState == nil
 }
 
 // run is the committer: it drains the queue, coalesces records into one
@@ -373,12 +453,7 @@ func (l *Log) applySyncPolicy(force bool) {
 	}
 	l.unsyncedRecs = 0
 	l.lastSync = time.Now()
-	l.stateMu.Lock()
-	if l.writtenLSN > l.durableLSN {
-		l.durableLSN = l.writtenLSN
-	}
-	l.stateCond.Broadcast()
-	l.stateMu.Unlock()
+	l.markSynced()
 }
 
 func (l *Log) durableBehind() bool {
@@ -421,12 +496,7 @@ func (l *Log) rotateTo(seg uint64) bool {
 		l.fail(fmt.Errorf("wal: fsync segment %d: %w", l.curSeg, err))
 		return false
 	}
-	l.stateMu.Lock()
-	if l.writtenLSN > l.durableLSN {
-		l.durableLSN = l.writtenLSN
-	}
-	l.stateCond.Broadcast()
-	l.stateMu.Unlock()
+	l.markSynced()
 	l.unsyncedRecs = 0
 	if err := l.f.Close(); err != nil {
 		l.fail(err)
@@ -482,6 +552,8 @@ func (l *Log) finalize() {
 	if l.errState == nil && l.writtenLSN > l.durableLSN {
 		l.durableLSN = l.writtenLSN
 	}
+	l.finished = true
+	l.notifyTailersLocked()
 	l.stateCond.Broadcast()
 	l.stateMu.Unlock()
 	// Release any compactor whose marker never reached the committer and

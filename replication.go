@@ -1,0 +1,250 @@
+package scooter
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"scooter/internal/orm"
+	"scooter/internal/replica"
+	"scooter/internal/schema"
+	"scooter/internal/specfmt"
+	"scooter/internal/store"
+)
+
+// Replication types, re-exported from the internal subsystem.
+type (
+	// ReplicationServer streams a durable workspace's write-ahead log to
+	// followers.
+	ReplicationServer = replica.Server
+	// ReplicationFollowerInfo is the primary's view of one follower.
+	ReplicationFollowerInfo = replica.FollowerInfo
+	// FollowerOptions tunes a follower's local durability and reconnect
+	// behaviour.
+	FollowerOptions = replica.Options
+	// ReplicationStatus reports a follower's progress: applied/durable
+	// watermarks and lag in LSNs and bytes.
+	ReplicationStatus = replica.Status
+)
+
+// ErrReadOnly reports a write attempted on a follower workspace. Follower
+// state mirrors the primary's log; local writes would diverge from it.
+var ErrReadOnly = orm.ErrReadOnly
+
+// specCollection is the reserved collection carrying the authoritative
+// specification text. The primary rewrites it after every migration, so
+// the spec replicates with the data and a follower can enforce the same
+// policies without being handed the migration history out of band.
+const specCollection = "$spec"
+
+// persistSpec stores the current specification text in the database.
+func persistSpec(db *store.DB, text string) {
+	c := db.Collection(specCollection)
+	if docs := c.Find(); len(docs) > 0 {
+		c.Update(docs[0].ID(), store.Doc{"spec": text})
+		return
+	}
+	c.Insert(store.Doc{"spec": text})
+}
+
+// loadSpecText reads the specification text out of a database, without
+// creating the reserved collection when it is absent.
+func loadSpecText(db *store.DB) string {
+	present := false
+	for _, name := range db.CollectionNames() {
+		if name == specCollection {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return ""
+	}
+	docs := db.Collection(specCollection).Find()
+	if len(docs) == 0 {
+		return ""
+	}
+	s, _ := docs[0]["spec"].(string)
+	return s
+}
+
+// parseSpec builds a checked schema from stored specification text.
+func parseSpec(text string) (*schema.Schema, error) {
+	if text == "" {
+		return schema.New(), nil
+	}
+	w, err := LoadSpec(text)
+	if err != nil {
+		return nil, err
+	}
+	return w.schema, nil
+}
+
+// ServeReplication starts streaming this workspace's write-ahead log to
+// followers on addr (e.g. ":7070", or "127.0.0.1:0" for an ephemeral
+// port). Only durable workspaces replicate. The server is closed with the
+// workspace.
+func (w *Workspace) ServeReplication(addr string) (*ReplicationServer, error) {
+	if w.wal == nil {
+		return nil, errors.New("scooter: replication requires a durable workspace (OpenDurable)")
+	}
+	srv, err := replica.Serve(w.wal, addr, replica.ServerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	w.closeMu.Lock()
+	w.repl = srv
+	w.closeMu.Unlock()
+	return srv, nil
+}
+
+// DurableLSN reports the workspace's durable log position (0 without a
+// write-ahead log). A follower whose applied LSN reaches it holds every
+// write this workspace has acknowledged.
+func (w *Workspace) DurableLSN() uint64 {
+	if w.wal == nil {
+		return 0
+	}
+	return w.wal.DurableLSN()
+}
+
+// dbHash fingerprints a database's canonical snapshot.
+func dbHash(db *store.DB) (string, error) {
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// StateHash fingerprints the workspace's database state and reports the
+// durable LSN it corresponds to. Two workspaces with equal hashes hold
+// byte-identical states (the specification is included: it lives in a
+// replicated collection). Call it quiesced — with no writes in flight —
+// or the LSN and the hash may straddle a record.
+func (w *Workspace) StateHash() (uint64, string, error) {
+	h, err := dbHash(w.db)
+	return w.DurableLSN(), h, err
+}
+
+// FollowerWorkspace is a read-only replica of a primary workspace: it
+// mirrors the primary's write-ahead log into its own directory, applies
+// every committed record, and serves policy-checked reads from the
+// replicated state. Writes fail with ErrReadOnly. The specification (and
+// so the policies the ORM enforces) replicates with the data.
+type FollowerWorkspace struct {
+	f *replica.Follower
+
+	mu       sync.Mutex
+	db       *store.DB
+	specText string
+	schema   *schema.Schema
+	conn     *orm.Conn
+}
+
+// OpenFollower opens (or recovers) a follower in dir replicating from the
+// primary's replication address. It returns immediately; the follower
+// serves the last locally recovered state while it connects and catches
+// up in the background, reconnecting with exponential backoff after
+// faults.
+func OpenFollower(dir, addr string, opts FollowerOptions) (*FollowerWorkspace, error) {
+	f, err := replica.Open(dir, addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	fw := &FollowerWorkspace{f: f}
+	if err := fw.refresh(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fw, nil
+}
+
+// refresh rebinds the ORM connection when replication has advanced the
+// spec or rebuilt the store (snapshot bootstrap). Policy enforcement is
+// never bypassed: the new connection is read-only with enforcement on.
+func (fw *FollowerWorkspace) refresh() error {
+	db := fw.f.DB()
+	text := loadSpecText(db)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.conn != nil && db == fw.db && text == fw.specText {
+		return nil
+	}
+	s, err := parseSpec(text)
+	if err != nil {
+		return err
+	}
+	conn := orm.Open(s, db)
+	conn.SetReadOnly(true)
+	fw.db, fw.specText, fw.schema, fw.conn = db, text, s, conn
+	return nil
+}
+
+// AsPrinc returns a handle performing policy-checked reads on behalf of p
+// against the replicated state. Unreadable fields are stripped exactly as
+// on the primary; writes fail with ErrReadOnly.
+func (fw *FollowerWorkspace) AsPrinc(p Principal) *Princ {
+	// A stale spec (mid-replication migration) keeps the previous
+	// connection: reads enforce the policies of a committed prefix.
+	_ = fw.refresh()
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.conn.AsPrinc(p)
+}
+
+// SpecText renders the replicated specification.
+func (fw *FollowerWorkspace) SpecText() string {
+	_ = fw.refresh()
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return specfmt.Format(fw.schema)
+}
+
+// Models lists the model names in the replicated specification.
+func (fw *FollowerWorkspace) Models() []string {
+	_ = fw.refresh()
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	names := make([]string, 0, len(fw.schema.Models))
+	for _, m := range fw.schema.Models {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// ReplicationStatus reports the follower's progress: applied and durable
+// LSN watermarks, the primary's durable LSN, and lag in LSNs and bytes.
+func (fw *FollowerWorkspace) ReplicationStatus() ReplicationStatus {
+	return fw.f.Status()
+}
+
+// WaitForLSN blocks until the follower has applied at least lsn.
+func (fw *FollowerWorkspace) WaitForLSN(lsn uint64, timeout time.Duration) error {
+	return fw.f.WaitForLSN(lsn, timeout)
+}
+
+// StateHash fingerprints the follower's replicated state and the LSN it
+// has applied up to. Retries until the hash and LSN agree (replication
+// may be applying frames concurrently); comparing against the primary's
+// StateHash at the same LSN proves byte-identical convergence.
+func (fw *FollowerWorkspace) StateHash() (uint64, string, error) {
+	for {
+		before := fw.f.Status().AppliedLSN
+		h, err := dbHash(fw.f.DB())
+		if err != nil {
+			return 0, "", err
+		}
+		if after := fw.f.Status().AppliedLSN; after == before {
+			return before, h, nil
+		}
+	}
+}
+
+// Close stops replicating and closes the follower's mirrored log. It is
+// idempotent.
+func (fw *FollowerWorkspace) Close() error { return fw.f.Close() }

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"scooter/internal/ast"
 	"scooter/internal/eval"
@@ -117,6 +118,12 @@ type Workspace struct {
 	db     *store.DB
 	conn   *orm.Conn
 	wal    *wal.Log
+	// repl is the replication server, when ServeReplication started one.
+	repl *ReplicationServer
+	// closeMu serialises Close against concurrent callers (and against
+	// ServeReplication installing repl).
+	closeMu sync.Mutex
+	closed  bool
 	// journaled tracks migrations applied during this session, whose
 	// schema effects the live schema already includes.
 	journaled map[string]bool
@@ -149,14 +156,28 @@ func OpenDurable(dir string, opts DurabilityOptions) (*Workspace, error) {
 	return &Workspace{schema: s, db: db, conn: orm.Open(s, db), wal: l}, nil
 }
 
-// Close flushes and detaches the write-ahead log, if any. The workspace
-// remains usable in memory, but writes are no longer durable (and report
-// an error through the ORM).
+// Close stops the replication server (if any) and flushes and detaches
+// the write-ahead log (if any). The workspace remains usable in memory,
+// but writes are no longer durable (and report an error through the ORM).
+// Close is idempotent and safe under concurrent callers: the first call
+// does the work, every later call returns nil.
 func (w *Workspace) Close() error {
-	if w.wal == nil {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	if w.closed {
 		return nil
 	}
-	return w.wal.Close()
+	w.closed = true
+	var first error
+	if w.repl != nil {
+		first = w.repl.Close()
+	}
+	if w.wal != nil {
+		if err := w.wal.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Sync forces an fsync of the write-ahead log; a no-op without one. Useful
@@ -227,6 +248,7 @@ func (w *Workspace) MigrateOpts(src string, opts Options) error {
 	}
 	w.schema = after
 	w.conn.SetSchema(after)
+	persistSpec(w.db, w.SpecText())
 	return nil
 }
 
@@ -365,6 +387,7 @@ func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, erro
 	}
 	w.schema = after
 	w.conn.SetSchema(after)
+	persistSpec(w.db, w.SpecText())
 	if w.journaled == nil {
 		w.journaled = map[string]bool{}
 	}
