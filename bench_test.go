@@ -29,6 +29,7 @@ import (
 	"scooter/internal/casestudies"
 	"scooter/internal/eval"
 	"scooter/internal/migrate"
+	"scooter/internal/obs"
 	"scooter/internal/orm"
 	"scooter/internal/parser"
 	"scooter/internal/schema"
@@ -130,6 +131,42 @@ func BenchmarkSec53_VerifySpeed_Study_Cached(b *testing.B) {
 			}
 			b.StopTimer()
 			b.Logf("%s: %s", study.Key, stats.Snapshot())
+		})
+	}
+}
+
+// BenchmarkSec53_VerifySpeed_Study_Metrics is the cached replay with the
+// full observability stack attached on top of everything the Cached
+// variant carries — verify + solver metric sets in a live registry —
+// so the delta against BenchmarkSec53_VerifySpeed_Study_Cached is
+// attributable purely to the obs layer (EXPERIMENTS.md reports it
+// against a <2% target).
+func BenchmarkSec53_VerifySpeed_Study_Metrics(b *testing.B) {
+	studies, err := casestudies.Studies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, study := range studies {
+		b.Run(study.Key, func(b *testing.B) {
+			scripts, err := study.ParseScripts()
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			opts := migrate.DefaultOptions()
+			opts.Cache = verify.NewCache(0)
+			opts.Stats = &verify.Stats{}
+			opts.Metrics = obs.NewVerifyMetrics(reg)
+			opts.SolverMetrics = obs.NewSolverMetrics(reg)
+			if _, _, err := study.RunScripts(scripts, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := study.RunScripts(scripts, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -19,6 +19,11 @@
 // the verdict cache shared across all scripts on the command line (0
 // disables it), and -stats prints cache/solver counters on exit.
 //
+// -trace FILE writes one JSON event per strictness proof (fingerprint,
+// verdict, cache hit, solver counters, duration). Tracing forces proofs to
+// run sequentially so the event order is deterministic: two runs over the
+// same scripts produce identical traces modulo the duration_ns field.
+//
 // -timeout bounds the whole run and -proof-timeout bounds each individual
 // strictness proof. An exhausted budget is never an error: the affected
 // proof reports UNKNOWN with the reason (deadline, solver round cap, ...)
@@ -44,6 +49,7 @@ import (
 	"scooter"
 	"scooter/internal/ast"
 	"scooter/internal/migrate"
+	"scooter/internal/obs"
 	"scooter/internal/parser"
 	"scooter/internal/schema"
 	"scooter/internal/smt/limits"
@@ -71,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	proofTimeout := fs.Duration("proof-timeout", 0, "wall-clock budget per strictness proof (0 = none)")
 	cacheSize := fs.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
 	showStats := fs.Bool("stats", false, "print verification statistics on exit")
+	tracePath := fs.String("trace", "", "write one JSON event per strictness proof to this file (forces sequential proofs)")
 	applyMode := fs.Bool("apply", false, "verify and durably apply the scripts against the store in -data-dir")
 	dataDir := fs.String("data-dir", "", "write-ahead log directory for -apply")
 	fsyncMode := fs.String("fsync", "always", "fsync policy for -apply: always, batch, or never")
@@ -123,11 +130,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	stats := &verify.Stats{}
 	opts.Stats = stats
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sidecar: %v\n", err)
+			return 2
+		}
+		traceFile = f
+		opts.Trace = obs.NewTracer(f)
+		// Sequential proofs give the trace a deterministic event order.
+		opts.Sequential = true
+	}
 	var code int
 	if *applyMode {
 		code = applyScripts(*dataDir, *fsyncMode, fs.Args(), opts, stdout, stderr)
 	} else {
 		code = verifyScripts(s, fs.Args(), opts, stdout, stderr)
+	}
+	if traceFile != nil {
+		if err := opts.Trace.Err(); err != nil {
+			fmt.Fprintf(stderr, "sidecar: writing trace: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "sidecar: closing trace: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		}
 	}
 	if *showStats {
 		fmt.Fprintf(stderr, "sidecar: %s\n", stats.Snapshot())

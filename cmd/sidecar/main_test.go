@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -139,5 +142,60 @@ User {
 	}
 	if !strings.Contains(stdout.String(), "deadline") {
 		t.Fatalf("UNKNOWN output does not name the exhausted budget:\n%s", stdout.String())
+	}
+}
+
+// TestTraceDeterministic runs the visitday corpus (§5.1) twice with
+// -trace and asserts the traces match event for event once duration_ns —
+// the only wall-clock-dependent field — is ignored. -trace forces
+// sequential proofs, so event order is part of the contract.
+func TestTraceDeterministic(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("..", "..", "internal", "casestudies", "corpus", "visitday", "*.scm"))
+	if err != nil || len(scripts) == 0 {
+		t.Fatalf("visitday corpus not found: %v", err)
+	}
+	sort.Strings(scripts)
+
+	runOnce := func(path string) []map[string]any {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-trace", path}, scripts...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit code %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []map[string]any
+		for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("trace line %d is not JSON: %v\n%s", i+1, err, line)
+			}
+			fp, _ := ev["fingerprint"].(string)
+			if len(fp) != 32 {
+				t.Fatalf("trace line %d: fingerprint %q is not 32 hex chars", i+1, fp)
+			}
+			if v, _ := ev["verdict"].(string); v == "" {
+				t.Fatalf("trace line %d: missing verdict", i+1)
+			}
+			if _, ok := ev["duration_ns"]; !ok {
+				t.Fatalf("trace line %d: missing duration_ns", i+1)
+			}
+			delete(ev, "duration_ns")
+			events = append(events, ev)
+		}
+		return events
+	}
+
+	dir := t.TempDir()
+	a := runOnce(filepath.Join(dir, "a.jsonl"))
+	b := runOnce(filepath.Join(dir, "b.jsonl"))
+	if len(a) == 0 {
+		t.Fatal("trace is empty; the corpus should emit one event per proof")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("traces differ across runs:\nrun A: %d events\nrun B: %d events", len(a), len(b))
 	}
 }

@@ -48,6 +48,23 @@ CreateModel(Announcement {
 });
 `
 
+// Migration002 re-states the contact-field policies. The restated
+// policies equal the originals, so the migration is behaviourally a no-op
+// — but Sidecar cannot know that without proving it, which makes the
+// migration a realistic verification workload: four strictness proofs run
+// on every fresh boot (email and school carry identical policies, so the
+// later proofs hit the verdict cache).
+const Migration002 = `
+User::UpdateFieldPolicy(email, {
+  read: x -> [x, Admin],
+  write: x -> [x]
+});
+User::UpdateFieldPolicy(school, {
+  read: x -> [x, Admin],
+  write: x -> [x]
+});
+`
+
 // Server is the BIBIFI web application. Exactly one of W (primary) and F
 // (read-only replica) is set.
 type Server struct {
@@ -98,9 +115,16 @@ func Open(dataDir string, opts scooter.DurabilityOptions) (*Server, error) {
 	} else if w, err = scooter.OpenDurable(dataDir, opts); err != nil {
 		return nil, err
 	}
-	// The named migration replays the schema over recovered data: a fresh
-	// directory applies it, a recovered one just advances the spec.
+	// The named migrations replay the schema over recovered data: a fresh
+	// directory applies them, a recovered one just advances the spec.
 	if _, err := w.MigrateNamed("001_init", Spec); err != nil {
+		return nil, err
+	}
+	// Sequential proofs let 002's alpha-equivalent policy pairs hit the
+	// verdict cache (the second field's proofs reuse the first's verdicts).
+	opts002 := scooter.DefaultOptions()
+	opts002.Sequential = true
+	if _, err := w.MigrateNamedOpts("002_policies", Migration002, opts002); err != nil {
 		return nil, err
 	}
 	s := &Server{W: w, mux: http.NewServeMux()}
@@ -126,6 +150,16 @@ func OpenFollower(dataDir, primaryAddr string) (*Server, error) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("/announcements", s.handleAnnouncements)
 	s.mux.HandleFunc("/profile", s.handleProfile)
+	s.mux.Handle("/metrics", s.MetricsHandler())
+}
+
+// MetricsHandler serves whichever workspace backs this server in the
+// Prometheus text format.
+func (s *Server) MetricsHandler() http.Handler {
+	if s.F != nil {
+		return s.F.MetricsHandler()
+	}
+	return s.W.MetricsHandler()
 }
 
 // Close releases whichever workspace backs the server. Idempotent.

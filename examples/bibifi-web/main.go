@@ -8,6 +8,10 @@
 // process, restart it, and the data (and any half-finished migration)
 // recovers. -fsync selects the durability/throughput trade-off.
 //
+// /metrics serves the workspace's registry in the Prometheus text format;
+// -metrics-addr additionally exposes it on a separate listener so scrapers
+// stay off the application port.
+//
 // Replication: a durable primary streams its log to read replicas.
 //
 //	bibifi-web -data-dir p -serve-replication :7070   # primary
@@ -34,6 +38,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "fsync policy: always (every write), batch (every 64 writes or 10ms), never (rotation/shutdown only)")
 	follow := flag.String("follow", "", "run as a read-only replica of a primary's -serve-replication address (requires -data-dir)")
 	replAddr := flag.String("serve-replication", "", "stream the write-ahead log to replicas on this address (requires -data-dir)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (separate listener; empty = /metrics on -addr only)")
 	flag.Parse()
 
 	if *follow != "" {
@@ -44,6 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		serveMetrics(*metricsAddr, srv)
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatal(err)
@@ -76,6 +82,7 @@ func main() {
 		}
 		fmt.Printf("replication on %v\n", rs.Addr())
 	}
+	serveMetrics(*metricsAddr, srv)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -84,6 +91,22 @@ func main() {
 	err = http.Serve(ln, srv)
 	srv.Close()
 	log.Fatal(err)
+}
+
+// serveMetrics exposes the server's metrics registry on its own listener
+// (scrapers stay off the application port); a no-op when addr is empty.
+func serveMetrics(addr string, srv *app.Server) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.MetricsHandler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics on http://%v/metrics\n", ln.Addr())
+	go func() { log.Fatal(http.Serve(ln, mux)) }()
 }
 
 // durabilityOptions maps the -fsync flag onto WAL options.

@@ -49,6 +49,11 @@ type instance struct {
 type Evaluator struct {
 	Schema *schema.Schema
 	DB     *store.DB
+	// FixedNow, when non-zero, is the UNIX timestamp now() evaluates to.
+	// Migration execution pins it to the journal's AppliedAt so a
+	// crash-resumed run recomputes now()-populated fields byte-identically;
+	// zero (the policy-enforcement path) falls back to the wall clock.
+	FixedNow int64
 }
 
 // New returns an evaluator.

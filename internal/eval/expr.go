@@ -25,6 +25,9 @@ func (ev *Evaluator) evalExpr(e *env, x ast.Expr) (any, error) {
 	case *ast.DateTimeLit:
 		return n.Unix, nil
 	case *ast.Now:
+		if ev.FixedNow != 0 {
+			return ev.FixedNow, nil
+		}
 		return time.Now().Unix(), nil
 	case *ast.Var:
 		if v, ok := e.lookup(n.Name); ok {

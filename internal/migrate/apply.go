@@ -63,7 +63,11 @@ func Apply(db *store.DB, before *schema.Schema, name, src string, opts Options) 
 	if start > len(script.Commands) {
 		return nil, false, fmt.Errorf("migrate: journal claims %d applied commands, script has %d", start, len(script.Commands))
 	}
-	err = ExecuteFrom(plan, db, start, func(idx int) error {
+	// The entry's AppliedAt (not the current clock) anchors now(): Begin
+	// preserves it across a crash, so a resumed run evaluates now() in the
+	// remaining commands to the same instant the original run used and the
+	// recovered state converges byte-identically.
+	err = ExecuteFromAt(plan, db, start, entry.AppliedAt, func(idx int) error {
 		return journal.Progress(id, idx+1)
 	})
 	if err != nil {

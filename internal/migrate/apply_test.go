@@ -128,6 +128,83 @@ func TestApplyResumesPartial(t *testing.T) {
 	}
 }
 
+// TestApplyResumeNowDeterministic is the regression for the now() clock
+// bug: a migration whose AddField initialiser reads now, crashed after
+// its first command and resumed by a process whose wall clock has moved
+// on, must still converge byte-identically to an uninterrupted run. The
+// journal entry's AppliedAt — written by Begin on the first attempt and
+// preserved across the crash — anchors now(), not the resumer's clock.
+func TestApplyResumeNowDeterministic(t *testing.T) {
+	const script = `
+User::AddField(bio : String {
+  read: public,
+  write: u -> [u] + User::Find({isAdmin:true})
+}, u -> "I'm " + u.name);
+User::AddField(joined : DateTime {
+  read: public,
+  write: none
+}, u -> now);
+`
+	s := loadSchema(t, chitterBase)
+	opts := applyOpts()
+
+	// Reference: uninterrupted apply under the original clock.
+	ref := store.Open()
+	seedChitter(t, ref)
+	if _, _, err := Apply(ref, s, "001_join", script, opts); err != nil {
+		t.Fatal(err)
+	}
+	want := snapBytes(t, ref)
+
+	// Crashed run: journal begun under the original clock, the first
+	// command executed, then a crash before the now()-populated command.
+	db := store.Open()
+	seedChitter(t, db)
+	journal := NewJournal(db)
+	journal.Clock = opts.Clock
+	sc, err := parseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Verify(s, sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := journal.Begin("001_join", script, len(sc.Commands))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := errors.New("simulated crash")
+	err = ExecuteFromAt(plan, db, 0, fixedClock().Unix(), func(idx int) error {
+		if err := journal.Progress(id, idx+1); err != nil {
+			return err
+		}
+		return crash
+	})
+	if !errors.Is(err, crash) {
+		t.Fatalf("ExecuteFromAt err = %v, want simulated crash", err)
+	}
+
+	// Resume in a "new process" whose wall clock moved a day ahead. Before
+	// the fix, now() in the remaining command read this clock (or worse,
+	// the real wall clock) and the resumed state diverged.
+	resumed := opts
+	resumed.Clock = func() time.Time { return fixedClock().Add(24 * time.Hour) }
+	if _, applied, err := Apply(db, s, "001_join", script, resumed); err != nil || !applied {
+		t.Fatalf("resume: applied=%v err=%v", applied, err)
+	}
+
+	if got := snapBytes(t, db); !bytes.Equal(got, want) {
+		t.Fatalf("resumed state differs from uninterrupted run:\n%s\n---\n%s", got, want)
+	}
+	// The now()-populated field holds the original run's instant.
+	for _, doc := range db.Collection("User").Find() {
+		if v, _ := doc["joined"].(int64); v != fixedClock().Unix() {
+			t.Fatalf("joined = %v, want %d", doc["joined"], fixedClock().Unix())
+		}
+	}
+}
+
 // TestApplyCrashMidScriptConverges is the end-to-end crash drill: a
 // migration applied through the write-ahead log, with the log torn at
 // every byte the apply phase wrote. Recovery must yield a consistent

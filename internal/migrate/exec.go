@@ -2,6 +2,7 @@ package migrate
 
 import (
 	"fmt"
+	"time"
 
 	"scooter/internal/ast"
 	"scooter/internal/equiv"
@@ -29,11 +30,20 @@ func Execute(plan *Plan, db *store.DB) error {
 // create/drop and field removal are naturally idempotent), so resuming at
 // the last journalled command is safe even if it half-ran before a crash.
 func ExecuteFrom(plan *Plan, db *store.DB, start int, onApplied func(idx int) error) error {
+	return ExecuteFromAt(plan, db, start, time.Now().Unix(), onApplied)
+}
+
+// ExecuteFromAt is ExecuteFrom with an explicit now() timestamp: every
+// now() in an initialiser evaluates to nowUnix, for the whole run. Apply
+// passes the journal entry's AppliedAt, which survives a crash — without
+// this, a resumed run would re-populate unapplied now() fields with a
+// later wall-clock reading and diverge byte-wise from the uncrashed run.
+func ExecuteFromAt(plan *Plan, db *store.DB, start int, nowUnix int64, onApplied func(idx int) error) error {
 	cur := plan.Before.Clone()
 	defs := equiv.New()
 	for i, cmd := range plan.Script.Commands {
 		if i >= start {
-			if err := executeCommand(cur, defs, db, cmd); err != nil {
+			if err := executeCommand(cur, defs, db, cmd, nowUnix); err != nil {
 				return fmt.Errorf("executing command %d (%s): %w", i+1, cmd.Name(), err)
 			}
 			if onApplied != nil {
@@ -49,7 +59,7 @@ func ExecuteFrom(plan *Plan, db *store.DB, start int, onApplied func(idx int) er
 	return nil
 }
 
-func executeCommand(cur *schema.Schema, defs *equiv.Defs, db *store.DB, cmd ast.Command) error {
+func executeCommand(cur *schema.Schema, defs *equiv.Defs, db *store.DB, cmd ast.Command, nowUnix int64) error {
 	switch c := cmd.(type) {
 	case *ast.CreateModel:
 		db.Collection(c.Model.Name) // materialise the collection
@@ -68,6 +78,7 @@ func executeCommand(cur *schema.Schema, defs *equiv.Defs, db *store.DB, cmd ast.
 		// a resumed run yields the same values, so a crash mid-populate
 		// recovers cleanly.
 		ev := eval.New(cur, db)
+		ev.FixedNow = nowUnix
 		coll := db.Collection(c.ModelName)
 		for _, doc := range coll.Find() {
 			v, err := ev.EvalInit(c.ModelName, doc, c.Init)
@@ -114,7 +125,11 @@ func VerifyAndExecute(before *schema.Schema, script *ast.MigrationScript, db *st
 	if err != nil {
 		return nil, err
 	}
-	if err := Execute(plan, db); err != nil {
+	now := time.Now
+	if opts.Clock != nil {
+		now = opts.Clock
+	}
+	if err := ExecuteFromAt(plan, db, 0, now().Unix(), nil); err != nil {
 		return nil, err
 	}
 	return plan.After, nil

@@ -17,6 +17,7 @@ import (
 	"scooter/internal/ast"
 	"scooter/internal/dataflow"
 	"scooter/internal/equiv"
+	"scooter/internal/obs"
 	"scooter/internal/schema"
 	"scooter/internal/smt/limits"
 	"scooter/internal/typer"
@@ -58,7 +59,16 @@ type Options struct {
 	// Clock supplies journal timestamps for Apply; nil means time.Now.
 	// Injecting it makes JournalEntry.AppliedAt — and therefore the exact
 	// bytes a migration writes to the store and its WAL — deterministic.
+	// now() in migration expressions evaluates to the same timestamp, so
+	// a crash-resumed run re-executes unapplied commands byte-identically.
 	Clock func() time.Time
+	// Metrics, when set, observes each strictness proof in the workspace
+	// registry; SolverMetrics observes each underlying SMT solve.
+	Metrics       *obs.VerifyMetrics
+	SolverMetrics *obs.SolverMetrics
+	// Trace, when set, receives one JSON event per strictness proof.
+	// Combine with Sequential for a deterministic event order.
+	Trace *obs.Tracer
 }
 
 // DefaultOptions returns the standard configuration.
@@ -237,6 +247,9 @@ func newChecker(s *schema.Schema, defs *equiv.Defs, opts Options) *verify.Checke
 	c.SolverConflicts = opts.SolverConflicts
 	c.Cache = opts.Cache
 	c.Stats = opts.Stats
+	c.Metrics = opts.Metrics
+	c.SolverMetrics = opts.SolverMetrics
+	c.Trace = opts.Trace
 	return c
 }
 

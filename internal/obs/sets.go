@@ -1,0 +1,260 @@
+package obs
+
+// Pre-wired metric sets for each instrumented layer. Every recorder method
+// is nil-safe on the set pointer, so layers carry a `*obs.XxxMetrics` field
+// that defaults to nil and costs nothing until a registry is attached.
+
+// SecondsBuckets is the default latency histogram layout: 100µs up to ~100s.
+var SecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// BatchBuckets is the default layout for group-commit batch sizes.
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// SolverMetrics aggregates CDCL(T) effort across every solve issued by a
+// workspace: one RecordSolve per solver.Check.
+type SolverMetrics struct {
+	Solves       *Counter
+	Rounds       *Counter
+	TheoryChecks *Counter
+	Conflicts    *Counter
+	Decisions    *Counter
+	Propagations *Counter
+	Restarts     *Counter
+}
+
+// NewSolverMetrics registers the scooter_solver_* family in reg.
+func NewSolverMetrics(reg *Registry) *SolverMetrics {
+	return &SolverMetrics{
+		Solves:       reg.Counter("scooter_solver_solves_total", "SMT solver invocations."),
+		Rounds:       reg.Counter("scooter_solver_rounds_total", "CDCL(T) abstraction-refinement rounds."),
+		TheoryChecks: reg.Counter("scooter_solver_theory_checks_total", "Theory (simplex) consistency checks."),
+		Conflicts:    reg.Counter("scooter_solver_conflicts_total", "SAT conflicts analysed."),
+		Decisions:    reg.Counter("scooter_solver_decisions_total", "SAT decisions taken."),
+		Propagations: reg.Counter("scooter_solver_propagations_total", "SAT unit propagations."),
+		Restarts:     reg.Counter("scooter_solver_restarts_total", "SAT Luby restarts."),
+	}
+}
+
+// RecordSolve adds one solve's counters. Nil-safe.
+func (m *SolverMetrics) RecordSolve(rounds, theoryChecks int, conflicts, decisions, props, restarts int64) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	m.Rounds.Add(int64(rounds))
+	m.TheoryChecks.Add(int64(theoryChecks))
+	m.Conflicts.Add(conflicts)
+	m.Decisions.Add(decisions)
+	m.Propagations.Add(props)
+	m.Restarts.Add(restarts)
+}
+
+// VerifyMetrics observes the verification pipeline around the solver:
+// proofs completed, per-proof wall time, and Unknown verdicts by the
+// exhausted budget's limits.Reason.
+type VerifyMetrics struct {
+	Proofs       *Counter
+	ProofSeconds *Histogram
+	Unknowns     *CounterVec
+}
+
+// NewVerifyMetrics registers the scooter_verify_* family in reg. The
+// cache's own hit/miss/eviction counters are exposed separately via
+// CounterFunc collectors reading verify.Cache.Counters (no double
+// bookkeeping on the hot path).
+func NewVerifyMetrics(reg *Registry) *VerifyMetrics {
+	return &VerifyMetrics{
+		Proofs:       reg.Counter("scooter_verify_proofs_total", "Strictness proofs completed (all verdicts)."),
+		ProofSeconds: reg.Histogram("scooter_verify_proof_seconds", "Per-proof wall time in seconds.", SecondsBuckets),
+		Unknowns:     reg.CounterVec("scooter_verify_unknown_total", "Inconclusive verdicts by exhausted budget.", "reason"),
+	}
+}
+
+// ObserveProof records one completed proof and its duration. Nil-safe.
+func (m *VerifyMetrics) ObserveProof(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Proofs.Inc()
+	m.ProofSeconds.Observe(seconds)
+}
+
+// RecordUnknown counts an Inconclusive verdict under its reason. Nil-safe.
+func (m *VerifyMetrics) RecordUnknown(reason string) {
+	if m == nil {
+		return
+	}
+	m.Unknowns.With(reason).Inc()
+}
+
+// WALMetrics observes the write-ahead log: appends, physical writes,
+// fsyncs, group-commit batch sizes, compactions, and recovery.
+type WALMetrics struct {
+	Appends          *Counter
+	Fsyncs           *Counter
+	BytesWritten     *Counter
+	BatchRecords     *Histogram
+	Compactions      *Counter
+	RecoverySeconds  *Gauge
+	RecoveredRecords *Gauge
+}
+
+// NewWALMetrics registers the scooter_wal_* family in reg.
+func NewWALMetrics(reg *Registry) *WALMetrics {
+	return &WALMetrics{
+		Appends:          reg.Counter("scooter_wal_appends_total", "Records appended to the log."),
+		Fsyncs:           reg.Counter("scooter_wal_fsyncs_total", "fsync calls issued by the log."),
+		BytesWritten:     reg.Counter("scooter_wal_bytes_written_total", "Bytes physically written to segments."),
+		BatchRecords:     reg.Histogram("scooter_wal_batch_records", "Records coalesced per group-commit flush.", BatchBuckets),
+		Compactions:      reg.Counter("scooter_wal_compactions_total", "Completed log compactions."),
+		RecoverySeconds:  reg.Gauge("scooter_wal_recovery_seconds", "Duration of the last crash recovery."),
+		RecoveredRecords: reg.Gauge("scooter_wal_recovered_records", "Records replayed by the last crash recovery."),
+	}
+}
+
+// RecordAppend counts one logical append. Nil-safe.
+func (m *WALMetrics) RecordAppend() {
+	if m == nil {
+		return
+	}
+	m.Appends.Inc()
+}
+
+// RecordFsync counts one fsync. Nil-safe.
+func (m *WALMetrics) RecordFsync() {
+	if m == nil {
+		return
+	}
+	m.Fsyncs.Inc()
+}
+
+// RecordBytes counts n bytes physically written. Nil-safe.
+func (m *WALMetrics) RecordBytes(n int) {
+	if m == nil {
+		return
+	}
+	m.BytesWritten.Add(int64(n))
+}
+
+// ObserveBatch records the record count of one group-commit flush. Nil-safe.
+func (m *WALMetrics) ObserveBatch(records int) {
+	if m == nil {
+		return
+	}
+	m.BatchRecords.Observe(float64(records))
+}
+
+// RecordCompaction counts one completed compaction. Nil-safe.
+func (m *WALMetrics) RecordCompaction() {
+	if m == nil {
+		return
+	}
+	m.Compactions.Inc()
+}
+
+// RecordRecovery stores the last crash recovery's duration and replayed
+// record count. Nil-safe.
+func (m *WALMetrics) RecordRecovery(seconds float64, records int) {
+	if m == nil {
+		return
+	}
+	m.RecoverySeconds.Set(seconds)
+	m.RecoveredRecords.Set(float64(records))
+}
+
+// ReplicaMetrics observes the primary's replication server: WAL frames and
+// bytes shipped, heartbeats, and snapshot bootstraps served. Follower-side
+// watermarks (applied/durable LSN, lag) are scrape-time GaugeFuncs over
+// Follower.Status, registered by the follower workspace.
+type ReplicaMetrics struct {
+	FramesSent      *Counter
+	BytesSent       *Counter
+	Heartbeats      *Counter
+	SnapshotsServed *Counter
+}
+
+// NewReplicaMetrics registers the scooter_repl_* server family in reg.
+func NewReplicaMetrics(reg *Registry) *ReplicaMetrics {
+	return &ReplicaMetrics{
+		FramesSent:      reg.Counter("scooter_repl_frames_sent_total", "WAL frames streamed to followers."),
+		BytesSent:       reg.Counter("scooter_repl_bytes_sent_total", "WAL frame payload bytes streamed to followers."),
+		Heartbeats:      reg.Counter("scooter_repl_heartbeats_total", "Heartbeats sent to followers."),
+		SnapshotsServed: reg.Counter("scooter_repl_snapshots_served_total", "Snapshot bootstraps served to followers."),
+	}
+}
+
+// RecordFrame counts one frame of n payload bytes. Nil-safe.
+func (m *ReplicaMetrics) RecordFrame(n int) {
+	if m == nil {
+		return
+	}
+	m.FramesSent.Inc()
+	m.BytesSent.Add(int64(n))
+}
+
+// RecordHeartbeat counts one heartbeat. Nil-safe.
+func (m *ReplicaMetrics) RecordHeartbeat() {
+	if m == nil {
+		return
+	}
+	m.Heartbeats.Inc()
+}
+
+// RecordSnapshot counts one snapshot bootstrap of n bytes. Nil-safe.
+func (m *ReplicaMetrics) RecordSnapshot(n int) {
+	if m == nil {
+		return
+	}
+	m.SnapshotsServed.Inc()
+	m.BytesSent.Add(int64(n))
+}
+
+// ORMMetrics observes the policy boundary: every read filtered through
+// field policies and every write gated by them.
+type ORMMetrics struct {
+	ReadsChecked   *Counter
+	FieldsStripped *Counter
+	WritesChecked  *Counter
+	WritesDenied   *Counter
+}
+
+// NewORMMetrics registers the scooter_orm_* family in reg.
+func NewORMMetrics(reg *Registry) *ORMMetrics {
+	return &ORMMetrics{
+		ReadsChecked:   reg.Counter("scooter_orm_reads_checked_total", "Field read-policy checks evaluated."),
+		FieldsStripped: reg.Counter("scooter_orm_fields_stripped_total", "Fields removed from results by read policies."),
+		WritesChecked:  reg.Counter("scooter_orm_writes_checked_total", "Write operations entering the policy gate."),
+		WritesDenied:   reg.Counter("scooter_orm_writes_denied_total", "Write operations rejected by policy or read-only mode."),
+	}
+}
+
+// RecordReadCheck counts one field read-policy evaluation; stripped says
+// whether the field was withheld. Nil-safe.
+func (m *ORMMetrics) RecordReadCheck(stripped bool) {
+	if m == nil {
+		return
+	}
+	m.ReadsChecked.Inc()
+	if stripped {
+		m.FieldsStripped.Inc()
+	}
+}
+
+// RecordWriteCheck counts one write entering the policy gate. Nil-safe.
+func (m *ORMMetrics) RecordWriteCheck() {
+	if m == nil {
+		return
+	}
+	m.WritesChecked.Inc()
+}
+
+// RecordWriteDenied counts one write rejected. Nil-safe.
+func (m *ORMMetrics) RecordWriteDenied() {
+	if m == nil {
+		return
+	}
+	m.WritesDenied.Inc()
+}

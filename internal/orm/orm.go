@@ -11,6 +11,7 @@ import (
 
 	"scooter/internal/ast"
 	"scooter/internal/eval"
+	"scooter/internal/obs"
 	"scooter/internal/schema"
 	"scooter/internal/store"
 )
@@ -32,6 +33,9 @@ type Conn struct {
 	// Replication followers set it: their store mirrors the primary's log,
 	// so a local write would diverge from the replicated history.
 	readOnly bool
+	// metrics observes the policy boundary (reads/writes checked, fields
+	// stripped, writes denied). Nil is a no-op sink.
+	metrics *obs.ORMMetrics
 }
 
 // ErrReadOnly reports a write attempted through a read-only connection
@@ -49,6 +53,9 @@ func (c *Conn) SetEnforcement(on bool) { c.enforcement = on }
 // SetReadOnly marks the connection read-only: Insert, Update, and Delete
 // fail with ErrReadOnly. Read policies are still enforced in full.
 func (c *Conn) SetReadOnly(on bool) { c.readOnly = on }
+
+// SetMetrics attaches policy-boundary metrics to the connection.
+func (c *Conn) SetMetrics(m *obs.ORMMetrics) { c.metrics = m }
 
 // SetSchema swaps the schema after a migration; the evaluator follows.
 func (c *Conn) SetSchema(s *schema.Schema) {
@@ -167,6 +174,7 @@ func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
 		if err != nil {
 			return nil, fmt.Errorf("orm: evaluating %s.%s read policy: %w", m.Name, f.Name, err)
 		}
+		pr.conn.metrics.RecordReadCheck(!ok)
 		if ok {
 			obj.fields[f.Name] = doc[f.Name]
 		}
@@ -177,7 +185,9 @@ func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
 // Insert creates an instance after checking the model's create policy. All
 // declared fields must be present.
 func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
+	pr.conn.metrics.RecordWriteCheck()
 	if pr.conn.readOnly {
+		pr.conn.metrics.RecordWriteDenied()
 		return store.Nil, ErrReadOnly
 	}
 	m := pr.conn.Schema.Model(model)
@@ -196,6 +206,7 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 			return store.Nil, err
 		}
 		if !ok {
+			pr.conn.metrics.RecordWriteDenied()
 			return store.Nil, &PolicyError{Op: ast.OpCreate, Principal: pr.p, Model: model}
 		}
 	}
@@ -212,7 +223,9 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 // Update overwrites fields after checking each one's write policy against
 // the stored document.
 func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
+	pr.conn.metrics.RecordWriteCheck()
 	if pr.conn.readOnly {
+		pr.conn.metrics.RecordWriteDenied()
 		return ErrReadOnly
 	}
 	m := pr.conn.Schema.Model(model)
@@ -234,6 +247,7 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 				return err
 			}
 			if !allowed {
+				pr.conn.metrics.RecordWriteDenied()
 				return &PolicyError{Op: ast.OpWrite, Principal: pr.p, Model: model, Field: name, ID: id}
 			}
 		}
@@ -243,7 +257,9 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 
 // Delete removes an instance after checking the model's delete policy.
 func (pr *Princ) Delete(model string, id store.ID) error {
+	pr.conn.metrics.RecordWriteCheck()
 	if pr.conn.readOnly {
+		pr.conn.metrics.RecordWriteDenied()
 		return ErrReadOnly
 	}
 	m := pr.conn.Schema.Model(model)
@@ -260,6 +276,7 @@ func (pr *Princ) Delete(model string, id store.ID) error {
 			return err
 		}
 		if !allowed {
+			pr.conn.metrics.RecordWriteDenied()
 			return &PolicyError{Op: ast.OpDelete, Principal: pr.p, Model: model, ID: id}
 		}
 	}

@@ -100,6 +100,9 @@ type Follower struct {
 	bootBase uint64 // LSN the last bootstrap snapshot corresponded to
 	sessions int
 	closed   bool
+	// applied is closed and replaced (under mu) whenever AppliedLSN
+	// advances, so WaitForLSN blocks on real progress instead of polling.
+	applied chan struct{}
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -124,7 +127,8 @@ func Open(dir, addr string, opts Options) (*Follower, error) {
 	f := &Follower{
 		dir: dir, addr: addr, opts: opts,
 		log: l, db: db,
-		stop: make(chan struct{}),
+		applied: make(chan struct{}),
+		stop:    make(chan struct{}),
 	}
 	f.st.AppliedLSN = l.LastLSN()
 	f.wg.Add(1)
@@ -160,24 +164,38 @@ func (f *Follower) Status() Status {
 }
 
 // WaitForLSN blocks until the follower has applied at least lsn, or the
-// timeout passes.
+// timeout passes. It sleeps on the apply loop's broadcast rather than
+// polling: the applied channel is captured under the same lock as the
+// watermark, so an advance between the check and the wait still wakes us
+// (the captured generation is already closed).
 func (f *Follower) WaitForLSN(lsn uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
-		st := f.Status()
-		if st.AppliedLSN >= lsn {
+		f.mu.Lock()
+		applied := f.st.AppliedLSN
+		ch := f.applied
+		f.mu.Unlock()
+		if applied >= lsn {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-f.stop:
+			return errors.New("replica: follower closed")
+		case <-timer.C:
+			st := f.Status()
 			return fmt.Errorf("replica: follower stuck at LSN %d waiting for %d (connected=%v, last error: %s)",
 				st.AppliedLSN, lsn, st.Connected, st.LastError)
 		}
-		select {
-		case <-f.stop:
-			return errors.New("replica: follower closed")
-		case <-time.After(2 * time.Millisecond):
-		}
 	}
+}
+
+// notifyAppliedLocked wakes WaitForLSN waiters; the caller holds f.mu and
+// has just advanced f.st.AppliedLSN.
+func (f *Follower) notifyAppliedLocked() {
+	close(f.applied)
+	f.applied = make(chan struct{})
 }
 
 // Close stops replicating and closes the mirrored log. It is idempotent
@@ -368,6 +386,7 @@ func (f *Follower) session() (handshook bool, err error) {
 			}
 			f.mu.Lock()
 			f.st.AppliedLSN = p.LSN()
+			f.notifyAppliedLocked()
 			f.mu.Unlock()
 			expected = p.LSN() + 1
 		case msgHeartbeat:
@@ -437,6 +456,7 @@ func (f *Follower) rebootstrap(reply handshakeReply, snap []byte) error {
 	f.log, f.db = l, db
 	f.bootBase = reply.LSN
 	f.st.AppliedLSN = reply.LSN
+	f.notifyAppliedLocked()
 	f.st.Bootstraps++
 	return nil
 }

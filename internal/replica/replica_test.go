@@ -352,3 +352,59 @@ func TestDivergedFollowerRefused(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestWaitForLSNBroadcast exercises the broadcast path behind WaitForLSN:
+// waiters block on a watermark the primary has not reached yet, writes
+// advance it, and the apply loop's broadcast wakes every waiter — no
+// polling. Timeout and Close must still release blocked waiters.
+func TestWaitForLSNBroadcast(t *testing.T) {
+	pl, pdb, srv := startPrimary(t, t.TempDir(), wal.Options{CompactAfterBytes: -1})
+	defer pl.Close()
+	defer srv.Close()
+
+	users := pdb.Collection("users")
+	users.Insert(store.Doc{"name": "seed"})
+
+	f, err := Open(t.TempDir(), srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	defer f.Close()
+	waitConverged(t, f, pl, pdb)
+
+	// Block a crowd of waiters on a watermark five records in the future,
+	// then produce those records: every waiter must come back nil.
+	target := pl.DurableLSN() + 5
+	errs := make(chan error, 8)
+	for i := 0; i < cap(errs); i++ {
+		go func() { errs <- f.WaitForLSN(target, 10*time.Second) }()
+	}
+	for i := 0; i < 5; i++ {
+		users.Insert(store.Doc{"name": fmt.Sprintf("late%d", i)})
+	}
+	for i := 0; i < cap(errs); i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+
+	// A watermark the primary never reaches times out with the stuck
+	// diagnosis instead of hanging.
+	if err := f.WaitForLSN(pl.DurableLSN()+1000, 50*time.Millisecond); err == nil {
+		t.Fatal("expected timeout error for unreachable LSN")
+	}
+
+	// Close releases a blocked waiter promptly.
+	done := make(chan error, 1)
+	go func() { done <- f.WaitForLSN(pl.DurableLSN()+1000, 10*time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+	f.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error from waiter released by Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still blocked after Close")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"scooter/internal/obs"
 	"scooter/internal/store/wal"
 )
 
@@ -22,6 +23,10 @@ type ServerOptions struct {
 	// draining its socket is disconnected rather than blocking a server
 	// goroutine forever.
 	WriteTimeout time.Duration
+	// Metrics, when set, counts frames/bytes shipped, heartbeats, and
+	// snapshot bootstraps served across all follower connections. Nil is
+	// a no-op sink.
+	Metrics *obs.ReplicaMetrics
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -218,6 +223,7 @@ func (s *Server) serveConn(sc *serverConn) {
 			tail.Close()
 			return
 		}
+		s.opts.Metrics.RecordSnapshot(len(snap))
 	} else if err != nil {
 		reply(handshakeReply{Mode: "error", Error: err.Error()})
 		return
@@ -287,6 +293,7 @@ func (s *Server) serveConn(sc *serverConn) {
 			if err := writeFrameMsg(bw, fr.Data); err != nil {
 				return
 			}
+			s.opts.Metrics.RecordFrame(len(fr.Data))
 			// Drain whatever the tail has ready before flushing once.
 			for done := false; !done; {
 				select {
@@ -298,6 +305,7 @@ func (s *Server) serveConn(sc *serverConn) {
 					if err := writeFrameMsg(bw, more.Data); err != nil {
 						return
 					}
+					s.opts.Metrics.RecordFrame(len(more.Data))
 					fr = more
 				default:
 					done = true
@@ -321,6 +329,7 @@ func (s *Server) serveConn(sc *serverConn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+			s.opts.Metrics.RecordHeartbeat()
 		case <-readerDone:
 			return
 		case <-sc.stop:

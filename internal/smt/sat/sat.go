@@ -113,6 +113,7 @@ type Solver struct {
 	conflicts int64
 	decisions int64
 	props     int64
+	restarts  int64
 
 	clauseInc float64
 	// maxLearnts triggers learnt-clause reduction; it grows geometrically
@@ -557,6 +558,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		s.backtrackTo(0)
 		restart++
+		s.restarts++
 	}
 }
 
@@ -668,3 +670,6 @@ func (s *Solver) assumedLevels(assumptions []Lit) int {
 func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
 	return s.conflicts, s.decisions, s.props
 }
+
+// Restarts reports how many Luby restarts the solver has taken.
+func (s *Solver) Restarts() int64 { return s.restarts }

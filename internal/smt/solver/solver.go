@@ -14,6 +14,7 @@ package solver
 import (
 	"math/big"
 
+	"scooter/internal/obs"
 	"scooter/internal/smt/cnf"
 	"scooter/internal/smt/euf"
 	"scooter/internal/smt/limits"
@@ -72,6 +73,11 @@ type Solver struct {
 	// ablation benchmarks; minimisation produces far stronger lemmas.
 	DisableCoreMinimization bool
 
+	// Metrics, when set, receives one RecordSolve per Check with the
+	// search effort spent (rounds, theory checks, SAT counters). Nil is a
+	// no-op sink.
+	Metrics *obs.SolverMetrics
+
 	sat  *sat.Solver
 	conv *cnf.Converter
 
@@ -108,6 +114,12 @@ type tlit struct {
 func (s *Solver) Check() (Status, error) {
 	s.why = nil
 	s.sat = sat.New()
+	if s.Metrics != nil {
+		defer func() {
+			c, d, p := s.sat.Stats()
+			s.Metrics.RecordSolve(s.Rounds, s.TheoryChecks, c, d, p, s.sat.Restarts())
+		}()
+	}
 	s.sat.Limits = s.Limits
 	s.sat.MaxConflicts = s.MaxConflicts
 	s.conv = cnf.New(s.B, s.sat)
@@ -193,6 +205,15 @@ func (s *Solver) SATStats() (conflicts, decisions, propagations int64) {
 		return 0, 0, 0
 	}
 	return s.sat.Stats()
+}
+
+// SATRestarts reports the SAT core's restart count for the last Check;
+// zero before the first Check.
+func (s *Solver) SATRestarts() int64 {
+	if s.sat == nil {
+		return 0
+	}
+	return s.sat.Restarts()
 }
 
 // assignment extracts the current truth values of all theory atoms.

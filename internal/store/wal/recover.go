@@ -21,6 +21,7 @@ import (
 // logged before it is acknowledged.
 func Open(dir string, opts Options) (*Log, *store.DB, error) {
 	opts = opts.withDefaults()
+	recoveryStart := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
@@ -191,6 +192,7 @@ func Open(dir string, opts Options) (*Log, *store.DB, error) {
 	l.writtenLSN = lastLSN
 	l.durableLSN = lastLSN
 	db.SetDurability(l)
+	opts.Metrics.RecordRecovery(time.Since(recoveryStart).Seconds(), replayed)
 	l.wg.Add(1)
 	go l.run()
 	return l, db, nil

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scooter/internal/obs"
 	"scooter/internal/store"
 )
 
@@ -52,6 +53,10 @@ type Options struct {
 	// (segments newer than the last snapshot) exceeds it. Default 64 MiB;
 	// negative disables automatic compaction.
 	CompactAfterBytes int64
+	// Metrics, when set, observes appends, physical writes, fsyncs,
+	// group-commit batch sizes, compactions, and recovery. Nil is a no-op
+	// sink.
+	Metrics *obs.WALMetrics
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +174,7 @@ func (l *Log) Append(m store.Mutation) store.WaitFunc {
 	lsn := l.lastLSN
 	l.queue = append(l.queue, queued{frame: frame, lsn: lsn})
 	l.mu.Unlock()
+	l.opts.Metrics.RecordAppend()
 	l.kick()
 	strict := l.opts.strict()
 	return func() error { return l.waitFor(lsn, strict) }
@@ -197,6 +203,7 @@ func (l *Log) AppendRaw(lsn uint64, frame []byte) store.WaitFunc {
 	l.lastLSN = lsn
 	l.queue = append(l.queue, queued{frame: append([]byte(nil), frame...), lsn: lsn})
 	l.mu.Unlock()
+	l.opts.Metrics.RecordAppend()
 	l.kick()
 	strict := l.opts.strict()
 	return func() error { return l.waitFor(lsn, strict) }
@@ -392,6 +399,7 @@ func (l *Log) drainOnce(final bool) bool {
 		}
 		return false
 	}
+	records := 0
 	for _, q := range batch {
 		if q.marker != nil {
 			l.flush()
@@ -401,6 +409,10 @@ func (l *Log) drainOnce(final bool) bool {
 		l.buf = append(l.buf, q.frame...)
 		l.bufLSN = q.lsn
 		l.unsyncedRecs++
+		records++
+	}
+	if records > 0 {
+		l.opts.Metrics.ObserveBatch(records)
 	}
 	l.flush()
 	l.applySyncPolicy(force || final)
@@ -420,6 +432,7 @@ func (l *Log) flush() {
 	n, err := l.f.Write(l.buf)
 	l.curSize += int64(n)
 	l.liveBytes += int64(n)
+	l.opts.Metrics.RecordBytes(n)
 	if err != nil {
 		l.fail(fmt.Errorf("wal: writing segment %d: %w", l.curSeg, err))
 		l.buf = l.buf[:0]
@@ -451,6 +464,7 @@ func (l *Log) applySyncPolicy(force bool) {
 		l.fail(fmt.Errorf("wal: fsync segment %d: %w", l.curSeg, err))
 		return
 	}
+	l.opts.Metrics.RecordFsync()
 	l.unsyncedRecs = 0
 	l.lastSync = time.Now()
 	l.markSynced()
@@ -496,6 +510,7 @@ func (l *Log) rotateTo(seg uint64) bool {
 		l.fail(fmt.Errorf("wal: fsync segment %d: %w", l.curSeg, err))
 		return false
 	}
+	l.opts.Metrics.RecordFsync()
 	l.markSynced()
 	l.unsyncedRecs = 0
 	if err := l.f.Close(); err != nil {
@@ -545,6 +560,8 @@ func (l *Log) finalize() {
 	if l.Err() == nil {
 		if err := l.f.Sync(); err != nil {
 			l.fail(err)
+		} else {
+			l.opts.Metrics.RecordFsync()
 		}
 	}
 	_ = l.f.Close()
@@ -625,6 +642,7 @@ func (l *Log) Compact() error {
 		return err
 	}
 	pruneBelow(l.dir, marker.seg)
+	l.opts.Metrics.RecordCompaction()
 	return nil
 }
 

@@ -2,54 +2,46 @@ package verify
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
 )
 
 // Stats aggregates verification counters across every query routed through
 // a Checker (or a whole migration history, when shared via
-// migrate.Options). All counters are atomic, so one Stats may be shared by
-// concurrent checkers; a nil *Stats is a valid no-op sink.
+// migrate.Options). One mutex guards the whole block so a Snapshot is
+// always internally consistent — recordSolve bumps several related
+// counters, and per-field atomics would let a concurrent Snapshot observe
+// a query counted with only part of its solver effort (a torn read the
+// /metrics scraper would hit constantly). A nil *Stats is a valid no-op
+// sink; a non-nil Stats may be shared by concurrent checkers.
 type Stats struct {
-	// CacheHits / CacheMisses count verdict-cache lookups. Misses are
-	// counted only when a cache is attached.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
-	// QueriesSolved counts leakage queries actually handed to the SMT
-	// solver (cache hits skip the solver entirely).
-	QueriesSolved atomic.Int64
-	// SolverRounds and TheoryChecks accumulate the CDCL(T) loop's own
-	// counters; Conflicts, Decisions and Propagations come from the SAT
-	// core (sat.Stats()).
-	SolverRounds atomic.Int64
-	TheoryChecks atomic.Int64
-	Conflicts    atomic.Int64
-	Decisions    atomic.Int64
-	Propagations atomic.Int64
+	mu   sync.Mutex
+	snap Snapshot
 }
 
 // Snapshot is a point-in-time copy of Stats, safe to compare and print.
 type Snapshot struct {
-	CacheHits, CacheMisses             int64
-	QueriesSolved                      int64
-	SolverRounds, TheoryChecks         int64
-	Conflicts, Decisions, Propagations int64
+	// CacheHits / CacheMisses count verdict-cache lookups. Misses are
+	// counted only when a cache is attached.
+	CacheHits, CacheMisses int64
+	// QueriesSolved counts leakage queries actually handed to the SMT
+	// solver (cache hits skip the solver entirely).
+	QueriesSolved int64
+	// SolverRounds and TheoryChecks accumulate the CDCL(T) loop's own
+	// counters; Conflicts, Decisions, Propagations and Restarts come from
+	// the SAT core.
+	SolverRounds, TheoryChecks                   int64
+	Conflicts, Decisions, Propagations, Restarts int64
 }
 
-// Snapshot returns the current counter values. Nil-safe.
+// Snapshot returns a consistent copy of the current counters: every query
+// recorded is present with all of its solver effort. Nil-safe.
 func (s *Stats) Snapshot() Snapshot {
 	if s == nil {
 		return Snapshot{}
 	}
-	return Snapshot{
-		CacheHits:     s.CacheHits.Load(),
-		CacheMisses:   s.CacheMisses.Load(),
-		QueriesSolved: s.QueriesSolved.Load(),
-		SolverRounds:  s.SolverRounds.Load(),
-		TheoryChecks:  s.TheoryChecks.Load(),
-		Conflicts:     s.Conflicts.Load(),
-		Decisions:     s.Decisions.Load(),
-		Propagations:  s.Propagations.Load(),
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
 }
 
 // Sub returns the delta snapshot s - prev; used by benchmarks to report
@@ -64,6 +56,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Conflicts:     s.Conflicts - prev.Conflicts,
 		Decisions:     s.Decisions - prev.Decisions,
 		Propagations:  s.Propagations - prev.Propagations,
+		Restarts:      s.Restarts - prev.Restarts,
 	}
 }
 
@@ -74,27 +67,36 @@ func (s Snapshot) String() string {
 		s.TheoryChecks, s.Conflicts, s.Decisions, s.Propagations)
 }
 
-// recordSolve accumulates one solver run. Nil-safe.
-func (s *Stats) recordSolve(rounds, theoryChecks int, conflicts, decisions, propagations int64) {
+// recordSolve accumulates one solver run as a unit. Nil-safe.
+func (s *Stats) recordSolve(rounds, theoryChecks int, conflicts, decisions, propagations, restarts int64) {
 	if s == nil {
 		return
 	}
-	s.QueriesSolved.Add(1)
-	s.SolverRounds.Add(int64(rounds))
-	s.TheoryChecks.Add(int64(theoryChecks))
-	s.Conflicts.Add(conflicts)
-	s.Decisions.Add(decisions)
-	s.Propagations.Add(propagations)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap.QueriesSolved++
+	s.snap.SolverRounds += int64(rounds)
+	s.snap.TheoryChecks += int64(theoryChecks)
+	s.snap.Conflicts += conflicts
+	s.snap.Decisions += decisions
+	s.snap.Propagations += propagations
+	s.snap.Restarts += restarts
 }
 
 func (s *Stats) recordHit() {
-	if s != nil {
-		s.CacheHits.Add(1)
+	if s == nil {
+		return
 	}
+	s.mu.Lock()
+	s.snap.CacheHits++
+	s.mu.Unlock()
 }
 
 func (s *Stats) recordMiss() {
-	if s != nil {
-		s.CacheMisses.Add(1)
+	if s == nil {
+		return
 	}
+	s.mu.Lock()
+	s.snap.CacheMisses++
+	s.mu.Unlock()
 }

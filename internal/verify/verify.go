@@ -7,10 +7,12 @@ package verify
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"scooter/internal/ast"
 	"scooter/internal/equiv"
 	"scooter/internal/lower"
+	"scooter/internal/obs"
 	"scooter/internal/schema"
 	"scooter/internal/smt/limits"
 	"scooter/internal/smt/solver"
@@ -87,6 +89,16 @@ type Checker struct {
 	Cache *Cache
 	// Stats, when set, accumulates query/solver counters.
 	Stats *Stats
+	// Metrics, when set, observes each proof (count, wall time, Unknown
+	// reasons) in the workspace registry. Nil is a no-op sink.
+	Metrics *obs.VerifyMetrics
+	// SolverMetrics, when set, is handed to every solver this checker
+	// spawns so per-solve effort lands in the registry.
+	SolverMetrics *obs.SolverMetrics
+	// Trace, when set, receives one ProofEvent per strictness proof.
+	// Tracing forces the per-kind proofs of each query to run
+	// sequentially so event order is deterministic.
+	Trace *obs.Tracer
 }
 
 // New returns a checker. defs may be nil when no prior definitions apply.
@@ -132,15 +144,22 @@ func (c *Checker) checkFlowStrictness(dstModel string, dstRead ast.Policy, srcMo
 		err error
 	}
 	results := make([]kindResult, len(kinds))
-	var wg sync.WaitGroup
-	for i, kind := range kinds {
-		wg.Add(1)
-		go func(i int, kind lower.PrincipalKind) {
-			defer wg.Done()
+	if c.Trace != nil {
+		// Deterministic trace order: one proof at a time, in kind order.
+		for i, kind := range kinds {
 			results[i] = c.checkKind(dstModel, dstRead, srcModel, srcRead, kind)
-		}(i, kind)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, kind := range kinds {
+			wg.Add(1)
+			go func(i int, kind lower.PrincipalKind) {
+				defer wg.Done()
+				results[i] = c.checkKind(dstModel, dstRead, srcModel, srcRead, kind)
+			}(i, kind)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	incomplete := false
 	for _, r := range results {
@@ -160,6 +179,7 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 	res *Result
 	err error
 }) {
+	start := time.Now()
 	ctx := lower.NewContext(c.Schema, c.Defs)
 	q, err := lower.BuildCrossLeakageQuery(ctx, dstModel, dstRead, srcModel, srcRead, kind)
 	if err != nil {
@@ -167,11 +187,14 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 		return
 	}
 	var key CacheKey
-	if c.Cache != nil {
+	if c.Cache != nil || c.Trace != nil {
 		key = QueryKey(q, c.SolverRounds, c.DisableCoreMinimization)
+	}
+	if c.Cache != nil {
 		if res, ok := c.Cache.Lookup(key); ok {
 			c.Stats.recordHit()
 			out.res = &res
+			c.observeProof(key, kind, &res, true, nil, start)
 			return
 		}
 		c.Stats.recordMiss()
@@ -180,6 +203,7 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 		// The budget was gone before solving started; report it without
 		// spinning up a solver.
 		out.res = &Result{Verdict: Inconclusive, Kind: kind, Incomplete: true, Why: ex}
+		c.observeProof(key, kind, out.res, false, nil, start)
 		return
 	}
 	s := solver.New(q.B)
@@ -187,10 +211,11 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 	s.MaxConflicts = c.SolverConflicts
 	s.Limits = c.Limits
 	s.DisableCoreMinimization = c.DisableCoreMinimization
+	s.Metrics = c.SolverMetrics
 	s.Assert(q.Formula)
 	status, serr := s.Check()
 	conflicts, decisions, props := s.SATStats()
-	c.Stats.recordSolve(s.Rounds, s.TheoryChecks, conflicts, decisions, props)
+	c.Stats.recordSolve(s.Rounds, s.TheoryChecks, conflicts, decisions, props, s.SATRestarts())
 	if serr != nil {
 		out.err = fmt.Errorf("solving flow %s -> %s for principal kind %s: %w", srcModel, dstModel, kind, serr)
 		return
@@ -207,7 +232,50 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 	if c.Cache != nil {
 		c.Cache.Insert(key, *out.res)
 	}
+	c.observeProof(key, kind, out.res, false, s, start)
 	return
+}
+
+// observeProof lands one finished proof in the metrics registry and the
+// trace stream. solved is nil when no solver ran (cache hit or an expired
+// budget short-circuited the proof).
+func (c *Checker) observeProof(key CacheKey, kind lower.PrincipalKind, res *Result, cacheHit bool, solved *solver.Solver, start time.Time) {
+	if c.Metrics == nil && c.Trace == nil {
+		return
+	}
+	elapsed := time.Since(start)
+	c.Metrics.ObserveProof(elapsed.Seconds())
+	if res.Verdict == Inconclusive {
+		c.Metrics.RecordUnknown(unknownReason(res.Why))
+	}
+	if c.Trace == nil {
+		return
+	}
+	ev := obs.ProofEvent{
+		Fingerprint: fmt.Sprintf("%016x%016x", key.Fp[0], key.Fp[1]),
+		Kind:        kind.String(),
+		Verdict:     res.Verdict.String(),
+		CacheHit:    cacheHit,
+		DurationNS:  elapsed.Nanoseconds(),
+	}
+	if res.Why != nil {
+		ev.Why = res.Why.Error()
+	}
+	if solved != nil {
+		ev.Rounds = solved.Rounds
+		ev.TheoryChecks = solved.TheoryChecks
+		ev.Conflicts, ev.Decisions, ev.Propagations = solved.SATStats()
+		ev.Restarts = solved.SATRestarts()
+	}
+	c.Trace.Emit(ev)
+}
+
+// unknownReason is the metrics label for an Inconclusive verdict's budget.
+func unknownReason(why *limits.Exhausted) string {
+	if why == nil {
+		return "undecidable"
+	}
+	return why.Reason.String()
 }
 
 // FieldFlow describes one dataflow edge discovered in an AddField

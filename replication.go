@@ -5,9 +5,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
+	"net/http"
 	"sync"
 	"time"
 
+	"scooter/internal/obs"
 	"scooter/internal/orm"
 	"scooter/internal/replica"
 	"scooter/internal/schema"
@@ -91,7 +93,9 @@ func (w *Workspace) ServeReplication(addr string) (*ReplicationServer, error) {
 	if w.wal == nil {
 		return nil, errors.New("scooter: replication requires a durable workspace (OpenDurable)")
 	}
-	srv, err := replica.Serve(w.wal, addr, replica.ServerOptions{})
+	srv, err := replica.Serve(w.wal, addr, replica.ServerOptions{
+		Metrics: obs.NewReplicaMetrics(w.reg),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +143,11 @@ func (w *Workspace) StateHash() (uint64, string, error) {
 type FollowerWorkspace struct {
 	f *replica.Follower
 
+	// reg exposes the follower's replication watermarks (as scrape-time
+	// gauges over Status()) and its ORM policy-boundary counters.
+	reg        *obs.Registry
+	ormMetrics *obs.ORMMetrics
+
 	mu       sync.Mutex
 	db       *store.DB
 	specText string
@@ -156,13 +165,53 @@ func OpenFollower(dir, addr string, opts FollowerOptions) (*FollowerWorkspace, e
 	if err != nil {
 		return nil, err
 	}
-	fw := &FollowerWorkspace{f: f}
+	reg := obs.NewRegistry()
+	fw := &FollowerWorkspace{f: f, reg: reg, ormMetrics: obs.NewORMMetrics(reg)}
+	status := func(pick func(replica.Status) float64) func() float64 {
+		return func() float64 { return pick(f.Status()) }
+	}
+	reg.GaugeFunc("scooter_repl_applied_lsn",
+		"Last primary record applied to the follower's local store.",
+		status(func(st replica.Status) float64 { return float64(st.AppliedLSN) }))
+	reg.GaugeFunc("scooter_repl_durable_lsn",
+		"Prefix of the primary's history durable on the follower.",
+		status(func(st replica.Status) float64 { return float64(st.DurableLSN) }))
+	reg.GaugeFunc("scooter_repl_primary_durable_lsn",
+		"Primary's durable watermark as of the last heartbeat.",
+		status(func(st replica.Status) float64 { return float64(st.PrimaryDurableLSN) }))
+	reg.GaugeFunc("scooter_repl_lag_lsns",
+		"Committed records the follower has not applied yet.",
+		status(func(st replica.Status) float64 { return float64(st.LagLSNs) }))
+	reg.GaugeFunc("scooter_repl_lag_bytes",
+		"Primary's byte backlog for this follower.",
+		status(func(st replica.Status) float64 { return float64(st.LagBytes) }))
+	reg.GaugeFunc("scooter_repl_connected",
+		"1 when a replication session is live, 0 otherwise.",
+		status(func(st replica.Status) float64 {
+			if st.Connected {
+				return 1
+			}
+			return 0
+		}))
+	reg.CounterFunc("scooter_repl_bootstraps_total",
+		"Snapshot bootstraps performed by this follower.",
+		status(func(st replica.Status) float64 { return float64(st.Bootstraps) }))
+	reg.CounterFunc("scooter_repl_reconnects_total",
+		"Replication sessions re-established after the first.",
+		status(func(st replica.Status) float64 { return float64(st.Reconnects) }))
 	if err := fw.refresh(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return fw, nil
 }
+
+// Metrics returns the follower's metrics registry.
+func (fw *FollowerWorkspace) Metrics() *obs.Registry { return fw.reg }
+
+// MetricsHandler returns an http.Handler serving the follower's metrics in
+// the Prometheus text format — mount it at /metrics.
+func (fw *FollowerWorkspace) MetricsHandler() http.Handler { return obs.Handler(fw.reg) }
 
 // refresh rebinds the ORM connection when replication has advanced the
 // spec or rebuilt the store (snapshot bootstrap). Policy enforcement is
@@ -181,6 +230,7 @@ func (fw *FollowerWorkspace) refresh() error {
 	}
 	conn := orm.Open(s, db)
 	conn.SetReadOnly(true)
+	conn.SetMetrics(fw.ormMetrics)
 	fw.db, fw.specText, fw.schema, fw.conn = db, text, s, conn
 	return nil
 }

@@ -20,12 +20,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
 
 	"scooter/internal/ast"
 	"scooter/internal/eval"
 	"scooter/internal/gen"
 	"scooter/internal/migrate"
+	"scooter/internal/obs"
 	"scooter/internal/orm"
 	"scooter/internal/parser"
 	"scooter/internal/schema"
@@ -127,14 +129,78 @@ type Workspace struct {
 	// journaled tracks migrations applied during this session, whose
 	// schema effects the live schema already includes.
 	journaled map[string]bool
+
+	// reg is the workspace's metrics registry; every layer records into it
+	// and MetricsHandler exposes it in the Prometheus text format.
+	reg *obs.Registry
+	// cache memoizes strictness verdicts across this workspace's migrations
+	// (hit/miss/eviction counters are read from it at scrape time).
+	cache         *verify.Cache
+	verifyMetrics *obs.VerifyMetrics
+	solverMetrics *obs.SolverMetrics
+	ormMetrics    *obs.ORMMetrics
+}
+
+// newWorkspace wires a workspace around a schema and database: one metrics
+// registry, a shared verdict cache exposed through scrape-time counters,
+// and per-layer metric sets for the migration pipeline and the ORM policy
+// boundary.
+func newWorkspace(s *schema.Schema, db *store.DB, reg *obs.Registry) *Workspace {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cache := verify.NewCache(0)
+	reg.CounterFunc("scooter_verify_cache_hits_total",
+		"Strictness verdicts answered from the verdict cache.",
+		func() float64 { h, _, _ := cache.Counters(); return float64(h) })
+	reg.CounterFunc("scooter_verify_cache_misses_total",
+		"Strictness queries that missed the verdict cache.",
+		func() float64 { _, m, _ := cache.Counters(); return float64(m) })
+	reg.CounterFunc("scooter_verify_cache_evictions_total",
+		"Verdicts evicted from the bounded verdict cache.",
+		func() float64 { _, _, e := cache.Counters(); return float64(e) })
+	conn := orm.Open(s, db)
+	ormM := obs.NewORMMetrics(reg)
+	conn.SetMetrics(ormM)
+	return &Workspace{
+		schema:        s,
+		db:            db,
+		conn:          conn,
+		reg:           reg,
+		cache:         cache,
+		verifyMetrics: obs.NewVerifyMetrics(reg),
+		solverMetrics: obs.NewSolverMetrics(reg),
+		ormMetrics:    ormM,
+	}
+}
+
+// Metrics returns the workspace's metrics registry, for embedding into an
+// application's own exposition or for registering extra collectors.
+func (w *Workspace) Metrics() *obs.Registry { return w.reg }
+
+// MetricsHandler returns an http.Handler serving the workspace's metrics
+// in the Prometheus text format — mount it at /metrics.
+func (w *Workspace) MetricsHandler() http.Handler { return obs.Handler(w.reg) }
+
+// fillObsDefaults points unset observability options at the workspace's
+// own cache and metric sets, so Migrate calls are observed without callers
+// having to wire anything.
+func (w *Workspace) fillObsDefaults(opts *Options) {
+	if opts.Cache == nil {
+		opts.Cache = w.cache
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = w.verifyMetrics
+	}
+	if opts.SolverMetrics == nil {
+		opts.SolverMetrics = w.solverMetrics
+	}
 }
 
 // NewWorkspace returns a workspace with an empty specification and a fresh
 // in-memory database.
 func NewWorkspace() *Workspace {
-	s := schema.New()
-	db := store.Open()
-	return &Workspace{schema: s, db: db, conn: orm.Open(s, db)}
+	return newWorkspace(schema.New(), store.Open(), nil)
 }
 
 // DurabilityOptions tunes the write-ahead log of a durable workspace.
@@ -148,12 +214,19 @@ type DurabilityOptions = wal.Options
 // scripts only advance the schema, a half-applied one resumes — and the
 // workspace converges to the pre-crash state.
 func OpenDurable(dir string, opts DurabilityOptions) (*Workspace, error) {
+	// The registry exists before the log opens so recovery itself is
+	// captured (scooter_wal_recovery_seconds, recovered record count).
+	reg := obs.NewRegistry()
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewWALMetrics(reg)
+	}
 	l, db, err := wal.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}
-	s := schema.New()
-	return &Workspace{schema: s, db: db, conn: orm.Open(s, db), wal: l}, nil
+	w := newWorkspace(schema.New(), db, reg)
+	w.wal = l
+	return w, nil
 }
 
 // Close stops the replication server (if any) and flushes and detaches
@@ -220,8 +293,7 @@ func LoadSpec(src string) (*Workspace, error) {
 	if err := typer.New(s).CheckSchema(); err != nil {
 		return nil, err
 	}
-	db := store.Open()
-	return &Workspace{schema: s, db: db, conn: orm.Open(s, db)}, nil
+	return newWorkspace(s, store.Open(), nil), nil
 }
 
 // SpecText renders the current authoritative specification as Scooter_p
@@ -242,6 +314,7 @@ func (w *Workspace) MigrateOpts(src string, opts Options) error {
 	if err != nil {
 		return err
 	}
+	w.fillObsDefaults(&opts)
 	after, err := migrate.VerifyAndExecute(w.schema, script, w.db, opts)
 	if err != nil {
 		return err
@@ -259,7 +332,9 @@ func (w *Workspace) Verify(src string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return migrate.Verify(w.schema, script, migrate.DefaultOptions())
+	opts := migrate.DefaultOptions()
+	w.fillObsDefaults(&opts)
+	return migrate.Verify(w.schema, script, opts)
 }
 
 // AsPrinc returns a handle performing operations on behalf of p.
@@ -381,6 +456,7 @@ func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, erro
 		}
 		return false, nil
 	}
+	w.fillObsDefaults(&opts)
 	after, applied, err := migrate.Apply(w.db, w.schema, name, src, opts)
 	if err != nil {
 		return false, err
@@ -437,5 +513,6 @@ func LoadState(in io.Reader) (*Workspace, error) {
 	}
 	w.db = db
 	w.conn = orm.Open(w.schema, db)
+	w.conn.SetMetrics(w.ormMetrics)
 	return w, nil
 }
