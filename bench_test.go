@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -32,6 +33,7 @@ import (
 	"scooter/internal/obs"
 	"scooter/internal/orm"
 	"scooter/internal/parser"
+	"scooter/internal/policyc"
 	"scooter/internal/schema"
 	"scooter/internal/store"
 	"scooter/internal/typer"
@@ -534,4 +536,167 @@ func mustSchema(b *testing.B, spec string) *schema.Schema {
 		b.Fatal(err)
 	}
 	return s
+}
+
+// ---- Policy compilation: compiled closures vs interpreter (§5.4) ----
+
+// benchStripDecisions is the strip loop's decision batch in isolation: a
+// viewer's read policy is decided for every field of another user's
+// profile (the per-document inner loop of FindByID), with document
+// retrieval hoisted so only policy evaluation is timed. The compiled
+// engine uses the same Frame batching the ORM uses; the interpreter is
+// the eval.Allowed oracle. This is the acceptance microbenchmark for the
+// compiled-policy speedup.
+func benchStripDecisions(b *testing.B, compiled bool) {
+	fx := newChitterFixture(b, 64, 0)
+	table := policyc.For(fx.schema)
+	ev := eval.New(fx.schema, fx.db)
+	m := fx.schema.Model("User")
+	mp := table.Model("User")
+	users := fx.db.Collection("User")
+	docs := make([]store.Doc, len(fx.users))
+	for i, id := range fx.users {
+		docs[i], _ = users.Get(id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The viewer follows the target (ring neighbour), so follower and
+		// Find policies all run their full membership paths.
+		viewer := eval.InstancePrincipal("User", fx.users[i%len(fx.users)])
+		target := docs[(i+1)%len(docs)]
+		if compiled {
+			f := policyc.NewFrame(ev, viewer)
+			f.SetTarget("User", target)
+			for j := range m.Fields {
+				if _, err := mp.FieldAt(j).Read.EvalIn(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			f.Release()
+		} else {
+			for _, fd := range m.Fields {
+				if _, err := ev.Allowed(viewer, "User", target, fd.Read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPolicyCompiled(b *testing.B)    { benchStripDecisions(b, true) }
+func BenchmarkPolicyInterpreted(b *testing.B) { benchStripDecisions(b, false) }
+
+// benchProfileReads is the same hot path end to end through the ORM
+// (document fetch, strip, object assembly included) — the macro view of
+// the same toggle, reported alongside the microbenchmark.
+func benchProfileReads(b *testing.B, compiled bool) {
+	fx := newChitterFixture(b, 64, 0)
+	conn := ormOpen(fx)
+	conn.SetCompiledPolicies(compiled)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		viewer := fx.users[i%len(fx.users)]
+		pr := conn.AsPrinc(eval.InstancePrincipal("User", viewer))
+		obj, err := pr.FindByID("User", fx.users[(i+1)%len(fx.users)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := obj.Get("name"); !ok {
+			b.Fatal("public name missing")
+		}
+	}
+}
+
+func BenchmarkPolicyCompiledORM(b *testing.B)    { benchProfileReads(b, true) }
+func BenchmarkPolicyInterpretedORM(b *testing.B) { benchProfileReads(b, false) }
+
+// ---- §5.3 persistent verdict cache: corpus replay cold vs warm ----
+
+// BenchmarkVerdictDBReplay_Cold replays each case study against a fresh
+// verdict store every iteration: every strictness query solves, and every
+// verdict is appended to disk. This is the first `sidecar -verdict-db` run.
+func BenchmarkVerdictDBReplay_Cold(b *testing.B) {
+	studies, err := casestudies.Studies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, study := range studies {
+		b.Run(study.Key, func(b *testing.B) {
+			scripts, err := study.ParseScripts()
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vdb, err := verify.OpenVerdictDB(filepath.Join(dir, fmt.Sprintf("v%d.db", i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := migrate.DefaultOptions()
+				opts.VerdictDB = vdb
+				if _, _, err := study.RunScripts(scripts, opts); err != nil {
+					b.Fatal(err)
+				}
+				if err := vdb.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerdictDBReplay_Warm replays against a store seeded by one
+// untimed pass: every iteration reopens the same file and must answer all
+// strictness queries from disk without solving — the second
+// `sidecar -verdict-db` run, or a colleague replaying a shipped store.
+func BenchmarkVerdictDBReplay_Warm(b *testing.B) {
+	studies, err := casestudies.Studies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, study := range studies {
+		b.Run(study.Key, func(b *testing.B) {
+			scripts, err := study.ParseScripts()
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(b.TempDir(), "verdicts.db")
+			vdb, err := verify.OpenVerdictDB(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := migrate.DefaultOptions()
+			opts.VerdictDB = vdb
+			if _, _, err := study.RunScripts(scripts, opts); err != nil {
+				b.Fatal(err)
+			}
+			if err := vdb.Close(); err != nil {
+				b.Fatal(err)
+			}
+			stats := &verify.Stats{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vdb, err := verify.OpenVerdictDB(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := migrate.DefaultOptions()
+				opts.VerdictDB = vdb
+				opts.Stats = stats
+				if _, _, err := study.RunScripts(scripts, opts); err != nil {
+					b.Fatal(err)
+				}
+				if err := vdb.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			snap := stats.Snapshot()
+			if snap.QueriesSolved != 0 {
+				b.Fatalf("warm replay solved %d queries; want all from disk", snap.QueriesSolved)
+			}
+			b.Logf("%s: %d persist hits, %d misses", study.Key, snap.PersistHits, snap.PersistMisses)
+		})
+	}
 }

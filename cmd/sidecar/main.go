@@ -24,6 +24,14 @@
 // run sequentially so the event order is deterministic: two runs over the
 // same scripts produce identical traces modulo the duration_ns field.
 //
+// -verdict-db FILE persists verdicts across runs (and across machines that
+// share the file): verdicts proved once are looked up by the query's
+// alpha-invariant fingerprint, counterexamples included, so a warm replay
+// prints byte-identical output without solving. A truncated or damaged
+// store degrades to a cold start, never an error. -incremental proves the
+// per-principal-kind queries of each check on one shared push/pop solver,
+// reusing learned clauses and theory lemmas across related proofs.
+//
 // -timeout bounds the whole run and -proof-timeout bounds each individual
 // strictness proof. An exhausted budget is never an error: the affected
 // proof reports UNKNOWN with the reason (deadline, solver round cap, ...)
@@ -78,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheSize := fs.Int("cache-size", verify.DefaultCacheCapacity, "verdict cache capacity; 0 disables caching")
 	showStats := fs.Bool("stats", false, "print verification statistics on exit")
 	tracePath := fs.String("trace", "", "write one JSON event per strictness proof to this file (forces sequential proofs)")
+	verdictDB := fs.String("verdict-db", "", "persistent verdict store file shared across runs (created if absent)")
+	incremental := fs.Bool("incremental", false, "prove related queries on one shared push/pop solver, reusing learned clauses")
 	applyMode := fs.Bool("apply", false, "verify and durably apply the scripts against the store in -data-dir")
 	dataDir := fs.String("data-dir", "", "write-ahead log directory for -apply")
 	fsyncMode := fs.String("fsync", "always", "fsync policy for -apply: always, batch, or never")
@@ -130,6 +140,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	stats := &verify.Stats{}
 	opts.Stats = stats
+	opts.IncrementalSolver = *incremental
+	var vdb *verify.VerdictDB
+	if *verdictDB != "" {
+		vdb, err = verify.OpenVerdictDB(*verdictDB)
+		if err != nil {
+			fmt.Fprintf(stderr, "sidecar: opening verdict db: %v\n", err)
+			return 2
+		}
+		opts.VerdictDB = vdb
+	}
 	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -162,8 +182,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if vdb != nil {
+		if err := vdb.Close(); err != nil {
+			fmt.Fprintf(stderr, "sidecar: closing verdict db: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}
 	if *showStats {
 		fmt.Fprintf(stderr, "sidecar: %s\n", stats.Snapshot())
+		if vdb != nil {
+			h, m, corrupt := vdb.Counters()
+			fmt.Fprintf(stderr, "sidecar: verdict-db %d hit / %d miss / %d corrupt · %d stored\n", h, m, corrupt, vdb.Len())
+		}
 	}
 	return code
 }

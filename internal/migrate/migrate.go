@@ -69,6 +69,17 @@ type Options struct {
 	// Trace, when set, receives one JSON event per strictness proof.
 	// Combine with Sequential for a deterministic event order.
 	Trace *obs.Tracer
+	// VerdictDB, when set, is the persistent verdict store: verdicts are
+	// looked up there after a memory-cache miss and appended after every
+	// definitive proof, so a later run (or another machine sharing the
+	// file) skips the solver entirely for already-proved queries.
+	VerdictDB *verify.VerdictDB
+	// IncrementalSolver proves the per-principal-kind queries of each
+	// strictness check on one shared push/pop solver, reusing learned
+	// clauses and theory lemmas across the structurally related proofs.
+	// Kinds then run sequentially per check (the shared solver is
+	// stateful); off by default to preserve the concurrent one-shot path.
+	IncrementalSolver bool
 }
 
 // DefaultOptions returns the standard configuration.
@@ -250,6 +261,8 @@ func newChecker(s *schema.Schema, defs *equiv.Defs, opts Options) *verify.Checke
 	c.Metrics = opts.Metrics
 	c.SolverMetrics = opts.SolverMetrics
 	c.Trace = opts.Trace
+	c.Persist = opts.VerdictDB
+	c.Incremental = opts.IncrementalSolver
 	return c
 }
 

@@ -23,6 +23,7 @@ type SolverMetrics struct {
 	Decisions    *Counter
 	Propagations *Counter
 	Restarts     *Counter
+	ReusedLemmas *Counter
 }
 
 // NewSolverMetrics registers the scooter_solver_* family in reg.
@@ -35,6 +36,7 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 		Decisions:    reg.Counter("scooter_solver_decisions_total", "SAT decisions taken."),
 		Propagations: reg.Counter("scooter_solver_propagations_total", "SAT unit propagations."),
 		Restarts:     reg.Counter("scooter_solver_restarts_total", "SAT Luby restarts."),
+		ReusedLemmas: reg.Counter("scooter_solver_reused_lemmas_total", "Theory lemmas carried into an incremental check from earlier checks on the same solver."),
 	}
 }
 
@@ -50,6 +52,15 @@ func (m *SolverMetrics) RecordSolve(rounds, theoryChecks int, conflicts, decisio
 	m.Decisions.Add(decisions)
 	m.Propagations.Add(props)
 	m.Restarts.Add(restarts)
+}
+
+// RecordLemmaReuse adds n lemmas a check inherited from earlier checks on
+// the same incremental solver. Nil-safe.
+func (m *SolverMetrics) RecordLemmaReuse(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.ReusedLemmas.Add(n)
 }
 
 // VerifyMetrics observes the verification pipeline around the solver:
@@ -219,6 +230,11 @@ type ORMMetrics struct {
 	FieldsStripped *Counter
 	WritesChecked  *Counter
 	WritesDenied   *Counter
+	// PoliciesCompiled / PoliciesInterpreted count the policies of each
+	// policy table attached to a connection, split by whether the partial
+	// evaluator produced a closure or fell back to the interpreter.
+	PoliciesCompiled    *Counter
+	PoliciesInterpreted *Counter
 }
 
 // NewORMMetrics registers the scooter_orm_* family in reg.
@@ -228,7 +244,21 @@ func NewORMMetrics(reg *Registry) *ORMMetrics {
 		FieldsStripped: reg.Counter("scooter_orm_fields_stripped_total", "Fields removed from results by read policies."),
 		WritesChecked:  reg.Counter("scooter_orm_writes_checked_total", "Write operations entering the policy gate."),
 		WritesDenied:   reg.Counter("scooter_orm_writes_denied_total", "Write operations rejected by policy or read-only mode."),
+		PoliciesCompiled: reg.Counter("scooter_orm_policies_compiled_total",
+			"Policies compiled to closures in tables attached to connections."),
+		PoliciesInterpreted: reg.Counter("scooter_orm_policies_interpreted_total",
+			"Policies left to the AST interpreter in tables attached to connections."),
 	}
+}
+
+// RecordPolicyTable counts one policy table's compiled/fallback
+// composition as it is attached to a connection. Nil-safe.
+func (m *ORMMetrics) RecordPolicyTable(compiled, fallbacks int) {
+	if m == nil {
+		return
+	}
+	m.PoliciesCompiled.Add(int64(compiled))
+	m.PoliciesInterpreted.Add(int64(fallbacks))
 }
 
 // RecordReadCheck counts one field read-policy evaluation; stripped says

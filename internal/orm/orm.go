@@ -12,6 +12,7 @@ import (
 	"scooter/internal/ast"
 	"scooter/internal/eval"
 	"scooter/internal/obs"
+	"scooter/internal/policyc"
 	"scooter/internal/schema"
 	"scooter/internal/store"
 )
@@ -24,11 +25,21 @@ type Conn struct {
 	Schema *schema.Schema
 	DB     *store.DB
 	ev     *eval.Evaluator
+	// policies is the compiled policy table for Schema (shared across
+	// connections via policyc.For; see SetSchema).
+	policies *policyc.Table
 
 	// enforcement can be disabled in debug builds only (paper §6.2: the
 	// ORM "in debug mode also allows developers to temporarily turn off
 	// enforcement", e.g. for application-level migrations).
 	enforcement bool
+	// interpret forces every check through the AST interpreter (compiled
+	// dispatch is the default; SetCompiledPolicies(false) opts out).
+	interpret bool
+	// oracle runs each compiled check through the interpreter too and
+	// fails loudly on divergence (differential testing; see
+	// SetInterpretedOracle).
+	oracle bool
 	// readOnly rejects every write before its policy is even evaluated.
 	// Replication followers set it: their store mirrors the primary's log,
 	// so a local write would diverge from the replicated history.
@@ -42,9 +53,11 @@ type Conn struct {
 // (e.g. a replication follower).
 var ErrReadOnly = fmt.Errorf("orm: connection is read-only (replica)")
 
-// Open binds a schema to a database with enforcement on.
+// Open binds a schema to a database with enforcement on. Policies are
+// served from the shared compiled table for s (compiled once per schema,
+// reused across connections).
 func Open(s *schema.Schema, db *store.DB) *Conn {
-	return &Conn{Schema: s, DB: db, ev: eval.New(s, db), enforcement: true}
+	return &Conn{Schema: s, DB: db, ev: eval.New(s, db), policies: policyc.For(s), enforcement: true}
 }
 
 // SetEnforcement toggles policy enforcement (debug only).
@@ -54,13 +67,81 @@ func (c *Conn) SetEnforcement(on bool) { c.enforcement = on }
 // fail with ErrReadOnly. Read policies are still enforced in full.
 func (c *Conn) SetReadOnly(on bool) { c.readOnly = on }
 
-// SetMetrics attaches policy-boundary metrics to the connection.
-func (c *Conn) SetMetrics(m *obs.ORMMetrics) { c.metrics = m }
+// SetMetrics attaches policy-boundary metrics to the connection and
+// records the current policy table's compiled/fallback composition.
+func (c *Conn) SetMetrics(m *obs.ORMMetrics) {
+	c.metrics = m
+	if c.policies != nil {
+		m.RecordPolicyTable(c.policies.Counts())
+	}
+}
 
-// SetSchema swaps the schema after a migration; the evaluator follows.
+// SetCompiledPolicies toggles compiled-policy dispatch (on by default).
+// Off routes every check through the AST interpreter; exposed for
+// benchmarks and as an escape hatch.
+func (c *Conn) SetCompiledPolicies(on bool) { c.interpret = !on }
+
+// SetInterpretedOracle enables differential checking: every compiled
+// policy decision is replayed through the interpreter and a mismatch in
+// verdict or error presence surfaces as an evaluation error instead of a
+// silent wrong answer. Meant for tests and fuzzing, not production.
+func (c *Conn) SetInterpretedOracle(on bool) { c.oracle = on }
+
+// SetSchema swaps the schema after a migration. The evaluator is re-bound
+// in place and the compiled policy table is fetched from the shared
+// per-schema cache — an unchanged schema (common when toggling read-only
+// or re-binding connections) reuses both without recompiling anything.
 func (c *Conn) SetSchema(s *schema.Schema) {
+	if s == c.Schema {
+		return
+	}
 	c.Schema = s
-	c.ev = eval.New(s, c.DB)
+	c.ev.Schema = s
+	c.ev.DB = c.DB
+	c.policies = policyc.For(s)
+	if c.metrics != nil {
+		c.metrics.RecordPolicyTable(c.policies.Counts())
+	}
+}
+
+// allowed dispatches one policy decision: the compiled closure when
+// available, the interpreter otherwise (or when compiled dispatch is
+// disabled). In oracle mode both engines run and must agree.
+func (c *Conn) allowed(cp *policyc.Policy, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
+	if c.interpret || cp == nil || !cp.Compiled() {
+		return c.ev.Allowed(p, model, doc, pol)
+	}
+	ok, err := cp.Eval(c.ev, p, doc)
+	if c.oracle {
+		return c.oracleCheck(ok, err, p, model, doc, pol)
+	}
+	return ok, err
+}
+
+// allowedIn is allowed with a prepared evaluation frame: the strip loop
+// binds principal and document once, then every field policy of the batch
+// skips frame setup. A nil frame falls back to the general path.
+func (c *Conn) allowedIn(f *policyc.Frame, cp *policyc.Policy, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
+	if f == nil || cp == nil || !cp.Compiled() {
+		return c.allowed(cp, p, model, doc, pol)
+	}
+	ok, err := cp.EvalIn(f)
+	if c.oracle {
+		return c.oracleCheck(ok, err, p, model, doc, pol)
+	}
+	return ok, err
+}
+
+// oracleCheck re-runs a compiled decision through the interpreter and
+// fails loudly on divergence (SetInterpretedOracle).
+func (c *Conn) oracleCheck(ok bool, err error, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
+	iok, ierr := c.ev.Allowed(p, model, doc, pol)
+	if ok != iok || (err == nil) != (ierr == nil) {
+		return false, fmt.Errorf(
+			"orm: compiled/interpreted divergence on %s policy for %s: compiled (%t, %v) vs interpreted (%t, %v)",
+			model, p, ok, err, iok, ierr)
+	}
+	return ok, err
 }
 
 // AsPrinc returns a handle performing operations on behalf of p.
@@ -169,8 +250,19 @@ func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
 		obj.fields = doc
 		return obj, nil
 	}
-	for _, f := range m.Fields {
-		ok, err := pr.conn.ev.Allowed(pr.p, m.Name, doc, f.Read)
+	mp := pr.conn.policies.Model(m.Name)
+	var frame *policyc.Frame
+	if !pr.conn.interpret && mp != nil {
+		frame = policyc.NewFrame(pr.conn.ev, pr.p)
+		frame.SetTarget(m.Name, doc)
+		defer frame.Release()
+	}
+	for i, f := range m.Fields {
+		var cp *policyc.Policy
+		if mp != nil {
+			cp = mp.FieldAt(i).Read
+		}
+		ok, err := pr.conn.allowedIn(frame, cp, pr.p, m.Name, doc, f.Read)
 		if err != nil {
 			return nil, fmt.Errorf("orm: evaluating %s.%s read policy: %w", m.Name, f.Name, err)
 		}
@@ -201,7 +293,11 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 	}
 	if pr.conn.enforcement {
 		// The create policy is evaluated on the candidate document.
-		ok, err := pr.conn.ev.Allowed(pr.p, model, fields, m.Create)
+		var cp *policyc.Policy
+		if mp := pr.conn.policies.Model(model); mp != nil {
+			cp = mp.Create
+		}
+		ok, err := pr.conn.allowed(cp, pr.p, model, fields, m.Create)
 		if err != nil {
 			return store.Nil, err
 		}
@@ -237,12 +333,19 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 		return fmt.Errorf("orm: no %s with id %v", model, id)
 	}
 	if pr.conn.enforcement {
+		mp := pr.conn.policies.Model(model)
 		for name := range fields {
 			f := m.Field(name)
 			if f == nil {
 				return fmt.Errorf("orm: unknown field %s.%s", model, name)
 			}
-			allowed, err := pr.conn.ev.Allowed(pr.p, model, doc, f.Write)
+			var cp *policyc.Policy
+			if mp != nil {
+				if fp := mp.Field(name); fp != nil {
+					cp = fp.Write
+				}
+			}
+			allowed, err := pr.conn.allowed(cp, pr.p, model, doc, f.Write)
 			if err != nil {
 				return err
 			}
@@ -271,7 +374,11 @@ func (pr *Princ) Delete(model string, id store.ID) error {
 		return fmt.Errorf("orm: no %s with id %v", model, id)
 	}
 	if pr.conn.enforcement {
-		allowed, err := pr.conn.ev.Allowed(pr.p, model, doc, m.Delete)
+		var cp *policyc.Policy
+		if mp := pr.conn.policies.Model(model); mp != nil {
+			cp = mp.Delete
+		}
+		allowed, err := pr.conn.allowed(cp, pr.p, model, doc, m.Delete)
 		if err != nil {
 			return err
 		}

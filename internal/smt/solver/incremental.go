@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"fmt"
+
+	"scooter/internal/smt/cnf"
+	"scooter/internal/smt/sat"
+	"scooter/internal/smt/term"
+)
+
+// Incremental (push/pop) solving. In incremental mode one Solver proves a
+// sequence of structurally related queries — e.g. the per-principal-kind
+// leakage checks of one migration command — and later checks reuse
+// everything the earlier ones learned: SAT clauses learned by conflict
+// analysis and, more valuably, theory lemmas (blockLits), which are facts
+// about the theory atoms alone and hold in every scope.
+//
+// Retraction uses selector guards rather than clause deletion: Push mints a
+// fresh boolean selector; every formula asserted inside the scope is
+// converted as (¬sel ∨ formula); Check solves under the assumption sel;
+// Pop permanently asserts ¬sel, satisfying all of the scope's clauses
+// vacuously. Selectors are plain boolean constants — isTheoryAtom excludes
+// OpConst, so they never reach the theory engines.
+//
+// Preprocessor side conditions ($ite purification guards) and arithmetic
+// equality splits are definitional/theory-valid, so they are asserted
+// unguarded and survive pops, like lemmas.
+
+// ensureInit builds the persistent engines on first use (or after a
+// one-shot Check discarded them).
+func (s *Solver) ensureInit() {
+	if s.sat != nil {
+		return
+	}
+	s.sat = sat.New()
+	s.conv = cnf.New(s.B, s.sat)
+	s.trueConst = s.B.Const("$true", term.Uninterp(boolTrueSortName))
+	s.pre = newPreprocessor(s.B)
+	s.converted, s.sideDone = 0, 0
+	s.splitEqs = map[term.T]bool{}
+	s.lemmas = 0
+}
+
+// Push opens a retractable assertion scope. Incremental mode only; on a
+// one-shot solver scopes have no effect beyond the guard overhead, since
+// every Check rebuilds from scratch.
+func (s *Solver) Push() {
+	s.ensureInit()
+	// Assertions made before this Push belong to the enclosing scope:
+	// convert them under the current guards before the new selector joins.
+	_ = s.flushAsserts()
+	s.selCount++
+	sel := s.B.Const(fmt.Sprintf("$scope%d", s.selCount), term.Bool)
+	s.sels = append(s.sels, sel)
+}
+
+// Pop retracts the innermost scope: its assertions are permanently
+// disabled, while clauses and lemmas learned from them remain (they are
+// guarded or globally valid, so they cannot taint later checks).
+func (s *Solver) Pop() {
+	if len(s.sels) == 0 {
+		return
+	}
+	sel := s.sels[len(s.sels)-1]
+	// Convert any still-pending assertions of this scope first, so their
+	// clauses carry the guard being retired rather than leaking into the
+	// enclosing scope at the next Check. A malformed pending assertion
+	// stays recorded in the preprocessor; the next Check reports it.
+	_ = s.flushAsserts()
+	s.sels = s.sels[:len(s.sels)-1]
+	s.conv.Assert(s.B.Not(sel))
+}
+
+// flushAsserts converts the not-yet-converted suffix of asserted formulas
+// (guarded by the active scopes), then any new preprocessor side
+// conditions and equality splits (unguarded; they are valid everywhere).
+func (s *Solver) flushAsserts() error {
+	for ; s.converted < len(s.asserted); s.converted++ {
+		rt := s.pre.rewrite(s.asserted[s.converted])
+		if s.pre.err != nil {
+			return s.pre.err
+		}
+		s.conv.Assert(s.guard(rt))
+	}
+	for ; s.sideDone < len(s.pre.sideConditions); s.sideDone++ {
+		s.conv.Assert(s.pre.sideConditions[s.sideDone])
+	}
+	s.addArithEqualitySplits()
+	return nil
+}
+
+// guard wraps t as (¬sel₁ ∨ … ∨ ¬selₙ ∨ t) for the active scopes.
+func (s *Solver) guard(t term.T) term.T {
+	if len(s.sels) == 0 {
+		return t
+	}
+	args := make([]term.T, 0, len(s.sels)+1)
+	for _, sel := range s.sels {
+		args = append(args, s.B.Not(sel))
+	}
+	args = append(args, t)
+	return s.B.Or(args...)
+}
+
+// CheckStats reports the SAT core's search effort for the last Check only.
+// On a one-shot solver this equals SATStats; on an incremental solver the
+// lifetime counters keep growing, and this subtracts the pre-Check
+// baseline.
+func (s *Solver) CheckStats() (conflicts, decisions, propagations int64) {
+	if s.sat == nil {
+		return 0, 0, 0
+	}
+	c, d, p := s.sat.Stats()
+	return c - s.baseConfl, d - s.baseDec, p - s.baseProps
+}
+
+// CheckRestarts reports the SAT restarts taken by the last Check only.
+func (s *Solver) CheckRestarts() int64 {
+	if s.sat == nil {
+		return 0
+	}
+	return s.sat.Restarts() - s.baseRestarts
+}
+
+// CheckTheoryChecks reports the theory checks run by the last Check only.
+func (s *Solver) CheckTheoryChecks() int {
+	return s.TheoryChecks - s.baseTheory
+}
+
+// ReusedLemmas reports how many theory lemmas the last Check inherited
+// from earlier checks on this solver — the incremental-solving payoff.
+// Zero on a one-shot solver (each Check starts empty).
+func (s *Solver) ReusedLemmas() int64 {
+	return s.reusedLemmas
+}

@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"testing"
+
+	"scooter/internal/smt/term"
+)
+
+func newInc() (*term.Builder, *Solver) {
+	b := term.NewBuilder()
+	s := New(b)
+	s.Incremental = true
+	return b, s
+}
+
+func TestIncrementalPopRetractsScope(t *testing.T) {
+	b, s := newInc()
+	u := term.Uninterp("U")
+	x, y := b.Const("x", u), b.Const("y", u)
+	s.Assert(b.Eq(x, y)) // base scope, permanent
+
+	s.Push()
+	s.Assert(b.Not(b.Eq(x, y)))
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("x=y and x!=y must be unsat")
+	}
+	s.Pop()
+
+	// With the contradiction retracted, the base formula is sat again.
+	if mustCheck(t, s) != Sat {
+		t.Fatal("base scope must be sat after pop")
+	}
+}
+
+func TestIncrementalSequentialScopes(t *testing.T) {
+	b, s := newInc()
+	x := b.Const("x", term.Int)
+	five := b.IntLit(5)
+	s.Assert(b.Le(five, x)) // x >= 5, permanent
+
+	s.Push()
+	s.Assert(b.Lt(x, b.IntLit(3))) // x < 3: contradiction
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("x>=5 and x<3 must be unsat")
+	}
+	s.Pop()
+
+	s.Push()
+	s.Assert(b.Lt(x, b.IntLit(10))) // x < 10: fine
+	if mustCheck(t, s) != Sat {
+		t.Fatal("x>=5 and x<10 must be sat")
+	}
+	s.Pop()
+
+	s.Push()
+	s.Assert(b.Eq(x, b.IntLit(2))) // x = 2: contradiction again
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("x>=5 and x=2 must be unsat")
+	}
+	s.Pop()
+}
+
+func TestIncrementalAssertBeforePushStaysPermanent(t *testing.T) {
+	b, s := newInc()
+	p := b.Const("p", term.Bool)
+	s.Push()
+	s.Assert(b.Not(p))
+	s.Pop()
+	// The scope was popped before any Check: its assertion must not leak
+	// into the base scope as a permanent clause.
+	s.Assert(p)
+	if mustCheck(t, s) != Sat {
+		t.Fatal("popped scope's assertion leaked into the base scope")
+	}
+}
+
+func TestIncrementalLemmaReuse(t *testing.T) {
+	b, s := newInc()
+	u := term.Uninterp("U")
+	x, y, z := b.Const("x", u), b.Const("y", u), b.Const("z", u)
+	fx, fy := b.App("f", u, x), b.App("f", u, y)
+	// Shared theory core: x=y and y=z, so congruence forces f(x)=f(y).
+	s.Assert(b.Eq(x, y))
+	s.Assert(b.Eq(y, z))
+
+	s.Push()
+	s.Assert(b.Not(b.Eq(fx, fy)))
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("congruence violation must be unsat")
+	}
+	s.Pop()
+	first := s.ReusedLemmas()
+	if first != 0 {
+		t.Fatalf("first check inherited %d lemmas, want 0", first)
+	}
+
+	s.Push()
+	s.Assert(b.Not(b.Eq(b.App("g", u, x), b.App("g", u, y))))
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("second congruence violation must be unsat")
+	}
+	s.Pop()
+	if s.ReusedLemmas() == 0 {
+		t.Fatal("second check inherited no lemmas from the first")
+	}
+}
+
+func TestIncrementalPerCheckStats(t *testing.T) {
+	b, s := newInc()
+	x := b.Const("x", term.Int)
+	s.Push()
+	s.Assert(b.Lt(x, b.IntLit(0)))
+	s.Assert(b.Lt(b.IntLit(0), x))
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("x<0 and x>0 must be unsat")
+	}
+	s.Pop()
+	firstTheory := s.CheckTheoryChecks()
+	if firstTheory == 0 {
+		t.Fatal("first check ran no theory checks")
+	}
+
+	s.Push()
+	// Pure SAT triviality: per-check theory effort must reset.
+	p := b.Const("p", term.Bool)
+	s.Assert(p)
+	if mustCheck(t, s) != Sat {
+		t.Fatal("p alone must be sat")
+	}
+	s.Pop()
+	if got := s.CheckTheoryChecks(); got > firstTheory {
+		t.Fatalf("per-check theory stats did not reset: %d after trivial check", got)
+	}
+	c, d, p2 := s.CheckStats()
+	if c < 0 || d < 0 || p2 < 0 {
+		t.Fatalf("negative per-check stats: %d %d %d", c, d, p2)
+	}
+}
+
+func TestIncrementalModelAfterSat(t *testing.T) {
+	b, s := newInc()
+	u := term.Uninterp("U")
+	x, y := b.Const("x", u), b.Const("y", u)
+
+	s.Push()
+	s.Assert(b.Eq(x, y))
+	s.Assert(b.Not(b.Eq(x, y)))
+	if mustCheck(t, s) != Unsat {
+		t.Fatal("contradiction must be unsat")
+	}
+	s.Pop()
+
+	s.Push()
+	s.Assert(b.Not(b.Eq(x, y)))
+	if mustCheck(t, s) != Sat {
+		t.Fatal("x!=y alone must be sat")
+	}
+	m := s.Model()
+	if m == nil {
+		t.Fatal("sat check produced no model")
+	}
+	if m.SameClass(x, y) {
+		t.Fatal("model merges x and y despite x!=y")
+	}
+	s.Pop()
+}

@@ -102,7 +102,14 @@ type Collection struct {
 	docs    map[ID]Doc
 	db      *DB
 	indexes map[string]*fieldIndex
+	dropped atomic.Bool
 }
+
+// Dropped reports whether the collection has been removed from its
+// database. Callers holding a *Collection across operations (e.g. the
+// policy compiler's per-site inline caches) use this to detect staleness:
+// a dropped name re-created later yields a fresh *Collection.
+func (c *Collection) Dropped() bool { return c.dropped.Load() }
 
 // MutationOp identifies the kind of state change a Mutation records.
 type MutationOp uint8
@@ -239,7 +246,8 @@ func (db *DB) Collection(name string) *Collection {
 func (db *DB) DropCollection(name string) {
 	db.mu.Lock()
 	var wait WaitFunc
-	if _, ok := db.colls[name]; ok {
+	if c, ok := db.colls[name]; ok {
+		c.dropped.Store(true)
 		delete(db.colls, name)
 		wait = db.logMutation(Mutation{Op: MutDropCollection, Coll: name})
 	}
@@ -577,4 +585,18 @@ func (c *Collection) Peek(id ID, fn func(Doc)) bool {
 	}
 	fn(d)
 	return true
+}
+
+// PeekMatch reports whether the document exists and whether it matches
+// every filter, without cloning and without a callback. This is the
+// compiled policy engine's Find-membership probe: Peek's closure and defer
+// are measurable at that call frequency.
+func (c *Collection) PeekMatch(id ID, filters []Filter) (found, matched bool) {
+	c.mu.RLock()
+	d, found := c.docs[id]
+	if found {
+		matched = matchAll(d, filters)
+	}
+	c.mu.RUnlock()
+	return found, matched
 }

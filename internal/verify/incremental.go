@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"scooter/internal/ast"
+	"scooter/internal/lower"
+	"scooter/internal/smt/solver"
+)
+
+// checkFlowStrictnessIncremental is the Incremental-mode counterpart of
+// checkFlowStrictness: instead of one fresh solver per principal kind, the
+// kinds that miss the caches are lowered over ONE shared context
+// (lower.BuildCrossLeakageQuerySet) and proved sequentially on ONE
+// push/pop solver, so the structurally shared core of the queries carries
+// learned clauses and theory lemmas from each proof into the next.
+//
+// Cache keys must not depend on the solving mode — a verdict proved
+// incrementally has to answer for a one-shot run of the same spec history
+// and vice versa. The shared-context queries of the set are NOT key-stable
+// (each kind's formula mentions the literals its siblings interned), so
+// keys come from a cheap standalone per-kind lowering, exactly what the
+// one-shot path fingerprints; the query set is used only for solving.
+func (c *Checker) checkFlowStrictnessIncremental(dstModel string, dstRead ast.Policy, srcModel string, srcRead ast.Policy) (*Result, error) {
+	kinds := lower.PrincipalKinds(c.Schema)
+	results := make([]*Result, len(kinds))
+	keys := make([]CacheKey, len(kinds))
+	var missIdx []int
+
+	for i, kind := range kinds {
+		start := time.Now()
+		ctx := lower.NewContext(c.Schema, c.Defs)
+		q, err := lower.BuildCrossLeakageQuery(ctx, dstModel, dstRead, srcModel, srcRead, kind)
+		if err != nil {
+			return nil, fmt.Errorf("lowering flow %s -> %s for principal kind %s: %w", srcModel, dstModel, kind, err)
+		}
+		keys[i] = QueryKey(q, c.SolverRounds, c.DisableCoreMinimization)
+		if c.Cache != nil {
+			if res, ok := c.Cache.Lookup(keys[i]); ok {
+				c.Stats.recordHit()
+				c.Persist.Put(keys[i], res)
+				results[i] = &res
+				c.observeProof(keys[i], kind, &res, true, nil, start)
+				continue
+			}
+			c.Stats.recordMiss()
+		}
+		if c.Persist != nil {
+			if res, ok := c.Persist.Lookup(keys[i]); ok {
+				c.Stats.recordPersistHit()
+				if c.Cache != nil {
+					c.Cache.Insert(keys[i], res)
+				}
+				results[i] = &res
+				c.observeProof(keys[i], kind, &res, true, nil, start)
+				continue
+			}
+			c.Stats.recordPersistMiss()
+		}
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missIdx) > 0 {
+		missKinds := make([]lower.PrincipalKind, len(missIdx))
+		for j, i := range missIdx {
+			missKinds[j] = kinds[i]
+		}
+		ctx := lower.NewContext(c.Schema, c.Defs)
+		queries, err := lower.BuildCrossLeakageQuerySet(ctx, dstModel, dstRead, srcModel, srcRead, missKinds)
+		if err != nil {
+			return nil, fmt.Errorf("lowering flow %s -> %s incrementally: %w", srcModel, dstModel, err)
+		}
+		s := solver.New(ctx.B)
+		s.Incremental = true
+		s.MaxRounds = c.SolverRounds
+		s.MaxConflicts = c.SolverConflicts
+		s.Limits = c.Limits
+		s.DisableCoreMinimization = c.DisableCoreMinimization
+		s.Metrics = c.SolverMetrics
+		for j, q := range queries {
+			i := missIdx[j]
+			start := time.Now()
+			if ex := c.Limits.Expired(); ex != nil {
+				results[i] = &Result{Verdict: Inconclusive, Kind: q.Kind, Incomplete: true, Why: ex}
+				c.observeProof(keys[i], q.Kind, results[i], false, nil, start)
+				continue
+			}
+			s.Push()
+			s.Assert(q.Formula)
+			status, serr := s.Check()
+			conflicts, decisions, props := s.CheckStats()
+			c.Stats.recordSolve(s.Rounds, s.CheckTheoryChecks(), conflicts, decisions, props, s.CheckRestarts(), s.ReusedLemmas())
+			if serr != nil {
+				return nil, fmt.Errorf("solving flow %s -> %s for principal kind %s: %w", srcModel, dstModel, q.Kind, serr)
+			}
+			switch status {
+			case solver.Unsat:
+				results[i] = &Result{Verdict: Safe, Incomplete: q.Incomplete}
+			case solver.Unknown:
+				results[i] = &Result{Verdict: Inconclusive, Kind: q.Kind, Incomplete: true, Why: s.Exhaustion()}
+			case solver.Sat:
+				ce := renderCounterexample(c.Schema, q, s.Model())
+				results[i] = &Result{Verdict: Violation, Kind: q.Kind, Counterexample: ce, Incomplete: q.Incomplete}
+			}
+			s.Pop()
+			if c.Cache != nil {
+				c.Cache.Insert(keys[i], *results[i])
+			}
+			c.Persist.Put(keys[i], *results[i])
+			c.observeProof(keys[i], q.Kind, results[i], false, s, start)
+		}
+	}
+
+	incomplete := false
+	for _, r := range results {
+		if r.Verdict != Safe {
+			return r, nil
+		}
+		incomplete = incomplete || r.Incomplete
+	}
+	return &Result{Verdict: Safe, Incomplete: incomplete}, nil
+}

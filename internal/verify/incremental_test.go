@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestIncrementalAgreesWithOneShot runs the same strictness checks through
+// a one-shot checker and an incremental one: verdicts must agree pairwise
+// on every policy pair, safe or violating.
+func TestIncrementalAgreesWithOneShot(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	pairs := [][2]string{
+		{`public`, `public`},
+		{`public`, `u -> [u]`},
+		{`u -> [u]`, `public`},
+		{`u -> [u] + u.followers`, `u -> [u]`},
+		{`u -> [u]`, `u -> [u] + u.followers`},
+		{`u -> [u] + User::Find({isAdmin: true})`, `u -> [u]`},
+		{`u -> [u]`, `u -> [u] + User::Find({isAdmin: true})`},
+		{`none`, `u -> [Unauthenticated]`},
+		{`u -> [Unauthenticated]`, `none`},
+		{`u -> if u.isAdmin then [u] else []`, `u -> [u]`},
+		{`u -> [u]`, `u -> if u.isAdmin then [u] else []`},
+		{`u -> User::Find({adminLevel: 3})`, `u -> User::Find({adminLevel: 4})`},
+		{`u -> User::Find({isAdmin: true, adminLevel: 3})`, `u -> User::Find({isAdmin: true})`},
+	}
+	for _, pair := range pairs {
+		oneShot := New(s, nil)
+		incr := New(s, nil)
+		incr.Incremental = true
+		pOld := policyOn(t, s, "User", pair[0])
+		pNew := policyOn(t, s, "User", pair[1])
+		r1, err := oneShot.CheckStrictness("User", pOld, pNew)
+		if err != nil {
+			t.Fatalf("one-shot %q -> %q: %v", pair[0], pair[1], err)
+		}
+		r2, err := incr.CheckStrictness("User", pOld, pNew)
+		if err != nil {
+			t.Fatalf("incremental %q -> %q: %v", pair[0], pair[1], err)
+		}
+		if r1.Verdict != r2.Verdict {
+			t.Errorf("%q -> %q: one-shot %v, incremental %v", pair[0], pair[1], r1.Verdict, r2.Verdict)
+		}
+		if (r1.Counterexample == nil) != (r2.Counterexample == nil) {
+			t.Errorf("%q -> %q: counterexample presence differs", pair[0], pair[1])
+		}
+	}
+}
+
+// TestIncrementalReusesLemmas checks the point of incremental solving: the
+// per-kind proofs of one check share a solver, and later kinds inherit the
+// theory lemmas of earlier ones on at least some non-trivial checks.
+func TestIncrementalReusesLemmas(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	stats := &Stats{}
+	c := New(s, nil)
+	c.Incremental = true
+	c.Stats = stats
+	// Pairs whose queries need real refinement (arithmetic filters force
+	// blocked assignments); trivial pairs resolve in round zero and have
+	// nothing to share.
+	for _, pair := range [][2]string{
+		{`u -> User::Find({adminLevel: 3})`, `u -> User::Find({adminLevel: 4})`},
+		{`u -> User::Find({adminLevel: 4})`, `u -> User::Find({adminLevel: 5})`},
+	} {
+		if _, err := c.CheckStrictness("User",
+			policyOn(t, s, "User", pair[0]), policyOn(t, s, "User", pair[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := stats.Snapshot()
+	if snap.QueriesSolved == 0 {
+		t.Fatal("no queries solved")
+	}
+	if snap.ReusedLemmas == 0 {
+		t.Fatal("incremental checks inherited no theory lemmas")
+	}
+}
+
+// TestIncrementalWithCachesSharesVerdicts runs the incremental path with
+// both cache tiers attached: the second pass must be answered entirely
+// from the memory cache, and a third pass on a fresh checker entirely from
+// the persistent store — with the same verdicts throughout.
+func TestIncrementalWithCachesSharesVerdicts(t *testing.T) {
+	s := loadSchema(t, chitterSchema)
+	path := filepath.Join(t.TempDir(), "v.db")
+	pairs := [][2]string{
+		{`u -> [u]`, `public`},
+		{`public`, `u -> [u]`},
+	}
+
+	d, err := OpenVerdictDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &Stats{}
+	c := New(s, nil)
+	c.Incremental = true
+	c.Cache = NewCache(0)
+	c.Persist = d
+	c.Stats = stats
+	var first []*Result
+	for _, pair := range pairs {
+		res, err := c.CheckStrictness("User",
+			policyOn(t, s, "User", pair[0]), policyOn(t, s, "User", pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, res)
+	}
+	solvedCold := stats.Snapshot().QueriesSolved
+	if solvedCold == 0 {
+		t.Fatal("cold pass solved nothing")
+	}
+	for _, pair := range pairs {
+		if _, err := c.CheckStrictness("User",
+			policyOn(t, s, "User", pair[0]), policyOn(t, s, "User", pair[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stats.Snapshot().QueriesSolved; got != solvedCold {
+		t.Fatalf("memory-warm pass solved %d extra queries", got-solvedCold)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenVerdictDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	stats2 := &Stats{}
+	c2 := New(s, nil)
+	c2.Incremental = true
+	c2.Persist = d2
+	c2.Stats = stats2
+	for i, pair := range pairs {
+		res, err := c2.CheckStrictness("User",
+			policyOn(t, s, "User", pair[0]), policyOn(t, s, "User", pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != first[i].Verdict {
+			t.Fatalf("pair %d: persisted verdict %v, original %v", i, res.Verdict, first[i].Verdict)
+		}
+	}
+	snap2 := stats2.Snapshot()
+	if snap2.QueriesSolved != 0 {
+		t.Fatalf("persist-warm pass solved %d queries, want 0", snap2.QueriesSolved)
+	}
+	if snap2.PersistMisses != 0 {
+		t.Fatalf("persist-warm pass missed %d times, want 0", snap2.PersistMisses)
+	}
+}

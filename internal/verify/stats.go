@@ -23,6 +23,10 @@ type Snapshot struct {
 	// CacheHits / CacheMisses count verdict-cache lookups. Misses are
 	// counted only when a cache is attached.
 	CacheHits, CacheMisses int64
+	// PersistHits / PersistMisses count persistent verdict-store lookups
+	// (only when a VerdictDB is attached). A memory-cache hit never reaches
+	// the persistent store, so these count the colder tier only.
+	PersistHits, PersistMisses int64
 	// QueriesSolved counts leakage queries actually handed to the SMT
 	// solver (cache hits skip the solver entirely).
 	QueriesSolved int64
@@ -31,6 +35,10 @@ type Snapshot struct {
 	// the SAT core.
 	SolverRounds, TheoryChecks                   int64
 	Conflicts, Decisions, Propagations, Restarts int64
+	// ReusedLemmas counts theory lemmas inherited by incremental checks
+	// from earlier checks on the same shared solver (zero when the
+	// incremental solver is off).
+	ReusedLemmas int64
 }
 
 // Snapshot returns a consistent copy of the current counters: every query
@@ -50,6 +58,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
 		CacheHits:     s.CacheHits - prev.CacheHits,
 		CacheMisses:   s.CacheMisses - prev.CacheMisses,
+		PersistHits:   s.PersistHits - prev.PersistHits,
+		PersistMisses: s.PersistMisses - prev.PersistMisses,
 		QueriesSolved: s.QueriesSolved - prev.QueriesSolved,
 		SolverRounds:  s.SolverRounds - prev.SolverRounds,
 		TheoryChecks:  s.TheoryChecks - prev.TheoryChecks,
@@ -57,6 +67,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Decisions:     s.Decisions - prev.Decisions,
 		Propagations:  s.Propagations - prev.Propagations,
 		Restarts:      s.Restarts - prev.Restarts,
+		ReusedLemmas:  s.ReusedLemmas - prev.ReusedLemmas,
 	}
 }
 
@@ -68,7 +79,7 @@ func (s Snapshot) String() string {
 }
 
 // recordSolve accumulates one solver run as a unit. Nil-safe.
-func (s *Stats) recordSolve(rounds, theoryChecks int, conflicts, decisions, propagations, restarts int64) {
+func (s *Stats) recordSolve(rounds, theoryChecks int, conflicts, decisions, propagations, restarts, reused int64) {
 	if s == nil {
 		return
 	}
@@ -81,6 +92,7 @@ func (s *Stats) recordSolve(rounds, theoryChecks int, conflicts, decisions, prop
 	s.snap.Decisions += decisions
 	s.snap.Propagations += propagations
 	s.snap.Restarts += restarts
+	s.snap.ReusedLemmas += reused
 }
 
 func (s *Stats) recordHit() {
@@ -98,5 +110,23 @@ func (s *Stats) recordMiss() {
 	}
 	s.mu.Lock()
 	s.snap.CacheMisses++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordPersistHit() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap.PersistHits++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordPersistMiss() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.snap.PersistMisses++
 	s.mu.Unlock()
 }

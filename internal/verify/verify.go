@@ -87,6 +87,16 @@ type Checker struct {
 	// fingerprint (alpha-equivalent queries share an entry). Violation
 	// entries retain the rendered counterexample.
 	Cache *Cache
+	// Persist, when set, is the disk-backed verdict store consulted after a
+	// memory-cache miss and appended to after every definitive verdict (and
+	// after memory-cache hits, so a store attached mid-history still ends up
+	// complete). Shares CacheKey with Cache.
+	Persist *VerdictDB
+	// Incremental, when set, proves the per-kind queries of each strictness
+	// check on one shared solver using push/pop scopes, so structurally
+	// related proofs reuse learned theory lemmas. Kinds run sequentially in
+	// this mode (the solver is stateful).
+	Incremental bool
 	// Stats, when set, accumulates query/solver counters.
 	Stats *Stats
 	// Metrics, when set, observes each proof (count, wall time, Unknown
@@ -138,6 +148,9 @@ func (c *Checker) CheckEquivalence(model string, p1, p2 ast.Policy) (bool, error
 // independent (each owns its term builder and solver), so they run
 // concurrently. Results are reported in kind order for determinism.
 func (c *Checker) checkFlowStrictness(dstModel string, dstRead ast.Policy, srcModel string, srcRead ast.Policy) (*Result, error) {
+	if c.Incremental {
+		return c.checkFlowStrictnessIncremental(dstModel, dstRead, srcModel, srcRead)
+	}
 	kinds := lower.PrincipalKinds(c.Schema)
 	type kindResult struct {
 		res *Result
@@ -187,17 +200,32 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 		return
 	}
 	var key CacheKey
-	if c.Cache != nil || c.Trace != nil {
+	if c.Cache != nil || c.Persist != nil || c.Trace != nil {
 		key = QueryKey(q, c.SolverRounds, c.DisableCoreMinimization)
 	}
 	if c.Cache != nil {
 		if res, ok := c.Cache.Lookup(key); ok {
 			c.Stats.recordHit()
+			// Re-put so a store attached after the memory cache warmed up
+			// still captures the verdict (Put dedups).
+			c.Persist.Put(key, res)
 			out.res = &res
 			c.observeProof(key, kind, &res, true, nil, start)
 			return
 		}
 		c.Stats.recordMiss()
+	}
+	if c.Persist != nil {
+		if res, ok := c.Persist.Lookup(key); ok {
+			c.Stats.recordPersistHit()
+			if c.Cache != nil {
+				c.Cache.Insert(key, res)
+			}
+			out.res = &res
+			c.observeProof(key, kind, &res, true, nil, start)
+			return
+		}
+		c.Stats.recordPersistMiss()
 	}
 	if ex := c.Limits.Expired(); ex != nil {
 		// The budget was gone before solving started; report it without
@@ -214,8 +242,8 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 	s.Metrics = c.SolverMetrics
 	s.Assert(q.Formula)
 	status, serr := s.Check()
-	conflicts, decisions, props := s.SATStats()
-	c.Stats.recordSolve(s.Rounds, s.TheoryChecks, conflicts, decisions, props, s.SATRestarts())
+	conflicts, decisions, props := s.CheckStats()
+	c.Stats.recordSolve(s.Rounds, s.CheckTheoryChecks(), conflicts, decisions, props, s.CheckRestarts(), s.ReusedLemmas())
 	if serr != nil {
 		out.err = fmt.Errorf("solving flow %s -> %s for principal kind %s: %w", srcModel, dstModel, kind, serr)
 		return
@@ -232,6 +260,7 @@ func (c *Checker) checkKind(dstModel string, dstRead ast.Policy, srcModel string
 	if c.Cache != nil {
 		c.Cache.Insert(key, *out.res)
 	}
+	c.Persist.Put(key, *out.res)
 	c.observeProof(key, kind, out.res, false, s, start)
 	return
 }
@@ -263,9 +292,10 @@ func (c *Checker) observeProof(key CacheKey, kind lower.PrincipalKind, res *Resu
 	}
 	if solved != nil {
 		ev.Rounds = solved.Rounds
-		ev.TheoryChecks = solved.TheoryChecks
-		ev.Conflicts, ev.Decisions, ev.Propagations = solved.SATStats()
-		ev.Restarts = solved.SATRestarts()
+		ev.TheoryChecks = solved.CheckTheoryChecks()
+		ev.Conflicts, ev.Decisions, ev.Propagations = solved.CheckStats()
+		ev.Restarts = solved.CheckRestarts()
+		ev.ReusedLemmas = solved.ReusedLemmas()
 	}
 	c.Trace.Emit(ev)
 }

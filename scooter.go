@@ -135,7 +135,10 @@ type Workspace struct {
 	reg *obs.Registry
 	// cache memoizes strictness verdicts across this workspace's migrations
 	// (hit/miss/eviction counters are read from it at scrape time).
-	cache         *verify.Cache
+	cache *verify.Cache
+	// verdictDB, when attached, persists verdicts across processes;
+	// Migrate calls default to it like they default to the cache.
+	verdictDB     *verify.VerdictDB
 	verifyMetrics *obs.VerifyMetrics
 	solverMetrics *obs.SolverMetrics
 	ormMetrics    *obs.ORMMetrics
@@ -189,6 +192,9 @@ func (w *Workspace) fillObsDefaults(opts *Options) {
 	if opts.Cache == nil {
 		opts.Cache = w.cache
 	}
+	if opts.VerdictDB == nil {
+		opts.VerdictDB = w.verdictDB
+	}
 	if opts.Metrics == nil {
 		opts.Metrics = w.verifyMetrics
 	}
@@ -196,6 +202,31 @@ func (w *Workspace) fillObsDefaults(opts *Options) {
 		opts.SolverMetrics = w.solverMetrics
 	}
 }
+
+// AttachVerdictDB opens (creating if absent) the persistent verdict store
+// at path and makes it the default for this workspace's migrations, with
+// its hit/miss/corruption counters exposed in the metrics registry. Call
+// CloseVerdictDB (or Close the workspace) when done.
+func (w *Workspace) AttachVerdictDB(path string) error {
+	vdb, err := verify.OpenVerdictDB(path)
+	if err != nil {
+		return err
+	}
+	w.verdictDB = vdb
+	w.reg.CounterFunc("scooter_verify_persist_hits_total",
+		"Strictness verdicts answered from the persistent verdict store.",
+		func() float64 { h, _, _ := vdb.Counters(); return float64(h) })
+	w.reg.CounterFunc("scooter_verify_persist_misses_total",
+		"Strictness queries that missed the persistent verdict store.",
+		func() float64 { _, m, _ := vdb.Counters(); return float64(m) })
+	w.reg.CounterFunc("scooter_verify_persist_corrupt_total",
+		"Corrupt records skipped (or torn tails truncated) loading the persistent verdict store.",
+		func() float64 { _, _, c := vdb.Counters(); return float64(c) })
+	return nil
+}
+
+// VerdictDB returns the attached persistent verdict store, or nil.
+func (w *Workspace) VerdictDB() *verify.VerdictDB { return w.verdictDB }
 
 // NewWorkspace returns a workspace with an empty specification and a fresh
 // in-memory database.
@@ -247,6 +278,11 @@ func (w *Workspace) Close() error {
 	}
 	if w.wal != nil {
 		if err := w.wal.Close(); first == nil {
+			first = err
+		}
+	}
+	if w.verdictDB != nil {
+		if err := w.verdictDB.Close(); first == nil {
 			first = err
 		}
 	}
