@@ -15,6 +15,12 @@
 // the full history in order (the specification is reconstructed by
 // replaying them). -fsync selects the log's durability mode.
 //
+// -online makes -apply run backfills in bounded batches with per-document
+// watermark checkpoints, so a crash resumes mid-collection and concurrent
+// readers of the store are never blocked for longer than one batch;
+// -batch-size bounds each batch and -rate caps backfill throughput in
+// documents per second.
+//
 // -solver-rounds tunes the per-query SMT round budget, -cache-size bounds
 // the verdict cache shared across all scripts on the command line (0
 // disables it), and -stats prints cache/solver counters on exit.
@@ -91,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	applyMode := fs.Bool("apply", false, "verify and durably apply the scripts against the store in -data-dir")
 	dataDir := fs.String("data-dir", "", "write-ahead log directory for -apply")
 	fsyncMode := fs.String("fsync", "always", "fsync policy for -apply: always, batch, or never")
+	online := fs.Bool("online", false, "apply backfills in batched, resumable steps so live traffic interleaves (requires -apply)")
+	batchSize := fs.Int("batch-size", 0, "documents per online backfill batch (0 = default)")
+	rate := fs.Int("rate", 0, "online backfill throughput cap in documents/second (0 = unpaced)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -162,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Sequential proofs give the trace a deterministic event order.
 		opts.Sequential = true
 	}
+	opts.Online = *online
+	opts.BatchSize = *batchSize
+	opts.Rate = *rate
 	var code int
 	if *applyMode {
 		code = applyScripts(*dataDir, *fsyncMode, fs.Args(), opts, stdout, stderr)

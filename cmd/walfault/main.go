@@ -11,6 +11,7 @@
 //	walfault -ops N      # workload size (default 40)
 //	walfault -trials N   # bound the sweep to N trials (0 = exhaustive)
 //	walfault -seed S     # which N trials the bound picks (default 1)
+//	walfault -online     # sweep crashes through an online migration instead
 //
 // With -trials the sweep runs a deterministic random subset: the full
 // candidate list is shuffled by -seed and the first N are run, so a bounded
@@ -100,6 +101,7 @@ func main() {
 	nOps := flag.Int("ops", 40, "workload size in single-record operations")
 	maxTrials := flag.Int("trials", 0, "run at most this many fault trials, sampled deterministically (0 = every offset)")
 	seed := flag.Int64("seed", 1, "seed selecting which trials a bounded run picks")
+	online := flag.Bool("online", false, "sweep crashes through an online batched migration with foreground traffic")
 	flag.Parse()
 
 	work := *dir
@@ -110,6 +112,11 @@ func main() {
 			fatal("%v", err)
 		}
 		defer os.RemoveAll(work)
+	}
+
+	if *online {
+		runOnline(work, *maxTrials, *seed)
+		return
 	}
 
 	ops := workload(*nOps)

@@ -1,0 +1,368 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"scooter"
+	"scooter/internal/store/wal"
+)
+
+// The -online mode sweeps crashes through an online (batched, watermarked)
+// migration with foreground traffic interleaved at every batch boundary.
+// Each trial truncates the log at one byte offset inside the migration
+// window, recovers, lets the migration resume, re-issues the foreground
+// traffic idempotently, and requires the final database — `$migrations`
+// and `$spec` included — to hash byte-identically to the uninterrupted
+// run. A separate smoke then races live reader/writer goroutines against
+// the backfill (meaningful under `go run -race`).
+//
+// The foreground workload is chosen so replay is timing-free: inserts
+// carry the new field explicitly (so they need no lazy derivation and can
+// be re-issued after the window closes), updates touch fields in ways the
+// convergence argument covers for any interleaving with the sweep, and
+// every op is guarded or idempotent so re-issuing the full list after a
+// partial prefix survived lands on the same state.
+
+const onlineBase = `
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal User {
+  create: _ -> [Unauthenticated],
+  delete: public,
+  name: String { read: public, write: public },
+  age: I64 { read: public, write: public },
+});
+`
+
+const onlineBio = `
+User::AddField(bio : String { read: public, write: public }, u -> "I'm " + u.name);
+`
+
+func onlineOpts() scooter.Options {
+	o := scooter.DefaultOptions()
+	o.SkipVerification = true
+	o.Clock = func() time.Time { return time.Unix(1700000000, 0) }
+	return o
+}
+
+// fgOp is one foreground operation issued during the migration window.
+// Re-issuing the whole list in order after recovery must be idempotent:
+// inserts are guarded by name, deletes by existence, updates overwrite.
+type fgOp struct {
+	kind string // "insert", "age", "name", "delete"
+	name string // inserted user's name (kind "insert")
+	idx  int    // seed index targeted (other kinds)
+	val  int64  // new age (kind "age")
+}
+
+// onlineTraffic is the deterministic foreground workload, two ops per
+// batch boundary. Inserts spell out bio explicitly — a writer that already
+// speaks the new shape — so replaying one after the window closed produces
+// the same document the live run did.
+func onlineTraffic() [][]fgOp {
+	return [][]fgOp{
+		{{kind: "age", idx: 1, val: 91}, {kind: "insert", name: "fg0"}},
+		{{kind: "name", idx: 9}, {kind: "age", idx: 2, val: 92}},
+		{{kind: "insert", name: "fg1"}, {kind: "delete", idx: 12}},
+		{{kind: "age", idx: 3, val: 93}, {kind: "insert", name: "fg2"}},
+		{{kind: "name", idx: 5}, {kind: "age", idx: 1, val: 94}},
+	}
+}
+
+func issueOp(pr *scooter.Princ, o fgOp, ids []scooter.ID) error {
+	switch o.kind {
+	case "insert":
+		// Guard: the insert may already be durable from before the crash.
+		got, err := pr.Find("User", scooter.Eq("name", o.name))
+		if err != nil {
+			return err
+		}
+		if len(got) > 0 {
+			return nil
+		}
+		_, err = pr.Insert("User", scooter.Doc{
+			"name": o.name, "age": int64(50), "bio": "I'm " + o.name,
+		})
+		return err
+	case "age":
+		return pr.Update("User", ids[o.idx], scooter.Doc{"age": o.val})
+	case "name":
+		return pr.Update("User", ids[o.idx], scooter.Doc{"name": fmt.Sprintf("renamed%d", o.idx)})
+	case "delete":
+		obj, err := pr.FindByID("User", ids[o.idx])
+		if err != nil {
+			return err
+		}
+		if obj == nil {
+			return nil
+		}
+		return pr.Delete("User", ids[o.idx])
+	}
+	return fmt.Errorf("unknown op %q", o.kind)
+}
+
+// runOnline is the -online entry point: the truncation sweep, then the
+// live-concurrency smoke.
+func runOnline(work string, maxTrials int, seed int64) {
+	const nSeed = 16
+
+	// Pristine run: bootstrap + seed durably, note where the migration
+	// window starts in the segment, then migrate online with traffic at
+	// every batch boundary.
+	pristine := filepath.Join(work, "online-pristine")
+	w, err := scooter.OpenDurable(pristine, scooter.DurabilityOptions{CompactAfterBytes: -1})
+	if err != nil {
+		fatal("online: open pristine: %v", err)
+	}
+	if _, err := w.MigrateNamedOpts("000_base", onlineBase, onlineOpts()); err != nil {
+		fatal("online: bootstrap: %v", err)
+	}
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	ids := make([]scooter.ID, nSeed)
+	for i := range ids {
+		if ids[i], err = anon.Insert("User", scooter.Doc{
+			"name": fmt.Sprintf("u%03d", i), "age": int64(20 + i),
+		}); err != nil {
+			fatal("online: seed: %v", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		fatal("online: sync: %v", err)
+	}
+	seg := wal.SegmentName(1)
+	bootLen := fileSize(filepath.Join(pristine, seg))
+
+	groups := onlineTraffic()
+	next := 0
+	opts := onlineOpts()
+	opts.Online = true
+	opts.BatchSize = 4
+	opts.OnBatch = func(model, field string, watermark scooter.ID, remaining int) error {
+		if next < len(groups) {
+			for _, o := range groups[next] {
+				if err := issueOp(anon, o, ids); err != nil {
+					return fmt.Errorf("boundary %d: %w", next, err)
+				}
+			}
+			next++
+		}
+		return nil
+	}
+	if _, err := w.MigrateNamedOpts("001_bio", onlineBio, opts); err != nil {
+		fatal("online: migrate: %v", err)
+	}
+	// Any groups the batch count didn't reach run after the window, in
+	// both the pristine run and every replay.
+	for ; next < len(groups); next++ {
+		for _, o := range groups[next] {
+			if err := issueOp(anon, o, ids); err != nil {
+				fatal("online: post-window traffic: %v", err)
+			}
+		}
+	}
+	if err := w.Sync(); err != nil {
+		fatal("online: sync: %v", err)
+	}
+	_, wantHash, err := w.StateHash()
+	if err != nil {
+		fatal("online: hash: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		fatal("online: close pristine: %v", err)
+	}
+	full, err := os.ReadFile(filepath.Join(pristine, seg))
+	if err != nil {
+		fatal("online: %v", err)
+	}
+
+	// Candidate kill points: every byte the migration window wrote.
+	offsets := make([]int, 0, len(full)-int(bootLen)+1)
+	for off := int(bootLen); off <= len(full); off++ {
+		offsets = append(offsets, off)
+	}
+	if maxTrials > 0 && maxTrials < len(offsets) {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(offsets), func(i, j int) { offsets[i], offsets[j] = offsets[j], offsets[i] })
+		offsets = offsets[:maxTrials]
+		fmt.Printf("online: bounded run, %d of the possible kill points (seed %d)\n", len(offsets), seed)
+	}
+	for _, off := range offsets {
+		runOnlineTrial(work, pristine, seg, full, off, ids, groups, wantHash)
+	}
+	fmt.Printf("online: %d kill points converged byte-identically\n", len(offsets))
+
+	onlineLiveSmoke(work)
+	fmt.Println("all recovered")
+}
+
+// runOnlineTrial kills the pristine run at one byte offset, recovers,
+// resumes the migration, re-issues the traffic, and compares hashes.
+func runOnlineTrial(work, pristine, seg string, full []byte, off int, ids []scooter.ID, groups [][]fgOp, wantHash string) {
+	trial := filepath.Join(work, "online-trial")
+	if err := os.RemoveAll(trial); err != nil {
+		fatal("%v", err)
+	}
+	if err := os.CopyFS(trial, os.DirFS(pristine)); err != nil {
+		fatal("online clone: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(trial, seg), full[:off:off], 0o644); err != nil {
+		fatal("%v", err)
+	}
+
+	w, err := scooter.OpenDurable(trial, scooter.DurabilityOptions{CompactAfterBytes: -1})
+	if err != nil {
+		fatal("online@%d: recovery failed: %v", off, err)
+	}
+	if _, err := w.MigrateNamedOpts("000_base", onlineBase, onlineOpts()); err != nil {
+		fatal("online@%d: bootstrap replay: %v", off, err)
+	}
+	opts := onlineOpts()
+	opts.Online = true
+	opts.BatchSize = 4
+	if _, err := w.MigrateNamedOpts("001_bio", onlineBio, opts); err != nil {
+		fatal("online@%d: resume: %v", off, err)
+	}
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	for g, ops := range groups {
+		for _, o := range ops {
+			if err := issueOp(anon, o, ids); err != nil {
+				fatal("online@%d: re-issue group %d: %v", off, g, err)
+			}
+		}
+	}
+	if err := w.Sync(); err != nil {
+		fatal("online@%d: sync: %v", off, err)
+	}
+	_, got, err := w.StateHash()
+	if err != nil {
+		fatal("online@%d: hash: %v", off, err)
+	}
+	if got != wantHash {
+		fatal("online@%d: state after crash+resume diverges from uninterrupted run (%s != %s)", off, got, wantHash)
+	}
+	if err := w.Close(); err != nil {
+		fatal("online@%d: close: %v", off, err)
+	}
+}
+
+// onlineLiveSmoke races live reader and writer goroutines against a paced
+// online backfill and checks the invariants the dual-read window promises:
+// no operation fails, every read is well-formed, and the collection
+// converges to fully backfilled. Run the binary under -race to make the
+// scheduler interleavings count.
+func onlineLiveSmoke(work string) {
+	const nSeed = 200
+	dir := filepath.Join(work, "online-live")
+	w, err := scooter.OpenDurable(dir, scooter.DurabilityOptions{CompactAfterBytes: -1})
+	if err != nil {
+		fatal("online live: %v", err)
+	}
+	if _, err := w.MigrateNamedOpts("000_base", onlineBase, onlineOpts()); err != nil {
+		fatal("online live: bootstrap: %v", err)
+	}
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	ids := make([]scooter.ID, nSeed)
+	for i := range ids {
+		if ids[i], err = anon.Insert("User", scooter.Doc{
+			"name": fmt.Sprintf("u%03d", i), "age": int64(20 + i),
+		}); err != nil {
+			fatal("online live: seed: %v", err)
+		}
+	}
+
+	opts := onlineOpts()
+	opts.Online = true
+	opts.BatchSize = 8
+	opts.Rate = 20000
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.MigrateNamedOpts("001_bio", onlineBio, opts)
+		done <- err
+	}()
+
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			pr := w.AsPrinc(scooter.Static("Unauthenticated"))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				obj, err := pr.FindByID("User", ids[(i*7+r)%nSeed])
+				if err != nil || obj == nil {
+					errs <- fmt.Errorf("reader %d: obj=%v err=%v", r, obj, err)
+					return
+				}
+				if bio, ok := obj.Get("bio"); ok && bio != nil {
+					if s, _ := bio.(string); !strings.HasPrefix(s, "I'm ") {
+						errs <- fmt.Errorf("reader %d: malformed bio %q", r, s)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for wr := 0; wr < 2; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			pr := w.AsPrinc(scooter.Static("Unauthenticated"))
+			for i := wr; ; i += 2 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := pr.Update("User", ids[(i*11)%nSeed], scooter.Doc{"age": int64(i % 100)}); err != nil {
+					errs <- fmt.Errorf("writer %d: %v", wr, err)
+					return
+				}
+			}
+		}(wr)
+	}
+	if err := <-done; err != nil {
+		fatal("online live: migrate: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal("online live: %v", err)
+	}
+
+	objs, err := anon.Find("User")
+	if err != nil {
+		fatal("online live: %v", err)
+	}
+	if len(objs) != nSeed {
+		fatal("online live: %d users after migration, want %d", len(objs), nSeed)
+	}
+	for _, obj := range objs {
+		if bio, ok := obj.Get("bio"); !ok || bio == nil {
+			fatal("online live: user %v missing bio after migration", obj.ID)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal("online live: close: %v", err)
+	}
+	fmt.Println("online: live reader/writer smoke converged")
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return fi.Size()
+}

@@ -8,6 +8,11 @@ import (
 	"scooter/internal/store"
 )
 
+// Online notes for Apply: when opts.Online is set, backfilling commands
+// run batched and watermarked (see online.go), the dual-read window opens
+// via opts.OnPlanned/LazyBegin before data changes, and a crash resumes
+// mid-command at entry.Watermark rather than re-sweeping the collection.
+
 // Apply runs a named migration exactly once, durably. It is the
 // crash-safe sibling of VerifyAndExecute: the journal entry is written
 // before the first command executes and advanced after each command, and
@@ -67,9 +72,26 @@ func Apply(db *store.DB, before *schema.Schema, name, src string, opts Options) 
 	// preserves it across a crash, so a resumed run evaluates now() in the
 	// remaining commands to the same instant the original run used and the
 	// recovered state converges byte-identically.
-	err = ExecuteFromAt(plan, db, start, entry.AppliedAt, func(idx int) error {
+	onApplied := func(idx int) error {
 		return journal.Progress(id, idx+1)
-	})
+	}
+	if opts.Online {
+		// The window opens before any command executes: OnPlanned flips the
+		// live schema (and fences `$spec`) to the post-migration spec, so
+		// every read during the drain — local or follower — is judged
+		// against the spec the data is converging to, and writes land on
+		// the post-migration shape from the first batch on.
+		if opts.OnPlanned != nil {
+			if err := opts.OnPlanned(plan.After); err != nil {
+				return nil, false, err
+			}
+		}
+		err = ExecuteOnlineFromAt(plan, db, start, entry.Watermark, entry.AppliedAt, opts, onApplied, func(idx int, watermark store.ID) error {
+			return journal.ProgressBackfill(id, watermark)
+		})
+	} else {
+		err = ExecuteFromAt(plan, db, start, entry.AppliedAt, onApplied)
+	}
 	if err != nil {
 		return nil, false, err
 	}

@@ -30,6 +30,12 @@ type JournalEntry struct {
 	Commands  int    // total commands in the script
 	Applied   int    // commands durably applied so far
 	Done      bool   // the whole script completed
+	// Watermark is the highest document id the currently executing
+	// command's online backfill has durably swept (0 outside a backfill
+	// and for stop-the-world runs). A crash mid-backfill resumes the sweep
+	// at the first document above it instead of at the start of the
+	// collection; command completion resets it.
+	Watermark store.ID
 }
 
 // scriptHash fingerprints a migration source.
@@ -64,6 +70,7 @@ func entryFromDoc(d store.Doc) JournalEntry {
 		Commands:  int(asInt64(d["commands"])),
 		Applied:   int(asInt64(d["applied"])),
 		Done:      asBool(d["done"]),
+		Watermark: store.ID(asInt64(d["watermark"])),
 	}
 }
 
@@ -124,13 +131,31 @@ func (j *Journal) Check(name, src string) Status {
 }
 
 // Begin opens a journal entry before the first command executes. If an
-// unfinished entry for the same script already exists (a crashed run), its
-// id is returned and progress continues from Applied. With a durable store
-// attached, the entry is on disk before Begin returns.
+// unfinished entry for the same script already exists (a crashed run), the
+// stored entry is revalidated against the re-parsed script — the hash must
+// match and the stored command count and applied watermark must still make
+// sense against `commands` — then its id is returned and progress
+// continues from Applied. The revalidation guards the resume path against
+// a hand-edited journal document (or, in principle, a hash collision):
+// before it, a stale `commands` count mis-resumed silently at the wrong
+// command. With a durable store attached, the entry is on disk before
+// Begin returns.
 func (j *Journal) Begin(name, src string, commands int) (store.ID, error) {
 	if entry, id, ok := j.lookupDoc(name); ok {
 		if entry.Hash != scriptHash(src) {
 			return store.Nil, &ErrJournalConflict{Name: name}
+		}
+		if entry.Commands != commands {
+			return store.Nil, &ErrJournalCorrupt{
+				Name: name, Stored: entry.Commands, Parsed: commands,
+				Detail: "stored command count does not match the re-parsed script",
+			}
+		}
+		if entry.Applied < 0 || entry.Applied > commands {
+			return store.Nil, &ErrJournalCorrupt{
+				Name: name, Stored: entry.Applied, Parsed: commands,
+				Detail: "applied command count is outside the script",
+			}
 		}
 		return id, nil
 	}
@@ -147,10 +172,23 @@ func (j *Journal) Begin(name, src string, commands int) (store.ID, error) {
 
 // Progress records that the first `applied` commands have executed. The
 // journal update is logged after the command's own mutations, so a
-// recovered journal never claims more than the data reflects.
+// recovered journal never claims more than the data reflects. Completing a
+// command resets the backfill watermark: it belonged to the finished
+// command's sweep.
 func (j *Journal) Progress(id store.ID, applied int) error {
 	return j.db.Collection(JournalCollection).Update(id, store.Doc{
-		"applied": int64(applied),
+		"applied":   int64(applied),
+		"watermark": int64(0),
+	})
+}
+
+// ProgressBackfill checkpoints an online backfill inside a command: every
+// document with id <= watermark has been durably populated. Logged after
+// the batch's own updates, so a recovered watermark never claims documents
+// the data does not reflect.
+func (j *Journal) ProgressBackfill(id store.ID, watermark store.ID) error {
+	return j.db.Collection(JournalCollection).Update(id, store.Doc{
+		"watermark": int64(watermark),
 	})
 }
 
@@ -182,6 +220,21 @@ type ErrJournalConflict struct {
 
 func (e *ErrJournalConflict) Error() string {
 	return fmt.Sprintf("migration %q was already applied with different content; rename the new script instead of editing an applied one", e.Name)
+}
+
+// ErrJournalCorrupt reports a crashed journal entry whose stored metadata
+// contradicts the re-parsed script — resuming from it would silently apply
+// the wrong commands.
+type ErrJournalCorrupt struct {
+	Name   string
+	Stored int
+	Parsed int
+	Detail string
+}
+
+func (e *ErrJournalCorrupt) Error() string {
+	return fmt.Sprintf("migration %q has a corrupt journal entry (%s: stored %d, script %d); refusing to resume",
+		e.Name, e.Detail, e.Stored, e.Parsed)
 }
 
 func asString(v store.Value) string {

@@ -108,6 +108,7 @@ type WALMetrics struct {
 	Fsyncs           *Counter
 	BytesWritten     *Counter
 	BatchRecords     *Histogram
+	BatchOverflows   *Counter
 	Compactions      *Counter
 	RecoverySeconds  *Gauge
 	RecoveredRecords *Gauge
@@ -120,10 +121,20 @@ func NewWALMetrics(reg *Registry) *WALMetrics {
 		Fsyncs:           reg.Counter("scooter_wal_fsyncs_total", "fsync calls issued by the log."),
 		BytesWritten:     reg.Counter("scooter_wal_bytes_written_total", "Bytes physically written to segments."),
 		BatchRecords:     reg.Histogram("scooter_wal_batch_records", "Records coalesced per group-commit flush.", BatchBuckets),
+		BatchOverflows:   reg.Counter("scooter_wal_batch_overflows_total", "Group-commit batches split because they exceeded the record cap."),
 		Compactions:      reg.Counter("scooter_wal_compactions_total", "Completed log compactions."),
 		RecoverySeconds:  reg.Gauge("scooter_wal_recovery_seconds", "Duration of the last crash recovery."),
 		RecoveredRecords: reg.Gauge("scooter_wal_recovered_records", "Records replayed by the last crash recovery."),
 	}
+}
+
+// RecordBatchOverflow counts one drain whose batch exceeded the record cap
+// and was split into capped chunks. Nil-safe.
+func (m *WALMetrics) RecordBatchOverflow() {
+	if m == nil {
+		return
+	}
+	m.BatchOverflows.Inc()
 }
 
 // RecordAppend counts one logical append. Nil-safe.
@@ -223,6 +234,42 @@ func (m *ReplicaMetrics) RecordSnapshot(n int) {
 	m.BytesSent.Add(int64(n))
 }
 
+// BackfillMetrics observes an online migration's batched backfill: how
+// far the sweep has progressed and how much of the collection is still in
+// the old shape (the dual-read window's lag).
+type BackfillMetrics struct {
+	Docs      *Counter
+	Batches   *Counter
+	Skipped   *Counter
+	Watermark *Gauge
+	Remaining *Gauge
+}
+
+// NewBackfillMetrics registers the scooter_backfill_* family in reg.
+func NewBackfillMetrics(reg *Registry) *BackfillMetrics {
+	return &BackfillMetrics{
+		Docs:      reg.Counter("scooter_backfill_docs_total", "Documents populated by online backfill sweeps."),
+		Batches:   reg.Counter("scooter_backfill_batches_total", "Durable backfill batches committed."),
+		Skipped:   reg.Counter("scooter_backfill_skipped_total", "Documents the sweep found already in the new shape (lazy-migrated, resumed, or inserted under the new schema)."),
+		Watermark: reg.Gauge("scooter_backfill_watermark", "Highest document id the current backfill has swept."),
+		Remaining: reg.Gauge("scooter_backfill_remaining_docs", "Documents the current backfill has not reached yet (backfill lag)."),
+	}
+}
+
+// RecordBatch accounts one durable backfill batch: populated docs, docs
+// found already migrated, the new watermark, and the remaining lag.
+// Nil-safe.
+func (m *BackfillMetrics) RecordBatch(populated, skipped int, watermark int64, remaining int) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.Docs.Add(int64(populated))
+	m.Skipped.Add(int64(skipped))
+	m.Watermark.Set(float64(watermark))
+	m.Remaining.Set(float64(remaining))
+}
+
 // ORMMetrics observes the policy boundary: every read filtered through
 // field policies and every write gated by them.
 type ORMMetrics struct {
@@ -230,6 +277,11 @@ type ORMMetrics struct {
 	FieldsStripped *Counter
 	WritesChecked  *Counter
 	WritesDenied   *Counter
+	// LazyReads / LazyWrites count dual-read-window shim activations:
+	// documents whose pending migration field was computed on read, or
+	// persisted ahead of a write touching a not-yet-backfilled document.
+	LazyReads  *Counter
+	LazyWrites *Counter
 	// PoliciesCompiled / PoliciesInterpreted count the policies of each
 	// policy table attached to a connection, split by whether the partial
 	// evaluator produced a closure or fell back to the interpreter.
@@ -244,11 +296,31 @@ func NewORMMetrics(reg *Registry) *ORMMetrics {
 		FieldsStripped: reg.Counter("scooter_orm_fields_stripped_total", "Fields removed from results by read policies."),
 		WritesChecked:  reg.Counter("scooter_orm_writes_checked_total", "Write operations entering the policy gate."),
 		WritesDenied:   reg.Counter("scooter_orm_writes_denied_total", "Write operations rejected by policy or read-only mode."),
+		LazyReads: reg.Counter("scooter_orm_lazy_reads_total",
+			"Reads that computed a pending migration field on access (dual-read window)."),
+		LazyWrites: reg.Counter("scooter_orm_lazy_writes_total",
+			"Writes that persisted a pending migration field ahead of the backfill sweep."),
 		PoliciesCompiled: reg.Counter("scooter_orm_policies_compiled_total",
 			"Policies compiled to closures in tables attached to connections."),
 		PoliciesInterpreted: reg.Counter("scooter_orm_policies_interpreted_total",
 			"Policies left to the AST interpreter in tables attached to connections."),
 	}
+}
+
+// RecordLazyRead counts one read-side shim activation. Nil-safe.
+func (m *ORMMetrics) RecordLazyRead() {
+	if m == nil {
+		return
+	}
+	m.LazyReads.Inc()
+}
+
+// RecordLazyWrite counts one write-side shim activation. Nil-safe.
+func (m *ORMMetrics) RecordLazyWrite() {
+	if m == nil {
+		return
+	}
+	m.LazyWrites.Inc()
 }
 
 // RecordPolicyTable counts one policy table's compiled/fallback

@@ -8,6 +8,8 @@ package orm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"scooter/internal/ast"
 	"scooter/internal/eval"
@@ -20,14 +22,39 @@ import (
 // Principal aliases the evaluator's principal type.
 type Principal = eval.Principal
 
+// connState bundles everything an operation derives from the bound schema:
+// the schema itself, its evaluator, its compiled policy table, and the
+// in-flight lazy-migration windows. Operations load it once through an
+// atomic pointer and use that one consistent view throughout — an online
+// migration can swap the whole bundle mid-traffic (SetSchema, then
+// SetLazyMigration per backfill) without a foreground reader ever seeing a
+// schema from one epoch paired with policies from another.
+type connState struct {
+	schema   *schema.Schema
+	ev       *eval.Evaluator
+	policies *policyc.Table
+	// lazy maps a model name to its in-flight online backfill, if any. At
+	// most one per model: Apply runs commands sequentially and closes each
+	// window before the next opens.
+	lazy map[string]lazyField
+}
+
+// lazyField describes one field an online backfill is still sweeping:
+// documents that predate the sweep lack it, and compute derives its value
+// from such a document's current fields. compute is safe for concurrent
+// use.
+type lazyField struct {
+	field   string
+	compute func(store.Doc) (store.Value, error)
+}
+
 // Conn is a database connection bound to a schema.
 type Conn struct {
-	Schema *schema.Schema
-	DB     *store.DB
-	ev     *eval.Evaluator
-	// policies is the compiled policy table for Schema (shared across
-	// connections via policyc.For; see SetSchema).
-	policies *policyc.Table
+	DB *store.DB
+	// state is the schema-derived bundle, swapped wholesale on migration.
+	state atomic.Pointer[connState]
+	// stateMu serialises state writers; readers never take it.
+	stateMu sync.Mutex
 
 	// enforcement can be disabled in debug builds only (paper §6.2: the
 	// ORM "in debug mode also allows developers to temporarily turn off
@@ -57,8 +84,13 @@ var ErrReadOnly = fmt.Errorf("orm: connection is read-only (replica)")
 // served from the shared compiled table for s (compiled once per schema,
 // reused across connections).
 func Open(s *schema.Schema, db *store.DB) *Conn {
-	return &Conn{Schema: s, DB: db, ev: eval.New(s, db), policies: policyc.For(s), enforcement: true}
+	c := &Conn{DB: db, enforcement: true}
+	c.state.Store(&connState{schema: s, ev: eval.New(s, db), policies: policyc.For(s)})
+	return c
 }
+
+// Schema returns the currently bound schema.
+func (c *Conn) Schema() *schema.Schema { return c.state.Load().schema }
 
 // SetEnforcement toggles policy enforcement (debug only).
 func (c *Conn) SetEnforcement(on bool) { c.enforcement = on }
@@ -71,8 +103,8 @@ func (c *Conn) SetReadOnly(on bool) { c.readOnly = on }
 // records the current policy table's compiled/fallback composition.
 func (c *Conn) SetMetrics(m *obs.ORMMetrics) {
 	c.metrics = m
-	if c.policies != nil {
-		m.RecordPolicyTable(c.policies.Counts())
+	if st := c.state.Load(); st.policies != nil {
+		m.RecordPolicyTable(st.policies.Counts())
 	}
 }
 
@@ -87,33 +119,93 @@ func (c *Conn) SetCompiledPolicies(on bool) { c.interpret = !on }
 // silent wrong answer. Meant for tests and fuzzing, not production.
 func (c *Conn) SetInterpretedOracle(on bool) { c.oracle = on }
 
-// SetSchema swaps the schema after a migration. The evaluator is re-bound
-// in place and the compiled policy table is fetched from the shared
-// per-schema cache — an unchanged schema (common when toggling read-only
-// or re-binding connections) reuses both without recompiling anything.
+// SetSchema swaps the schema after a migration. A fresh evaluator and the
+// shared compiled policy table for s are installed in one atomic swap, so
+// operations racing the migration see either the old epoch or the new one,
+// never a mixture. An unchanged schema (common when toggling read-only or
+// re-binding connections) is a no-op.
 func (c *Conn) SetSchema(s *schema.Schema) {
-	if s == c.Schema {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	old := c.state.Load()
+	if s == old.schema {
 		return
 	}
-	c.Schema = s
-	c.ev.Schema = s
-	c.ev.DB = c.DB
-	c.policies = policyc.For(s)
+	next := &connState{schema: s, ev: eval.New(s, c.DB), policies: policyc.For(s), lazy: old.lazy}
+	c.state.Store(next)
 	if c.metrics != nil {
-		c.metrics.RecordPolicyTable(c.policies.Counts())
+		c.metrics.RecordPolicyTable(next.policies.Counts())
 	}
+}
+
+// SetLazyMigration opens a dual-read window for one field an online
+// backfill is sweeping: until ClearLazyMigration, operations that touch a
+// document lacking the field derive it on the fly with compute — reads
+// (and every policy decision) see the post-migration shape without writing
+// anything, and Update persists the derived value together with the
+// foreground write so the document lands migrated.
+func (c *Conn) SetLazyMigration(model, field string, compute func(store.Doc) (store.Value, error)) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	old := c.state.Load()
+	lazy := make(map[string]lazyField, len(old.lazy)+1)
+	for k, v := range old.lazy {
+		lazy[k] = v
+	}
+	lazy[model] = lazyField{field: field, compute: compute}
+	c.state.Store(&connState{schema: old.schema, ev: old.ev, policies: old.policies, lazy: lazy})
+}
+
+// ClearLazyMigration closes the model's dual-read window (the sweep has
+// covered the collection).
+func (c *Conn) ClearLazyMigration(model string) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	old := c.state.Load()
+	if _, ok := old.lazy[model]; !ok {
+		return
+	}
+	lazy := make(map[string]lazyField, len(old.lazy))
+	for k, v := range old.lazy {
+		if k != model {
+			lazy[k] = v
+		}
+	}
+	c.state.Store(&connState{schema: old.schema, ev: old.ev, policies: old.policies, lazy: lazy})
+}
+
+// augment lazily migrates a private document copy that predates the
+// in-flight backfill, returning whether it derived the field. The store is
+// NOT written — reads stay side-effect-free; persistence is the writer's
+// job (Update merges the derived value into its own record, and the sweep
+// catches documents no write touches). doc must be the caller's own clone
+// (Get and Find return clones), since it is modified in place.
+func (st *connState) augment(model string, doc store.Doc) (bool, error) {
+	lf, ok := st.lazy[model]
+	if !ok {
+		return false, nil
+	}
+	if _, present := doc[lf.field]; present {
+		return false, nil
+	}
+	v, err := lf.compute(doc)
+	if err != nil {
+		return false, fmt.Errorf("orm: lazily migrating %s.%s: %w", model, lf.field, err)
+	}
+	doc[lf.field] = v
+	return true, nil
 }
 
 // allowed dispatches one policy decision: the compiled closure when
 // available, the interpreter otherwise (or when compiled dispatch is
 // disabled). In oracle mode both engines run and must agree.
-func (c *Conn) allowed(cp *policyc.Policy, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
+func (c *Conn) allowed(st *connState, cp *policyc.Policy, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
 	if c.interpret || cp == nil || !cp.Compiled() {
-		return c.ev.Allowed(p, model, doc, pol)
+		return st.ev.Allowed(p, model, doc, pol)
 	}
-	ok, err := cp.Eval(c.ev, p, doc)
+	ok, err := cp.Eval(st.ev, p, doc)
 	if c.oracle {
-		return c.oracleCheck(ok, err, p, model, doc, pol)
+		return c.oracleCheck(st, ok, err, p, model, doc, pol)
 	}
 	return ok, err
 }
@@ -121,21 +213,21 @@ func (c *Conn) allowed(cp *policyc.Policy, p Principal, model string, doc store.
 // allowedIn is allowed with a prepared evaluation frame: the strip loop
 // binds principal and document once, then every field policy of the batch
 // skips frame setup. A nil frame falls back to the general path.
-func (c *Conn) allowedIn(f *policyc.Frame, cp *policyc.Policy, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
+func (c *Conn) allowedIn(st *connState, f *policyc.Frame, cp *policyc.Policy, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
 	if f == nil || cp == nil || !cp.Compiled() {
-		return c.allowed(cp, p, model, doc, pol)
+		return c.allowed(st, cp, p, model, doc, pol)
 	}
 	ok, err := cp.EvalIn(f)
 	if c.oracle {
-		return c.oracleCheck(ok, err, p, model, doc, pol)
+		return c.oracleCheck(st, ok, err, p, model, doc, pol)
 	}
 	return ok, err
 }
 
 // oracleCheck re-runs a compiled decision through the interpreter and
 // fails loudly on divergence (SetInterpretedOracle).
-func (c *Conn) oracleCheck(ok bool, err error, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
-	iok, ierr := c.ev.Allowed(p, model, doc, pol)
+func (c *Conn) oracleCheck(st *connState, ok bool, err error, p Principal, model string, doc store.Doc, pol ast.Policy) (bool, error) {
+	iok, ierr := st.ev.Allowed(p, model, doc, pol)
 	if ok != iok || (err == nil) != (ierr == nil) {
 		return false, fmt.Errorf(
 			"orm: compiled/interpreted divergence on %s policy for %s: compiled (%t, %v) vs interpreted (%t, %v)",
@@ -198,7 +290,8 @@ func (o *Object) Fields() store.Doc { return o.fields }
 // document returns (nil, nil): absence and denial are indistinguishable to
 // the application, which avoids existence oracles.
 func (pr *Princ) FindByID(model string, id store.ID) (*Object, error) {
-	m := pr.conn.Schema.Model(model)
+	st := pr.conn.state.Load()
+	m := st.schema.Model(model)
 	if m == nil {
 		return nil, fmt.Errorf("orm: unknown model %s", model)
 	}
@@ -206,21 +299,54 @@ func (pr *Princ) FindByID(model string, id store.ID) (*Object, error) {
 	if !ok {
 		return nil, nil
 	}
-	return pr.strip(m, doc)
+	lazied, err := st.augment(model, doc)
+	if err != nil {
+		return nil, err
+	}
+	if lazied {
+		pr.conn.metrics.RecordLazyRead()
+	}
+	return pr.strip(st, m, doc)
 }
 
 // Find returns the matching instances with unreadable fields stripped.
 // Filters may only mention fields the principal can read on each matching
 // document; documents with an unreadable filtered field are omitted.
+// During a lazy-migration window, filters on the in-flight field are
+// evaluated after lazy migration, so not-yet-backfilled documents match as
+// if the backfill had already reached them.
 func (pr *Princ) Find(model string, filters ...store.Filter) ([]*Object, error) {
-	m := pr.conn.Schema.Model(model)
+	st := pr.conn.state.Load()
+	m := st.schema.Model(model)
 	if m == nil {
 		return nil, fmt.Errorf("orm: unknown model %s", model)
 	}
-	docs := pr.conn.DB.Collection(model).Find(filters...)
+	storeFilters := filters
+	var lazyFilters []store.Filter
+	if lf, ok := st.lazy[model]; ok {
+		storeFilters = storeFilters[:0:0]
+		for _, f := range filters {
+			if f.Field == lf.field {
+				lazyFilters = append(lazyFilters, f)
+			} else {
+				storeFilters = append(storeFilters, f)
+			}
+		}
+	}
+	docs := pr.conn.DB.Collection(model).Find(storeFilters...)
 	out := make([]*Object, 0, len(docs))
 	for _, doc := range docs {
-		obj, err := pr.strip(m, doc)
+		lazied, err := st.augment(model, doc)
+		if err != nil {
+			return nil, err
+		}
+		if lazied {
+			pr.conn.metrics.RecordLazyRead()
+		}
+		if len(lazyFilters) > 0 && !store.MatchAll(doc, lazyFilters) {
+			continue
+		}
+		obj, err := pr.strip(st, m, doc)
 		if err != nil {
 			return nil, err
 		}
@@ -244,16 +370,16 @@ func (pr *Princ) Find(model string, filters ...store.Filter) ([]*Object, error) 
 }
 
 // strip applies read policies, producing a partial object.
-func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
+func (pr *Princ) strip(st *connState, m *schema.Model, doc store.Doc) (*Object, error) {
 	obj := &Object{Model: m.Name, ID: doc.ID(), fields: store.Doc{}}
 	if !pr.conn.enforcement {
 		obj.fields = doc
 		return obj, nil
 	}
-	mp := pr.conn.policies.Model(m.Name)
+	mp := st.policies.Model(m.Name)
 	var frame *policyc.Frame
 	if !pr.conn.interpret && mp != nil {
-		frame = policyc.NewFrame(pr.conn.ev, pr.p)
+		frame = policyc.NewFrame(st.ev, pr.p)
 		frame.SetTarget(m.Name, doc)
 		defer frame.Release()
 	}
@@ -262,7 +388,7 @@ func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
 		if mp != nil {
 			cp = mp.FieldAt(i).Read
 		}
-		ok, err := pr.conn.allowedIn(frame, cp, pr.p, m.Name, doc, f.Read)
+		ok, err := pr.conn.allowedIn(st, frame, cp, pr.p, m.Name, doc, f.Read)
 		if err != nil {
 			return nil, fmt.Errorf("orm: evaluating %s.%s read policy: %w", m.Name, f.Name, err)
 		}
@@ -275,16 +401,35 @@ func (pr *Princ) strip(m *schema.Model, doc store.Doc) (*Object, error) {
 }
 
 // Insert creates an instance after checking the model's create policy. All
-// declared fields must be present.
+// declared fields must be present; during a lazy-migration window the
+// in-flight field may be omitted, in which case it is derived from the
+// candidate document — writers that still speak the old shape keep working
+// through the drain.
 func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 	pr.conn.metrics.RecordWriteCheck()
 	if pr.conn.readOnly {
 		pr.conn.metrics.RecordWriteDenied()
 		return store.Nil, ErrReadOnly
 	}
-	m := pr.conn.Schema.Model(model)
+	st := pr.conn.state.Load()
+	m := st.schema.Model(model)
 	if m == nil {
 		return store.Nil, fmt.Errorf("orm: unknown model %s", model)
+	}
+	if lf, ok := st.lazy[model]; ok {
+		if _, present := fields[lf.field]; !present {
+			v, err := lf.compute(fields)
+			if err != nil {
+				return store.Nil, fmt.Errorf("orm: lazily migrating %s.%s on insert: %w", model, lf.field, err)
+			}
+			withLazy := make(store.Doc, len(fields)+1)
+			for k, val := range fields {
+				withLazy[k] = val
+			}
+			withLazy[lf.field] = v
+			fields = withLazy
+			pr.conn.metrics.RecordLazyWrite()
+		}
 	}
 	for _, f := range m.Fields {
 		if _, ok := fields[f.Name]; !ok {
@@ -294,10 +439,10 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 	if pr.conn.enforcement {
 		// The create policy is evaluated on the candidate document.
 		var cp *policyc.Policy
-		if mp := pr.conn.policies.Model(model); mp != nil {
+		if mp := st.policies.Model(model); mp != nil {
 			cp = mp.Create
 		}
-		ok, err := pr.conn.allowed(cp, pr.p, model, fields, m.Create)
+		ok, err := pr.conn.allowed(st, cp, pr.p, model, fields, m.Create)
 		if err != nil {
 			return store.Nil, err
 		}
@@ -317,14 +462,19 @@ func (pr *Princ) Insert(model string, fields store.Doc) (store.ID, error) {
 }
 
 // Update overwrites fields after checking each one's write policy against
-// the stored document.
+// the stored document. During a lazy-migration window, a document the
+// backfill has not reached is migrated by this write: its derived field is
+// merged into the same store record, so the foreground write and the
+// migration land atomically and the document can never be observed with
+// the write applied but the migration missing.
 func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 	pr.conn.metrics.RecordWriteCheck()
 	if pr.conn.readOnly {
 		pr.conn.metrics.RecordWriteDenied()
 		return ErrReadOnly
 	}
-	m := pr.conn.Schema.Model(model)
+	st := pr.conn.state.Load()
+	m := st.schema.Model(model)
 	if m == nil {
 		return fmt.Errorf("orm: unknown model %s", model)
 	}
@@ -332,8 +482,13 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 	if !ok {
 		return fmt.Errorf("orm: no %s with id %v", model, id)
 	}
+	// Policy decisions are made against the post-migration shape.
+	lazied, err := st.augment(model, doc)
+	if err != nil {
+		return err
+	}
 	if pr.conn.enforcement {
-		mp := pr.conn.policies.Model(model)
+		mp := st.policies.Model(model)
 		for name := range fields {
 			f := m.Field(name)
 			if f == nil {
@@ -345,7 +500,7 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 					cp = fp.Write
 				}
 			}
-			allowed, err := pr.conn.allowed(cp, pr.p, model, doc, f.Write)
+			allowed, err := pr.conn.allowed(st, cp, pr.p, model, doc, f.Write)
 			if err != nil {
 				return err
 			}
@@ -353,6 +508,18 @@ func (pr *Princ) Update(model string, id store.ID, fields store.Doc) error {
 				pr.conn.metrics.RecordWriteDenied()
 				return &PolicyError{Op: ast.OpWrite, Principal: pr.p, Model: model, Field: name, ID: id}
 			}
+		}
+	}
+	if lazied {
+		lf := st.lazy[model]
+		if _, callerWrites := fields[lf.field]; !callerWrites {
+			merged := make(store.Doc, len(fields)+1)
+			for k, v := range fields {
+				merged[k] = v
+			}
+			merged[lf.field] = doc[lf.field]
+			fields = merged
+			pr.conn.metrics.RecordLazyWrite()
 		}
 	}
 	return pr.conn.DB.Collection(model).Update(id, fields)
@@ -365,7 +532,8 @@ func (pr *Princ) Delete(model string, id store.ID) error {
 		pr.conn.metrics.RecordWriteDenied()
 		return ErrReadOnly
 	}
-	m := pr.conn.Schema.Model(model)
+	st := pr.conn.state.Load()
+	m := st.schema.Model(model)
 	if m == nil {
 		return fmt.Errorf("orm: unknown model %s", model)
 	}
@@ -373,12 +541,17 @@ func (pr *Princ) Delete(model string, id store.ID) error {
 	if !ok {
 		return fmt.Errorf("orm: no %s with id %v", model, id)
 	}
+	// The delete policy, too, judges the post-migration shape; nothing is
+	// persisted for a document that is about to disappear.
+	if _, err := st.augment(model, doc); err != nil {
+		return err
+	}
 	if pr.conn.enforcement {
 		var cp *policyc.Policy
-		if mp := pr.conn.policies.Model(model); mp != nil {
+		if mp := st.policies.Model(model); mp != nil {
 			cp = mp.Delete
 		}
-		allowed, err := pr.conn.allowed(cp, pr.p, model, doc, m.Delete)
+		allowed, err := pr.conn.allowed(st, cp, pr.p, model, doc, m.Delete)
 		if err != nil {
 			return err
 		}

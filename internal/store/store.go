@@ -342,6 +342,61 @@ func (c *Collection) Find(filters ...Filter) []Doc {
 	return out
 }
 
+// FindAfter returns copies of at most limit documents whose id exceeds
+// after, in ascending id order. It is the online-backfill scan primitive:
+// the lock is held only to collect ids and clone the bounded batch, so a
+// foreground reader or writer is never blocked behind a whole-collection
+// clone the way Find blocks it. Documents inserted later with higher ids
+// are picked up by subsequent calls, which is exactly what a watermark
+// sweep over a live collection needs. A limit <= 0 means no bound.
+func (c *Collection) FindAfter(after ID, limit int) []Doc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]ID, 0, len(c.docs))
+	for id := range c.docs {
+		if id > after {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]Doc, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.docs[id].Clone())
+	}
+	return out
+}
+
+// UpdateIfAbsent sets field to v on the document with id only when the
+// document does not already carry the field, reporting whether it wrote.
+// The check and the write are atomic under the collection lock, so a
+// backfill sweep using it never clobbers a value a concurrent lazy
+// migration (or an application write under the new schema) already
+// installed. A missing document is not an error: the backfill races
+// foreground deletes, and a deleted document simply no longer needs the
+// field.
+func (c *Collection) UpdateIfAbsent(id ID, field string, v Value) (bool, error) {
+	c.mu.Lock()
+	d, ok := c.docs[id]
+	if !ok {
+		c.mu.Unlock()
+		return false, nil
+	}
+	if _, present := d[field]; present {
+		c.mu.Unlock()
+		return false, nil
+	}
+	c.indexRemove(id, d)
+	d[field] = cloneValue(v)
+	c.indexAdd(id, d)
+	wait := c.db.logMutation(Mutation{Op: MutUpdate, Coll: c.name, ID: id, Doc: Doc{field: d[field]}})
+	c.mu.Unlock()
+	c.db.finish(wait)
+	return true, c.db.DurabilityErr()
+}
+
 // Count returns the number of documents matching every filter.
 func (c *Collection) Count(filters ...Filter) int {
 	c.mu.RLock()
@@ -357,6 +412,21 @@ func (c *Collection) Count(filters ...Filter) int {
 	}
 	for _, d := range c.docs {
 		if matchAll(d, filters) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountAfter returns the number of documents with id > after. Backfills
+// use it for cheap remaining-work gauges: it scans ids without cloning
+// documents, so the read lock is held only for the scan.
+func (c *Collection) CountAfter(after ID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for id := range c.docs {
+		if id > after {
 			n++
 		}
 	}

@@ -53,6 +53,14 @@ type Options struct {
 	// (segments newer than the last snapshot) exceeds it. Default 64 MiB;
 	// negative disables automatic compaction.
 	CompactAfterBytes int64
+	// MaxBatchRecords caps how many records one group-commit flush
+	// coalesces (default 1024; negative disables the cap). A bulk writer —
+	// a migration backfill populating a whole collection, say — can
+	// otherwise enqueue an unbounded batch that the committer turns into
+	// one giant buffered write and fsync, blowing the batch-size
+	// histogram's top bucket and spiking memory. Overflowing batches are
+	// split into capped chunks and counted via Metrics.RecordBatchOverflow.
+	MaxBatchRecords int
 	// Metrics, when set, observes appends, physical writes, fsyncs,
 	// group-commit batch sizes, compactions, and recovery. Nil is a no-op
 	// sink.
@@ -71,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactAfterBytes == 0 {
 		o.CompactAfterBytes = 64 << 20
+	}
+	if o.MaxBatchRecords == 0 {
+		o.MaxBatchRecords = 1024
 	}
 	return o
 }
@@ -400,8 +411,13 @@ func (l *Log) drainOnce(final bool) bool {
 		return false
 	}
 	records := 0
+	overflowed := false
 	for _, q := range batch {
 		if q.marker != nil {
+			if records > 0 {
+				l.opts.Metrics.ObserveBatch(records)
+				records = 0
+			}
 			l.flush()
 			l.processMarker(q.marker)
 			continue
@@ -410,9 +426,21 @@ func (l *Log) drainOnce(final bool) bool {
 		l.bufLSN = q.lsn
 		l.unsyncedRecs++
 		records++
+		// Cap the flush unit: a bulk enqueue (whole-collection backfill)
+		// is split into bounded chunks so the write buffer and the
+		// batch-size histogram stay bounded.
+		if l.opts.MaxBatchRecords > 0 && records >= l.opts.MaxBatchRecords {
+			l.opts.Metrics.ObserveBatch(records)
+			records = 0
+			overflowed = true
+			l.flush()
+		}
 	}
 	if records > 0 {
 		l.opts.Metrics.ObserveBatch(records)
+	}
+	if overflowed {
+		l.opts.Metrics.RecordBatchOverflow()
 	}
 	l.flush()
 	l.applySyncPolicy(force || final)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"scooter/internal/obs"
 	"scooter/internal/store"
 )
 
@@ -337,4 +338,59 @@ func TestStaleSnapshotAndTmpCleanup(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "snap-00000099.json.tmp")); !os.IsNotExist(err) {
 		t.Fatal("tmp file survived recovery")
 	}
+}
+
+// TestBatchRecordCapSplitsBulkDrains pins the flush-unit bound: a bulk
+// enqueue (the shape an online backfill batch produces) larger than
+// MaxBatchRecords must be split into capped chunks — the overflow counter
+// ticks — and recovery must still see every record.
+func TestBatchRecordCapSplitsBulkDrains(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	wm := obs.NewWALMetrics(reg)
+	l, db, err := Open(dir, Options{MaxBatchRecords: 4, Metrics: wm})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	users := db.Collection("users")
+
+	// Bursts from concurrent writers pile records onto the queue faster
+	// than the drain loop (fsyncing each pass) clears it; retry bounded
+	// rounds until one drain provably exceeded the cap.
+	const writers, perWriter = 4, 32
+	total := 0
+	for round := 0; round < 50 && wm.BatchOverflows.Value() == 0; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					users.Insert(store.Doc{"round": int64(w), "n": int64(i)})
+				}
+			}(w)
+		}
+		wg.Wait()
+		total += writers * perWriter
+	}
+	if wm.BatchOverflows.Value() == 0 {
+		t.Fatal("no drain ever exceeded MaxBatchRecords; cap untested")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	want := snapshotBytes(t, db)
+	mustClose(t, l)
+
+	l2, db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if db2.Collection("users").Len() != total {
+		t.Fatalf("recovered %d of %d records", db2.Collection("users").Len(), total)
+	}
+	if !bytes.Equal(snapshotBytes(t, db2), want) {
+		t.Fatal("recovered snapshot differs after chunked flushes")
+	}
+	mustClose(t, l2)
 }

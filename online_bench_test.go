@@ -1,0 +1,135 @@
+package scooter_test
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scooter"
+)
+
+// These benchmarks quantify the online-migration acceptance criterion —
+// "foreground reads are never blocked longer than one batch" — and the
+// -rate pacing knob. They drive full scenarios (seed, migrate, measure),
+// so run them with -benchtime=1x.
+//
+// The contended resource is the collection RW lock: a stop-the-world
+// AddField clones the entire collection under one read lock, a concurrent
+// writer stalls behind that scan, and — because a blocked writer gates
+// later read-lock acquisitions — foreground readers queue behind the
+// writer for the whole sweep. The online executor's FindAfter bounds the
+// hold to one batch of clones.
+
+func benchSeed(b *testing.B, w *scooter.Workspace, n int) []scooter.ID {
+	b.Helper()
+	if _, err := w.MigrateNamedOpts("000_base", onlineBaseScript, onlineTestOpts()); err != nil {
+		b.Fatal(err)
+	}
+	anon := w.AsPrinc(scooter.Static("Unauthenticated"))
+	ids := make([]scooter.ID, n)
+	for i := range ids {
+		id, err := anon.Insert("User", scooter.Doc{"name": fmt.Sprintf("u%06d", i), "age": int64(i % 90)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// foregroundLatency runs the bio migration while writer goroutines update
+// continuously and the caller's goroutine measures read latency; it
+// reports the read p50/p99/max over the migration window.
+func foregroundLatency(b *testing.B, online bool) {
+	const nUsers = 50000
+	const writers = 4
+	for i := 0; i < b.N; i++ {
+		w := scooter.NewWorkspace()
+		ids := benchSeed(b, w, nUsers)
+
+		opts := onlineTestOpts()
+		if online {
+			opts.Online = true
+			opts.BatchSize = 256
+		}
+		done := make(chan error, 1)
+		var stop atomic.Bool
+		for wr := 0; wr < writers; wr++ {
+			go func(wr int) {
+				pr := w.AsPrinc(scooter.Static("Unauthenticated"))
+				for i := wr; !stop.Load(); i += writers {
+					if err := pr.Update("User", ids[(i*31)%nUsers], scooter.Doc{"age": int64(i % 90)}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(wr)
+		}
+		go func() {
+			_, err := w.MigrateNamedOpts("001_bio", onlineBioScript, opts)
+			done <- err
+		}()
+
+		var lat []time.Duration
+		reader := w.AsPrinc(scooter.Static("Unauthenticated"))
+	measure:
+		for i := 0; ; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					b.Fatal(err)
+				}
+				break measure
+			default:
+			}
+			start := time.Now()
+			if _, err := reader.FindByID("User", ids[(i*17)%nUsers]); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		stop.Store(true)
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		if len(lat) == 0 {
+			b.Fatal("migration finished before any read was measured")
+		}
+		us := func(q float64) float64 {
+			return float64(lat[int(q*float64(len(lat)-1))]) / float64(time.Microsecond)
+		}
+		b.ReportMetric(us(0.50), "p50-µs")
+		b.ReportMetric(us(0.99), "p99-µs")
+		b.ReportMetric(float64(lat[len(lat)-1])/float64(time.Microsecond), "max-µs")
+		b.ReportMetric(float64(len(lat)), "reads")
+	}
+}
+
+func BenchmarkOnlineBackfill_ForegroundReads(b *testing.B)       { foregroundLatency(b, true) }
+func BenchmarkStopTheWorldBackfill_ForegroundReads(b *testing.B) { foregroundLatency(b, false) }
+
+// BenchmarkOnlineBackfill_Rate measures achieved backfill throughput at
+// several -rate settings (documents per second; 0 = unpaced).
+func BenchmarkOnlineBackfill_Rate(b *testing.B) {
+	const nUsers = 4000
+	for _, rate := range []int{0, 20000, 5000} {
+		b.Run(fmt.Sprintf("rate=%d", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := scooter.NewWorkspace()
+				benchSeed(b, w, nUsers)
+				opts := onlineTestOpts()
+				opts.Online = true
+				opts.BatchSize = 256
+				opts.Rate = rate
+				start := time.Now()
+				if _, err := w.MigrateNamedOpts("001_bio", onlineBioScript, opts); err != nil {
+					b.Fatal(err)
+				}
+				elapsed := time.Since(start)
+				b.ReportMetric(float64(nUsers)/elapsed.Seconds(), "docs/s")
+				b.ReportMetric(elapsed.Seconds()*1000, "ms-total")
+			}
+		})
+	}
+}

@@ -129,6 +129,11 @@ type Workspace struct {
 	// journaled tracks migrations applied during this session, whose
 	// schema effects the live schema already includes.
 	journaled map[string]bool
+	// migMu serialises migrations against each other. Foreground ORM
+	// operations never take it: during an online migration they are bounded
+	// only by the store's per-collection locks, which the batched backfill
+	// holds for at most one batch at a time.
+	migMu sync.Mutex
 
 	// reg is the workspace's metrics registry; every layer records into it
 	// and MetricsHandler exposes it in the Prometheus text format.
@@ -138,10 +143,11 @@ type Workspace struct {
 	cache *verify.Cache
 	// verdictDB, when attached, persists verdicts across processes;
 	// Migrate calls default to it like they default to the cache.
-	verdictDB     *verify.VerdictDB
-	verifyMetrics *obs.VerifyMetrics
-	solverMetrics *obs.SolverMetrics
-	ormMetrics    *obs.ORMMetrics
+	verdictDB       *verify.VerdictDB
+	verifyMetrics   *obs.VerifyMetrics
+	solverMetrics   *obs.SolverMetrics
+	ormMetrics      *obs.ORMMetrics
+	backfillMetrics *obs.BackfillMetrics
 }
 
 // newWorkspace wires a workspace around a schema and database: one metrics
@@ -166,14 +172,15 @@ func newWorkspace(s *schema.Schema, db *store.DB, reg *obs.Registry) *Workspace 
 	ormM := obs.NewORMMetrics(reg)
 	conn.SetMetrics(ormM)
 	return &Workspace{
-		schema:        s,
-		db:            db,
-		conn:          conn,
-		reg:           reg,
-		cache:         cache,
-		verifyMetrics: obs.NewVerifyMetrics(reg),
-		solverMetrics: obs.NewSolverMetrics(reg),
-		ormMetrics:    ormM,
+		schema:          s,
+		db:              db,
+		conn:            conn,
+		reg:             reg,
+		cache:           cache,
+		verifyMetrics:   obs.NewVerifyMetrics(reg),
+		solverMetrics:   obs.NewSolverMetrics(reg),
+		ormMetrics:      ormM,
+		backfillMetrics: obs.NewBackfillMetrics(reg),
 	}
 }
 
@@ -346,6 +353,8 @@ func (w *Workspace) Migrate(src string) error {
 
 // MigrateOpts is Migrate with explicit options.
 func (w *Workspace) MigrateOpts(src string, opts Options) error {
+	w.migMu.Lock()
+	defer w.migMu.Unlock()
 	script, err := parser.ParseMigration(src)
 	if err != nil {
 		return err
@@ -482,8 +491,11 @@ func (w *Workspace) MigrateNamed(name, src string) (bool, error) {
 }
 
 // MigrateNamedOpts is MigrateNamed with explicit options (e.g. an injected
-// Clock for deterministic journal timestamps).
+// Clock for deterministic journal timestamps, or Online for a batched
+// backfill that lets foreground traffic interleave).
 func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, error) {
+	w.migMu.Lock()
+	defer w.migMu.Unlock()
 	if w.journaled[name] {
 		// Applied earlier in this session: the live schema already has its
 		// effects, so only classify (the conflict check must still bite).
@@ -493,6 +505,9 @@ func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, erro
 		return false, nil
 	}
 	w.fillObsDefaults(&opts)
+	if opts.Online {
+		w.wireOnline(&opts)
+	}
 	after, applied, err := migrate.Apply(w.db, w.schema, name, src, opts)
 	if err != nil {
 		return false, err
@@ -505,6 +520,53 @@ func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, erro
 	}
 	w.journaled[name] = true
 	return applied, nil
+}
+
+// wireOnline installs the workspace side of an online migration into opts,
+// chaining any hooks the caller supplied (tests use OnBatch to interleave
+// traffic at batch boundaries).
+//
+// OnPlanned is the `$spec` fence: the live schema flips and the
+// post-migration spec is persisted — and therefore replicated — at the
+// START of the dual-read window, not after the backfill completes. Every
+// reader from the first batch on, local or follower, judges documents
+// against the spec the data is converging to; without the fence a follower
+// would enforce the pre-migration spec against mid-migration data for the
+// whole drain (minutes under rate limiting, vs milliseconds stop-the-world).
+// The fence record precedes the first backfill record in the log, so the
+// window is well-defined at every LSN.
+func (w *Workspace) wireOnline(opts *Options) {
+	if opts.Backfill == nil {
+		opts.Backfill = w.backfillMetrics
+	}
+	prevPlanned := opts.OnPlanned
+	opts.OnPlanned = func(after *schema.Schema) error {
+		w.schema = after
+		w.conn.SetSchema(after)
+		persistSpec(w.db, specfmt.Format(after))
+		if err := w.db.DurabilityErr(); err != nil {
+			return err
+		}
+		if prevPlanned != nil {
+			return prevPlanned(after)
+		}
+		return nil
+	}
+	prevBegin := opts.LazyBegin
+	opts.LazyBegin = func(model, field string, compute func(store.Doc) (store.Value, error)) error {
+		w.conn.SetLazyMigration(model, field, compute)
+		if prevBegin != nil {
+			return prevBegin(model, field, compute)
+		}
+		return nil
+	}
+	prevEnd := opts.LazyEnd
+	opts.LazyEnd = func(model, field string) {
+		w.conn.ClearLazyMigration(model)
+		if prevEnd != nil {
+			prevEnd(model, field)
+		}
+	}
 }
 
 // AppliedMigrations lists the journal of named migrations run against this
