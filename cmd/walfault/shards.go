@@ -1,0 +1,299 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"scooter"
+	"scooter/internal/store/wal"
+)
+
+// The -shards mode sweeps crashes through an epoch-fenced cross-shard
+// migration. A pristine N-shard run bootstraps a spec, seeds users under
+// explicit ids (so an unsharded oracle lands the same documents), and
+// commits an online migration across every shard with foreground traffic
+// at backfill batch boundaries. Each trial then truncates ONE shard's log
+// at one byte offset inside the migration window — the prefix that shard's
+// disk would hold after losing its tail — reopens the whole set, replays
+// the migration history through the coordinator, re-issues the traffic
+// idempotently, and requires: every shard at the same $spec epoch, and the
+// merged logical state ($migrations and $spec included) byte-identical to
+// both the uninterrupted sharded run and a 1-shard oracle.
+//
+// The foreground traffic is restricted to operations that commute with the
+// backfill order. Shard windows open sequentially, so a router write can
+// land on a shard whose fence is not up yet; writes that feed the new
+// field's derivation (renames, here) would make the backfilled value
+// depend on which side of that shard's window the write landed, and the
+// replay — which re-issues traffic only after the window — could not
+// converge. Inserts spell out the new field explicitly with exactly the
+// value the migration would derive, updates touch only fields outside the
+// derivation, and deletes are guarded by existence.
+
+// shardOp is one foreground operation during the cross-shard window.
+type shardOp struct {
+	kind string     // "insert", "age", "delete"
+	id   scooter.ID // explicit id (kind "insert")
+	name string     // inserted user's name (kind "insert")
+	idx  int        // seed index targeted (other kinds)
+	val  int64      // new age (kind "age")
+}
+
+// shardTraffic is the deterministic foreground workload, issued two ops
+// per backfill batch boundary across all shard windows.
+func shardTraffic() [][]shardOp {
+	return [][]shardOp{
+		{{kind: "age", idx: 1, val: 91}, {kind: "insert", id: 200, name: "fg0"}},
+		{{kind: "age", idx: 2, val: 92}, {kind: "delete", idx: 12}},
+		{{kind: "insert", id: 201, name: "fg1"}, {kind: "age", idx: 3, val: 93}},
+		{{kind: "delete", idx: 9}, {kind: "insert", id: 202, name: "fg2"}},
+		{{kind: "age", idx: 1, val: 94}, {kind: "age", idx: 5, val: 95}},
+	}
+}
+
+func issueShardOp(pr *scooter.ShardedPrinc, o shardOp, ids []scooter.ID) error {
+	switch o.kind {
+	case "insert":
+		// Guard: the insert may already be durable from before the crash.
+		got, err := pr.Find("User", scooter.Eq("name", o.name))
+		if err != nil {
+			return err
+		}
+		if len(got) > 0 {
+			return nil
+		}
+		// bio carries exactly the value the migration derives, so the
+		// document is identical whether the backfill or the insert wrote it.
+		return pr.InsertWithID("User", o.id, scooter.Doc{
+			"name": o.name, "age": int64(50), "bio": "I'm " + o.name,
+		})
+	case "age":
+		return pr.Update("User", ids[o.idx], scooter.Doc{"age": o.val})
+	case "delete":
+		obj, err := pr.FindByID("User", ids[o.idx])
+		if err != nil {
+			return err
+		}
+		if obj == nil {
+			return nil
+		}
+		return pr.Delete("User", ids[o.idx])
+	}
+	return fmt.Errorf("unknown op %q", o.kind)
+}
+
+// seedSharded bootstraps the spec and seeds users under explicit ids
+// 100..100+n-1 so every world — sharded, trial replay, oracle — places the
+// same documents.
+func seedSharded(sw *scooter.ShardedWorkspace, nSeed int) []scooter.ID {
+	if _, err := sw.MigrateNamedOpts("000_base", onlineBase, onlineOpts()); err != nil {
+		fatal("shards: bootstrap: %v", err)
+	}
+	anon := sw.AsPrinc(scooter.Static("Unauthenticated"))
+	ids := make([]scooter.ID, nSeed)
+	for i := range ids {
+		ids[i] = scooter.ID(100 + i)
+		if err := anon.InsertWithID("User", ids[i], scooter.Doc{
+			"name": fmt.Sprintf("u%03d", i), "age": int64(20 + i),
+		}); err != nil {
+			fatal("shards: seed: %v", err)
+		}
+	}
+	return ids
+}
+
+// runShards is the -shards entry point.
+func runShards(work string, nShards, maxTrials int, seed int64) {
+	const nSeed = 16
+
+	// Pristine run: bootstrap + seed durably, note where each shard's
+	// migration window starts, then migrate across shards with traffic at
+	// every backfill batch boundary.
+	pristine := filepath.Join(work, "shards-pristine")
+	sw, err := scooter.OpenSharded(pristine, nShards, scooter.DurabilityOptions{CompactAfterBytes: -1})
+	if err != nil {
+		fatal("shards: open pristine: %v", err)
+	}
+	ids := seedSharded(sw, nSeed)
+	if err := sw.Sync(); err != nil {
+		fatal("shards: sync: %v", err)
+	}
+	seg := wal.SegmentName(1)
+	bootLen := make([]int64, nShards)
+	for s := 0; s < nShards; s++ {
+		bootLen[s] = fileSize(filepath.Join(pristine, fmt.Sprintf("shard-%d", s), seg))
+	}
+
+	groups := shardTraffic()
+	anon := sw.AsPrinc(scooter.Static("Unauthenticated"))
+	next := 0
+	opts := onlineOpts()
+	opts.Online = true
+	opts.BatchSize = 4
+	opts.OnBatch = func(model, field string, watermark scooter.ID, remaining int) error {
+		if next < len(groups) {
+			for _, o := range groups[next] {
+				if err := issueShardOp(anon, o, ids); err != nil {
+					return fmt.Errorf("boundary %d: %w", next, err)
+				}
+			}
+			next++
+		}
+		return nil
+	}
+	if _, err := sw.MigrateNamedOpts("001_bio", onlineBio, opts); err != nil {
+		fatal("shards: migrate: %v", err)
+	}
+	for ; next < len(groups); next++ {
+		for _, o := range groups[next] {
+			if err := issueShardOp(anon, o, ids); err != nil {
+				fatal("shards: post-window traffic: %v", err)
+			}
+		}
+	}
+	if err := sw.Sync(); err != nil {
+		fatal("shards: sync: %v", err)
+	}
+	wantEpoch := requireConvergedEpochs(sw, "pristine")
+	wantHash, err := sw.LogicalStateHash()
+	if err != nil {
+		fatal("shards: hash: %v", err)
+	}
+	if err := sw.Close(); err != nil {
+		fatal("shards: close pristine: %v", err)
+	}
+
+	// The unsharded oracle: same seeds, same migrations, same traffic, one
+	// workspace. Its logical state must match the sharded run byte for byte.
+	oracleHash := shardOracleHash(ids, groups)
+	if oracleHash != wantHash {
+		fatal("shards: pristine sharded state diverges from the unsharded oracle (%s != %s)", wantHash, oracleHash)
+	}
+	fmt.Println("shards: sharded state matches unsharded oracle")
+
+	// Candidate kill points: every byte any shard's migration window wrote.
+	type kill struct {
+		shard int
+		off   int
+	}
+	full := make([][]byte, nShards)
+	var kills []kill
+	for s := 0; s < nShards; s++ {
+		full[s], err = os.ReadFile(filepath.Join(pristine, fmt.Sprintf("shard-%d", s), seg))
+		if err != nil {
+			fatal("shards: %v", err)
+		}
+		for off := int(bootLen[s]); off <= len(full[s]); off++ {
+			kills = append(kills, kill{s, off})
+		}
+	}
+	if maxTrials > 0 && maxTrials < len(kills) {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(kills), func(i, j int) { kills[i], kills[j] = kills[j], kills[i] })
+		kills = kills[:maxTrials]
+		fmt.Printf("shards: bounded run, %d of the possible kill points (seed %d)\n", len(kills), seed)
+	}
+	for _, k := range kills {
+		runShardTrial(work, pristine, nShards, k.shard, seg, full[k.shard], k.off, ids, groups, wantEpoch, wantHash)
+	}
+	fmt.Printf("shards: %d kill points converged across %d shards\n", len(kills), nShards)
+	fmt.Println("all recovered")
+}
+
+// shardOracleHash replays the whole workload on a single in-memory shard
+// and returns its logical state hash.
+func shardOracleHash(ids []scooter.ID, groups [][]shardOp) string {
+	oracle, err := scooter.NewSharded(1)
+	if err != nil {
+		fatal("shards: oracle: %v", err)
+	}
+	defer oracle.Close()
+	seedSharded(oracle, len(ids))
+	opts := onlineOpts()
+	opts.Online = true
+	opts.BatchSize = 4
+	if _, err := oracle.MigrateNamedOpts("001_bio", onlineBio, opts); err != nil {
+		fatal("shards: oracle migrate: %v", err)
+	}
+	anon := oracle.AsPrinc(scooter.Static("Unauthenticated"))
+	for g, ops := range groups {
+		for _, o := range ops {
+			if err := issueShardOp(anon, o, ids); err != nil {
+				fatal("shards: oracle group %d: %v", g, err)
+			}
+		}
+	}
+	h, err := oracle.LogicalStateHash()
+	if err != nil {
+		fatal("shards: oracle hash: %v", err)
+	}
+	return h
+}
+
+// runShardTrial loses one shard's log tail at one byte offset, reopens the
+// whole set, replays the history, re-issues the traffic, and requires the
+// epochs and the merged logical state to converge.
+func runShardTrial(work, pristine string, nShards, shard int, seg string, full []byte, off int, ids []scooter.ID, groups [][]shardOp, wantEpoch int64, wantHash string) {
+	trial := filepath.Join(work, "shards-trial")
+	if err := os.RemoveAll(trial); err != nil {
+		fatal("%v", err)
+	}
+	if err := os.CopyFS(trial, os.DirFS(pristine)); err != nil {
+		fatal("shards clone: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(trial, fmt.Sprintf("shard-%d", shard), seg), full[:off:off], 0o644); err != nil {
+		fatal("%v", err)
+	}
+
+	sw, err := scooter.OpenSharded(trial, nShards, scooter.DurabilityOptions{CompactAfterBytes: -1})
+	if err != nil {
+		fatal("shards@%d+%d: recovery failed: %v", shard, off, err)
+	}
+	if _, err := sw.MigrateNamedOpts("000_base", onlineBase, onlineOpts()); err != nil {
+		fatal("shards@%d+%d: bootstrap replay: %v", shard, off, err)
+	}
+	opts := onlineOpts()
+	opts.Online = true
+	opts.BatchSize = 4
+	if _, err := sw.MigrateNamedOpts("001_bio", onlineBio, opts); err != nil {
+		fatal("shards@%d+%d: resume: %v", shard, off, err)
+	}
+	anon := sw.AsPrinc(scooter.Static("Unauthenticated"))
+	for g, ops := range groups {
+		for _, o := range ops {
+			if err := issueShardOp(anon, o, ids); err != nil {
+				fatal("shards@%d+%d: re-issue group %d: %v", shard, off, g, err)
+			}
+		}
+	}
+	if err := sw.Sync(); err != nil {
+		fatal("shards@%d+%d: sync: %v", shard, off, err)
+	}
+	if got := requireConvergedEpochs(sw, fmt.Sprintf("trial %d+%d", shard, off)); got != wantEpoch {
+		fatal("shards@%d+%d: converged to epoch %d, want %d", shard, off, got, wantEpoch)
+	}
+	got, err := sw.LogicalStateHash()
+	if err != nil {
+		fatal("shards@%d+%d: hash: %v", shard, off, err)
+	}
+	if got != wantHash {
+		fatal("shards@%d+%d: state after crash+replay diverges from uninterrupted run (%s != %s)", shard, off, got, wantHash)
+	}
+	if err := sw.Close(); err != nil {
+		fatal("shards@%d+%d: close: %v", shard, off, err)
+	}
+}
+
+// requireConvergedEpochs asserts every shard reports the same $spec epoch
+// and returns it.
+func requireConvergedEpochs(sw *scooter.ShardedWorkspace, what string) int64 {
+	epochs := sw.Epochs()
+	for _, e := range epochs[1:] {
+		if e != epochs[0] {
+			fatal("shards: %s: mixed epochs %v", what, epochs)
+		}
+	}
+	return epochs[0]
+}

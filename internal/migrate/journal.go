@@ -46,14 +46,22 @@ func scriptHash(src string) string {
 
 // Journal reads and writes the applied-migration log of a database.
 type Journal struct {
-	db *store.DB
+	db   *store.DB
+	coll string
 	// Clock supplies entry timestamps; nil means time.Now. Injected so
 	// journal contents (and thus WAL bytes) are deterministic in tests.
 	Clock func() time.Time
 }
 
-// NewJournal returns the journal of db.
-func NewJournal(db *store.DB) *Journal { return &Journal{db: db} }
+// NewJournal returns the journal of db, stored in JournalCollection.
+func NewJournal(db *store.DB) *Journal { return NewJournalIn(db, JournalCollection) }
+
+// NewJournalIn returns a journal stored in an arbitrary reserved
+// collection. The shard coordinator keeps its cross-shard prepare/commit
+// records in "$shardtx" on shard 0, reusing the same crash-safe
+// Begin/Progress/Finish machinery that tracks per-shard migrations in
+// "$migrations".
+func NewJournalIn(db *store.DB, coll string) *Journal { return &Journal{db: db, coll: coll} }
 
 func (j *Journal) now() int64 {
 	if j.Clock != nil {
@@ -81,7 +89,7 @@ func (j *Journal) Lookup(name string) (*JournalEntry, bool) {
 }
 
 func (j *Journal) lookupDoc(name string) (*JournalEntry, store.ID, bool) {
-	docs := j.db.Collection(JournalCollection).Find(store.Eq("name", name))
+	docs := j.db.Collection(j.coll).Find(store.Eq("name", name))
 	if len(docs) == 0 {
 		return nil, store.Nil, false
 	}
@@ -91,7 +99,7 @@ func (j *Journal) lookupDoc(name string) (*JournalEntry, store.ID, bool) {
 
 // Entries lists applied migrations in application order.
 func (j *Journal) Entries() []JournalEntry {
-	docs := j.db.Collection(JournalCollection).Find()
+	docs := j.db.Collection(j.coll).Find()
 	out := make([]JournalEntry, 0, len(docs))
 	for _, d := range docs {
 		out = append(out, entryFromDoc(d))
@@ -159,7 +167,7 @@ func (j *Journal) Begin(name, src string, commands int) (store.ID, error) {
 		}
 		return id, nil
 	}
-	id := j.db.Collection(JournalCollection).Insert(store.Doc{
+	id := j.db.Collection(j.coll).Insert(store.Doc{
 		"name":      name,
 		"hash":      scriptHash(src),
 		"appliedAt": j.now(),
@@ -176,7 +184,7 @@ func (j *Journal) Begin(name, src string, commands int) (store.ID, error) {
 // command resets the backfill watermark: it belonged to the finished
 // command's sweep.
 func (j *Journal) Progress(id store.ID, applied int) error {
-	return j.db.Collection(JournalCollection).Update(id, store.Doc{
+	return j.db.Collection(j.coll).Update(id, store.Doc{
 		"applied":   int64(applied),
 		"watermark": int64(0),
 	})
@@ -187,14 +195,14 @@ func (j *Journal) Progress(id store.ID, applied int) error {
 // the batch's own updates, so a recovered watermark never claims documents
 // the data does not reflect.
 func (j *Journal) ProgressBackfill(id store.ID, watermark store.ID) error {
-	return j.db.Collection(JournalCollection).Update(id, store.Doc{
+	return j.db.Collection(j.coll).Update(id, store.Doc{
 		"watermark": int64(watermark),
 	})
 }
 
 // Finish marks the entry complete.
 func (j *Journal) Finish(id store.ID, applied int) error {
-	return j.db.Collection(JournalCollection).Update(id, store.Doc{
+	return j.db.Collection(j.coll).Update(id, store.Doc{
 		"applied": int64(applied),
 		"done":    true,
 	})
@@ -203,7 +211,7 @@ func (j *Journal) Finish(id store.ID, applied int) error {
 // Record journals an already-completed application in one step; callers
 // that need crash-safe progress use Begin/Progress/Finish instead.
 func (j *Journal) Record(name, src string, commands int) {
-	j.db.Collection(JournalCollection).Insert(store.Doc{
+	j.db.Collection(j.coll).Insert(store.Doc{
 		"name":      name,
 		"hash":      scriptHash(src),
 		"appliedAt": j.now(),

@@ -1,0 +1,49 @@
+// Package shard partitions a workspace's documents across N independent
+// shard databases by document id, with a router in front of the ORM layer
+// that sends by-id operations to the single owner shard and fans filter
+// queries out to every shard, merging the results deterministically.
+//
+// Each shard is a complete workspace — its own write-ahead log, its own
+// migration journal, its own (optional) replica set — and policy
+// enforcement is unchanged: every operation the router forwards goes
+// through the owner shard's policy-enforcing ORM connection. The paper's
+// guarantee is therefore preserved per shard; what makes sharding safe as
+// a whole is the epoch fence on the reserved "$spec" collection (see the
+// scooter package's ShardedWorkspace): a cross-shard migration drives
+// every shard across the same spec epoch through a coordinator journal,
+// and crash recovery replays the history until they all agree.
+package shard
+
+import "scooter/internal/store"
+
+// Reserved collections the sharding layer knows about.
+const (
+	// SpecCollection carries the authoritative spec text and its epoch on
+	// every shard (same collection the replication layer uses).
+	SpecCollection = "$spec"
+	// JournalCollection is each shard's own migration journal.
+	JournalCollection = "$migrations"
+	// CoordinatorCollection is the cross-shard migration coordinator's
+	// journal, kept on shard 0: one prepare/commit record per migration,
+	// progress counted in shards committed rather than commands applied.
+	CoordinatorCollection = "$shardtx"
+)
+
+// Owner returns the shard (0..n-1) that owns document id. The placement
+// is a pure function of the id, so any process that knows n can route
+// without coordination. Ids are sequential allocations, so they are mixed
+// through a splitmix64-style finalizer first: modulo alone would turn the
+// allocator into a round-robin that correlates with insertion order, and
+// any range scan would hit shards in lockstep.
+func Owner(id store.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"scooter/internal/eval"
+	"scooter/internal/obs"
+	"scooter/internal/orm"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/store"
+	"scooter/internal/typer"
+)
+
+// The test spec keeps every policy row-local (principal identity and the
+// target document's own fields): policies that quantify over a collection
+// with Model::Find observe only the owner shard's slice of it, so sharded
+// deployments keep such policies out of the sharded models (see DESIGN.md).
+const testSpec = `
+@static-principal
+Admin
+
+@principal
+User {
+  create: _ -> [Admin],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  secret: String { read: u -> [u], write: u -> [u] }}
+
+Post {
+  create: p -> [p.owner],
+  delete: p -> [p.owner],
+  owner: Id(User) { read: public, write: none },
+  body: String { read: public, write: p -> [p.owner] }}
+`
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestRouter(t *testing.T, n int) (*Router, []*store.DB, *obs.ShardMetrics) {
+	t.Helper()
+	s := testSchema(t)
+	dbs := make([]*store.DB, n)
+	conns := make([]*orm.Conn, n)
+	for i := range dbs {
+		dbs[i] = store.Open()
+		conns[i] = orm.Open(s, dbs[i])
+	}
+	m := obs.NewShardMetrics(obs.NewRegistry(), n)
+	return NewRouter(dbs, conns, m), dbs, m
+}
+
+func user(id store.ID) eval.Principal { return eval.InstancePrincipal("User", id) }
+
+func TestOwnerDeterministicAndCovering(t *testing.T) {
+	if Owner(42, 1) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+	const n = 4
+	hit := make([]int, n)
+	for id := store.ID(1); id <= 1000; id++ {
+		o := Owner(id, n)
+		if o < 0 || o >= n {
+			t.Fatalf("Owner(%d, %d) = %d out of range", id, n, o)
+		}
+		if o != Owner(id, n) {
+			t.Fatalf("Owner(%d, %d) not deterministic", id, n)
+		}
+		hit[o]++
+	}
+	for i, c := range hit {
+		// A fair hash puts ~250 of 1000 sequential ids on each of 4 shards;
+		// anything under 150 means the mix degenerated.
+		if c < 150 {
+			t.Fatalf("shard %d got only %d of 1000 ids: %v", i, c, hit)
+		}
+	}
+}
+
+func TestRouterPlacesByOwnerAndAllocatesUniqueIDs(t *testing.T) {
+	r, dbs, m := newTestRouter(t, 4)
+	admin := r.AsPrinc(eval.StaticPrincipal("Admin"))
+	seen := map[store.ID]bool{}
+	for i := 0; i < 40; i++ {
+		id, err := admin.Insert("User", store.Doc{"name": fmt.Sprintf("u%d", i), "secret": "s"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("id %v allocated twice", id)
+		}
+		seen[id] = true
+		owner := Owner(id, 4)
+		for si, db := range dbs {
+			c, ok := db.Lookup("User")
+			found := ok && c.Count(store.Eq("id", id)) == 1
+			if found != (si == owner) {
+				t.Fatalf("doc %v: found on shard %d, owner is %d", id, si, owner)
+			}
+		}
+	}
+	var routed int64
+	for i := 0; i < 4; i++ {
+		routed += m.RoutedOps.With(fmt.Sprint(i)).Value()
+	}
+	if routed != 40 {
+		t.Fatalf("routed ops = %d, want 40", routed)
+	}
+}
+
+func TestRouterByIDOpsRouteWithoutFanout(t *testing.T) {
+	r, _, m := newTestRouter(t, 4)
+	admin := r.AsPrinc(eval.StaticPrincipal("Admin"))
+	uid, err := admin.Insert("User", store.Doc{"name": "alice", "secret": "s3cr3t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := r.AsPrinc(user(uid))
+
+	obj, err := alice.FindByID("User", uid)
+	if err != nil || obj == nil {
+		t.Fatalf("FindByID: %v, %v", obj, err)
+	}
+	if v, _ := obj.Get("secret"); v != "s3cr3t" {
+		t.Fatalf("secret = %v", v)
+	}
+	if err := alice.Update("User", uid, store.Doc{"name": "alice2"}); err != nil {
+		t.Fatal(err)
+	}
+	// An id-equality Find routes to the owner shard instead of fanning out.
+	before := m.FanoutOps.Value()
+	objs, err := alice.Find("User", store.Eq("id", uid))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("routed Find: %v, %v", objs, err)
+	}
+	if m.FanoutOps.Value() != before {
+		t.Fatal("id-equality Find fanned out")
+	}
+	if n, _ := objs[0].Get("name"); n != "alice2" {
+		t.Fatalf("name = %v", n)
+	}
+}
+
+func TestRouterFanoutMergesInIDOrder(t *testing.T) {
+	r, _, m := newTestRouter(t, 4)
+	admin := r.AsPrinc(eval.StaticPrincipal("Admin"))
+	uid, err := admin.Insert("User", store.Doc{"name": "alice", "secret": "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := r.AsPrinc(user(uid))
+	// Explicit ids guarantee documents land on several shards.
+	var want []store.ID
+	for i := 0; i < 20; i++ {
+		id := store.ID(1000 + i)
+		if err := alice.InsertWithID("Post", id, store.Doc{"owner": uid, "body": fmt.Sprintf("p%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	objs, err := alice.Find("Post", store.Eq("owner", uid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FanoutOps.Value() == 0 {
+		t.Fatal("filter Find did not fan out")
+	}
+	if len(objs) != len(want) {
+		t.Fatalf("got %d posts, want %d", len(objs), len(want))
+	}
+	for i, o := range objs {
+		if o.ID != want[i] {
+			t.Fatalf("merge order broken at %d: got %v, want %v", i, o.ID, want[i])
+		}
+	}
+	// The router's allocator must have advanced past the explicit ids.
+	if id := r.NewID(); id <= 1019 {
+		t.Fatalf("allocator did not advance past explicit ids: %v", id)
+	}
+}
+
+func TestRouterEnforcesPoliciesOnOwnerShard(t *testing.T) {
+	r, _, _ := newTestRouter(t, 4)
+	admin := r.AsPrinc(eval.StaticPrincipal("Admin"))
+	a, err := admin.Insert("User", store.Doc{"name": "alice", "secret": "alice-secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := admin.Insert("User", store.Doc{"name": "bob", "secret": "bob-secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := r.AsPrinc(user(b))
+	// Reads strip the unreadable field regardless of which shard owns it.
+	obj, err := bob.FindByID("User", a)
+	if err != nil || obj == nil {
+		t.Fatalf("FindByID: %v, %v", obj, err)
+	}
+	if _, ok := obj.Get("secret"); ok {
+		t.Fatal("bob read alice's secret through the router")
+	}
+	if n, _ := obj.Get("name"); n != "alice" {
+		t.Fatalf("name = %v", n)
+	}
+	// Writes are rejected by the owner shard's policy gate.
+	if err := bob.Update("User", a, store.Doc{"secret": "stolen"}); err == nil {
+		t.Fatal("bob overwrote alice's secret through the router")
+	}
+	// Creation policy: nobody but Admin may create users.
+	if _, err := bob.Insert("User", store.Doc{"name": "eve", "secret": "x"}); err == nil {
+		t.Fatal("non-admin created a user through the router")
+	}
+}
+
+func TestLogicalHashShardedMatchesOracle(t *testing.T) {
+	s := testSchema(t)
+	const n = 4
+	shardDBs := make([]*store.DB, n)
+	shardConns := make([]*orm.Conn, n)
+	for i := range shardDBs {
+		shardDBs[i] = store.Open()
+		shardConns[i] = orm.Open(s, shardDBs[i])
+	}
+	router := NewRouter(shardDBs, shardConns, nil)
+	oracleDB := store.Open()
+	oracleConn := orm.Open(s, oracleDB)
+
+	apply := func(id store.ID, body string) {
+		if err := router.AsPrinc(eval.StaticPrincipal("Admin")).InsertWithID("User", id, store.Doc{"name": body, "secret": "s"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracleConn.AsPrinc(eval.StaticPrincipal("Admin")).InsertWithID("User", id, store.Doc{"name": body, "secret": "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		apply(store.ID(100+i), fmt.Sprintf("u%d", i))
+	}
+
+	sharded, err := LogicalHash(shardDBs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := LogicalHash([]*store.DB{oracleDB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded != oracle {
+		t.Fatalf("logical hashes diverge:\n sharded %s\n oracle  %s", sharded, oracle)
+	}
+
+	// A single-document divergence must change the hash.
+	id := store.ID(107)
+	if err := shardDBs[Owner(id, n)].Collection("User").Update(id, store.Doc{"name": "tampered"}); err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := LogicalHash(shardDBs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tampered == oracle {
+		t.Fatal("tampered shard set still matches the oracle")
+	}
+}

@@ -296,21 +296,28 @@ func (w *Workspace) Close() error {
 	return first
 }
 
-// Sync forces an fsync of the write-ahead log; a no-op without one. Useful
-// under relaxed DurabilityOptions (SyncEvery > 1) before acknowledging
-// externally visible state.
+// Sync forces an fsync of the write-ahead log; a no-op without one (or
+// after Close). Useful under relaxed DurabilityOptions (SyncEvery > 1)
+// before acknowledging externally visible state. Like Close, it is safe
+// under concurrent callers: a router shutting down a set of shard
+// workspaces may race an application-level Sync without either side
+// observing a half-closed log.
 func (w *Workspace) Sync() error {
-	if w.wal == nil {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	if w.closed || w.wal == nil {
 		return nil
 	}
 	return w.wal.Sync()
 }
 
 // Compact folds the write-ahead log into a fresh snapshot; a no-op without
-// one. The log also compacts itself once it passes
+// one (or after Close). The log also compacts itself once it passes
 // DurabilityOptions.CompactAfterBytes.
 func (w *Workspace) Compact() error {
-	if w.wal == nil {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	if w.closed || w.wal == nil {
 		return nil
 	}
 	return w.wal.Compact()
@@ -514,7 +521,13 @@ func (w *Workspace) MigrateNamedOpts(name, src string, opts Options) (bool, erro
 	}
 	w.schema = after
 	w.conn.SetSchema(after)
-	persistSpec(w.db, w.SpecText())
+	if applied {
+		// Journal replays (applied == false) only advance the in-memory
+		// schema: the durable $spec already reflects a state at or past this
+		// migration, and rewriting it with the intermediate spec would bump
+		// the epoch on every replayed step of the history.
+		persistSpec(w.db, w.SpecText())
+	}
 	if w.journaled == nil {
 		w.journaled = map[string]bool{}
 	}

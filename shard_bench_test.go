@@ -1,0 +1,86 @@
+package scooter_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scooter"
+)
+
+// BenchmarkShardedReplicatedWrites measures aggregate durable, replicated
+// write throughput as shards are added, under the group-commit regime of
+// the PR 4 replicated-write workload (SyncEvery: 64 — records batch into
+// shared fsyncs). Each shard serves one serial client stream — the
+// scale-out shape: adding a shard adds a primary WAL, an fsync pipeline,
+// and a replication stream — and ships its log to its own follower; the
+// clock stops only after every follower has durably mirrored and applied
+// every record.
+//
+// The scaling resource is per-shard fsync/commit pipelines overlapping in
+// the IO queue (and, on multi-core hosts, per-shard committers and
+// replication servers on separate cores). Results and the single-core
+// ceiling analysis are in EXPERIMENTS.md.
+func BenchmarkShardedReplicatedWrites(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchShardedWrites(b, n)
+		})
+	}
+}
+
+func benchShardedWrites(b *testing.B, n int) {
+	sw, err := scooter.OpenSharded(b.TempDir(), n, scooter.DurabilityOptions{
+		SyncEvery:         64,
+		CompactAfterBytes: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sw.Close()
+
+	followers := make([]*scooter.FollowerWorkspace, n)
+	for i := 0; i < n; i++ {
+		srv, err := sw.Shard(i).ServeReplication("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		// Followers mirror with batched fsyncs: the primary's fsync is the
+		// durability point under test, and per-record follower fsyncs would
+		// contend for the same journal.
+		fopts := fastFollowerOpts()
+		fopts.WAL = scooter.DurabilityOptions{SyncEvery: 256, CompactAfterBytes: -1}
+		f, err := scooter.OpenFollower(b.TempDir(), srv.Addr().String(), fopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		followers[i] = f
+	}
+
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	wg.Add(n)
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			w := sw.Shard(s)
+			for i := s; i < b.N; i += n {
+				w.InsertRaw("users", scooter.Doc{"name": fmt.Sprintf("u%d", i), "age": int64(i)})
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := sw.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	for i, f := range followers {
+		if err := f.WaitForLSN(sw.Shard(i).DurableLSN(), 120*time.Second); err != nil {
+			b.Fatalf("follower %d: %v", i, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+}

@@ -1,0 +1,316 @@
+package scooter
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"scooter/internal/migrate"
+	"scooter/internal/obs"
+	"scooter/internal/orm"
+	"scooter/internal/shard"
+	"scooter/internal/store"
+)
+
+// ShardedPrinc performs policy-checked operations for one principal across
+// a shard set: by-id operations route to the owner shard, filter queries
+// fan out and merge.
+type ShardedPrinc = shard.Princ
+
+// ShardedWorkspace fronts N independent shard workspaces — each with its
+// own write-ahead log, migration journal, and (optionally) replica set —
+// behind a hash-partitioning router. Documents are placed by id; every
+// operation is enforced by the owner shard's policy-checking ORM, so the
+// paper's guarantee is unchanged per document.
+//
+// Migrations commit across shards behind an epoch fence: MigrateNamed
+// verifies the script once, records a prepare entry in a coordinator
+// journal (the reserved "$shardtx" collection on shard 0), then applies
+// the migration shard by shard — each shard fencing its own schema and
+// "$spec" exactly as a single workspace does — and finally marks the
+// coordinator entry done. The spec epoch (a counter in "$spec", bumped
+// only when the spec text changes) is identical on every shard once the
+// commit completes. A crash at any point leaves a prefix of shards on the
+// new epoch; replaying the migration history after reopening (the same
+// recovery contract a single durable workspace has) rolls the remaining
+// shards forward — already-committed shards no-op via their own journals —
+// so every shard converges to the same epoch and no shard ever re-serves
+// a retracted spec.
+type ShardedWorkspace struct {
+	shards []*Workspace
+	router *shard.Router
+
+	// reg holds the router-level metrics (per-shard routed ops, fan-out
+	// widths, epoch gauges); each shard keeps its own registry for its
+	// WAL/ORM/solver metrics.
+	reg     *obs.Registry
+	metrics *obs.ShardMetrics
+
+	// migMu serialises cross-shard migrations, mirroring Workspace.migMu.
+	migMu     sync.Mutex
+	journaled map[string]bool
+
+	// closeMu makes Close idempotent under concurrent callers.
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewSharded returns a sharded workspace over n fresh in-memory shards
+// (no durability) — the sharded counterpart of NewWorkspace, used by
+// tests and benchmarks.
+func NewSharded(n int) (*ShardedWorkspace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scooter: shard count must be >= 1, got %d", n)
+	}
+	shards := make([]*Workspace, n)
+	for i := range shards {
+		shards[i] = NewWorkspace()
+	}
+	return newSharded(shards), nil
+}
+
+// OpenSharded opens (or recovers) a sharded workspace of n durable shards
+// under dir, each in its own subdirectory dir/shard-<i> with its own
+// write-ahead log. Reopening an existing directory with a different shard
+// count is refused: placement is a pure function of the id and the shard
+// count, so changing n would orphan documents on shards the router no
+// longer consults.
+//
+// Like OpenDurable, the specification starts empty; replay the migration
+// history with MigrateNamed to drive every shard to the current epoch — a
+// migration interrupted by a crash resumes exactly where the coordinator
+// and the per-shard journals left it.
+func OpenSharded(dir string, n int, opts DurabilityOptions) (*ShardedWorkspace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scooter: shard count must be >= 1, got %d", n)
+	}
+	if _, err := os.Stat(shardDir(dir, n)); err == nil {
+		return nil, fmt.Errorf("scooter: %s exists: directory was created with more than %d shards", shardDir(dir, n), n)
+	}
+	shards := make([]*Workspace, n)
+	for i := range shards {
+		w, err := OpenDurable(shardDir(dir, i), opts)
+		if err != nil {
+			for _, prev := range shards[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("scooter: opening shard %d: %w", i, err)
+		}
+		shards[i] = w
+	}
+	return newSharded(shards), nil
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+}
+
+func newSharded(shards []*Workspace) *ShardedWorkspace {
+	reg := obs.NewRegistry()
+	metrics := obs.NewShardMetrics(reg, len(shards))
+	dbs := make([]*store.DB, len(shards))
+	conns := make([]*orm.Conn, len(shards))
+	for i, w := range shards {
+		dbs[i] = w.db
+		conns[i] = w.conn
+	}
+	sw := &ShardedWorkspace{
+		shards:  shards,
+		router:  shard.NewRouter(dbs, conns, metrics),
+		reg:     reg,
+		metrics: metrics,
+	}
+	for i, w := range shards {
+		metrics.SetEpoch(i, w.SpecEpoch())
+	}
+	return sw
+}
+
+// Shards returns the number of shards.
+func (sw *ShardedWorkspace) Shards() int { return len(sw.shards) }
+
+// Shard returns shard i's workspace, for per-shard inspection (state
+// hashes, replication serving, metrics).
+func (sw *ShardedWorkspace) Shard(i int) *Workspace { return sw.shards[i] }
+
+// Metrics returns the router-level metrics registry.
+func (sw *ShardedWorkspace) Metrics() *obs.Registry { return sw.reg }
+
+// AsPrinc returns a handle performing routed, policy-checked operations
+// on behalf of p.
+func (sw *ShardedWorkspace) AsPrinc(p Principal) *ShardedPrinc {
+	return sw.router.AsPrinc(p)
+}
+
+// SpecText renders the specification (identical on every shard once the
+// latest migration has committed; shard 0 is authoritative between).
+func (sw *ShardedWorkspace) SpecText() string { return sw.shards[0].SpecText() }
+
+// Epochs reports each shard's current $spec epoch. All equal means every
+// shard enforces the same policies; a mixed vector means a cross-shard
+// migration is in flight (or was interrupted — replay the history).
+func (sw *ShardedWorkspace) Epochs() []int64 {
+	out := make([]int64, len(sw.shards))
+	for i, w := range sw.shards {
+		out[i] = w.SpecEpoch()
+	}
+	return out
+}
+
+// LogicalStateHash fingerprints the user-visible state of the whole shard
+// set: user collections merged in id order, the spec by text and epoch,
+// the migration journals by content. Comparing it with the hash of a
+// single unsharded workspace (a one-shard set) given the same explicit-id
+// workload proves observational equivalence; see shard.LogicalHash.
+func (sw *ShardedWorkspace) LogicalStateHash() (string, error) {
+	dbs := make([]*store.DB, len(sw.shards))
+	for i, w := range sw.shards {
+		dbs[i] = w.db
+	}
+	return shard.LogicalHash(dbs)
+}
+
+// InsertRaw bypasses policy checks to seed data on the owner shard of a
+// freshly allocated id (test fixtures and benchmark setup).
+func (sw *ShardedWorkspace) InsertRaw(model string, fields Doc) ID {
+	id := sw.router.NewID()
+	owner := sw.router.Owner(id)
+	if err := sw.router.DB(owner).Collection(model).InsertWithID(id, fields); err != nil {
+		panic(fmt.Sprintf("scooter: InsertRaw with fresh id collided: %v", err))
+	}
+	return id
+}
+
+// EnsureIndex installs a hash index on model.field on every shard.
+func (sw *ShardedWorkspace) EnsureIndex(model, field string) {
+	for _, w := range sw.shards {
+		w.EnsureIndex(model, field)
+	}
+}
+
+// Sync forces an fsync of every shard's write-ahead log.
+func (sw *ShardedWorkspace) Sync() error {
+	var first error
+	for _, w := range sw.shards {
+		if err := w.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every shard. It is idempotent and safe under concurrent
+// callers (each shard's own Close is too, so a caller holding a *Workspace
+// from Shard(i) cannot race the router's shutdown into a double close).
+func (sw *ShardedWorkspace) Close() error {
+	sw.closeMu.Lock()
+	defer sw.closeMu.Unlock()
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	var first error
+	for _, w := range sw.shards {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MigrateNamed applies a named migration across every shard exactly once,
+// with the same journal semantics as Workspace.MigrateNamed.
+func (sw *ShardedWorkspace) MigrateNamed(name, src string) (bool, error) {
+	return sw.MigrateNamedOpts(name, src, DefaultOptions())
+}
+
+// MigrateNamedOpts is MigrateNamed with explicit options. The script is
+// verified once (against the first shard that has not applied it); every
+// shard then executes it with verification skipped — strictness is a
+// property of the spec transition, which is identical on every shard, not
+// of the data. Online options apply per shard: each shard runs its own
+// fenced dual-read window and batched backfill in turn, and OnBatch hooks
+// fire with that shard's batches while the router keeps serving traffic.
+func (sw *ShardedWorkspace) MigrateNamedOpts(name, src string, opts Options) (bool, error) {
+	sw.migMu.Lock()
+	defer sw.migMu.Unlock()
+
+	coord := migrate.NewJournalIn(sw.shards[0].db, shard.CoordinatorCollection)
+	coord.Clock = opts.Clock
+
+	if sw.journaled[name] {
+		if coord.Check(name, src) == migrate.StatusConflict {
+			return false, &migrate.ErrJournalConflict{Name: name}
+		}
+		return false, nil
+	}
+
+	status := coord.Check(name, src)
+	if status == migrate.StatusConflict {
+		return false, &migrate.ErrJournalConflict{Name: name}
+	}
+
+	applied := false
+	if status == migrate.StatusApplied {
+		// Committed on every shard in an earlier process: only advance the
+		// in-memory schemas (each shard's own journal classifies it Applied
+		// and replays the schema without re-executing or re-proving).
+		for i, w := range sw.shards {
+			if _, err := w.MigrateNamedOpts(name, src, opts); err != nil {
+				return false, fmt.Errorf("scooter: replaying %s on shard %d: %w", name, i, err)
+			}
+		}
+	} else {
+		if status == migrate.StatusPartial {
+			// A previous process died mid-commit; the per-shard journals
+			// say exactly which shards still need the migration.
+			sw.metrics.RecordRecovery()
+		}
+		// Prepare precedes the first shard commit, so a crash anywhere in
+		// the loop leaves a durable record naming the in-flight migration.
+		id, err := coord.Begin(name, src, len(sw.shards))
+		if err != nil {
+			return false, err
+		}
+		// Verification happens once, inside the first shard that has not
+		// applied the script yet; the rest execute with it skipped.
+		verified := false
+		for i, w := range sw.shards {
+			shardOpts := opts
+			if verified || migrate.NewJournal(w.db).Check(name, src) == migrate.StatusApplied {
+				shardOpts.SkipVerification = true
+			} else {
+				verified = true
+			}
+			shardApplied, err := w.MigrateNamedOpts(name, src, shardOpts)
+			if err != nil {
+				return false, fmt.Errorf("scooter: applying %s on shard %d: %w", name, i, err)
+			}
+			applied = applied || shardApplied
+			if err := coord.Progress(id, i+1); err != nil {
+				return false, err
+			}
+		}
+		if err := coord.Finish(id, len(sw.shards)); err != nil {
+			return false, err
+		}
+		sw.metrics.RecordMigration()
+	}
+
+	for i, w := range sw.shards {
+		sw.metrics.SetEpoch(i, w.SpecEpoch())
+	}
+	if sw.journaled == nil {
+		sw.journaled = map[string]bool{}
+	}
+	sw.journaled[name] = true
+	return applied, nil
+}
+
+// AppliedMigrations lists the coordinator's journal of cross-shard
+// migrations.
+func (sw *ShardedWorkspace) AppliedMigrations() []migrate.JournalEntry {
+	coord := migrate.NewJournalIn(sw.shards[0].db, shard.CoordinatorCollection)
+	return coord.Entries()
+}

@@ -1,0 +1,202 @@
+package scooter_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scooter"
+	"scooter/internal/store"
+)
+
+// TestShardedDifferential drives the same random workload against a 4-shard
+// workspace and a 1-shard oracle (the unsharded code path behind the same
+// API) and checks observational equivalence: every operation returns the
+// same outcome in both worlds, every query the same visible documents with
+// the same fields stripped, and the final logical state hashes are equal.
+//
+// Both worlds allocate ids from identical router counters, so the workload
+// lands on the same ids without explicit-id plumbing.
+func TestShardedDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runShardedDifferential(t, seed)
+		})
+	}
+}
+
+func runShardedDifferential(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	sharded, err := scooter.NewSharded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	oracle, err := scooter.NewSharded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	worlds := []*scooter.ShardedWorkspace{sharded, oracle}
+
+	migrate := func(name, src string) {
+		var firstApplied bool
+		for i, w := range worlds {
+			applied, err := w.MigrateNamedOpts(name, src, fixedOpts())
+			if err != nil {
+				t.Fatalf("%s on world %d: %v", name, i, err)
+			}
+			if i == 0 {
+				firstApplied = applied
+			} else if applied != firstApplied {
+				t.Fatalf("%s: applied diverges (%v vs %v)", name, firstApplied, applied)
+			}
+		}
+	}
+	migrate("001_boot", shardBoot)
+
+	var users, peeps []scooter.ID
+
+	// insert runs the same policy-checked insert in both worlds and checks
+	// the outcomes (id or denial) agree.
+	insert := func(p scooter.Principal, model string, fields scooter.Doc) (scooter.ID, bool) {
+		id0, err0 := sharded.AsPrinc(p).Insert(model, fields)
+		id1, err1 := oracle.AsPrinc(p).Insert(model, fields)
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("insert %s %v: outcomes diverge (%v vs %v)", model, fields, err0, err1)
+		}
+		if err0 != nil {
+			return scooter.Nil, false
+		}
+		if id0 != id1 {
+			t.Fatalf("insert %s: ids diverge (%v vs %v)", model, id0, id1)
+		}
+		return id0, true
+	}
+	check2 := func(op string, err0, err1 error) {
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("%s: outcomes diverge (%v vs %v)", op, err0, err1)
+		}
+	}
+	randUser := func() scooter.ID { return users[rng.Intn(len(users))] }
+
+	admin := scooter.Static("Admin")
+	for i := 0; i < 4; i++ {
+		id, ok := insert(admin, "User", scooter.Doc{
+			"name": fmt.Sprintf("u%d", i), "email": fmt.Sprintf("u%d@x", i),
+		})
+		if !ok {
+			t.Fatal("admin must create users")
+		}
+		users = append(users, id)
+	}
+
+	const ops = 300
+	for i := 0; i < ops; i++ {
+		if i == ops/2 {
+			// A cross-shard migration mid-stream: both worlds fence the new
+			// spec and backfill, and stay equivalent afterwards.
+			migrate("002_bio", shardBio)
+		}
+		switch rng.Intn(8) {
+		case 0: // grow the population
+			if id, ok := insert(admin, "User", scooter.Doc{
+				"name": fmt.Sprintf("n%d", i), "email": fmt.Sprintf("n%d@x", i),
+			}); ok {
+				users = append(users, id)
+			}
+		case 1, 2: // post a peep as a random user (sometimes forging the author)
+			author := randUser()
+			actor := author
+			if rng.Intn(4) == 0 {
+				actor = randUser()
+			}
+			p := scooter.Instance("User", actor)
+			if id, ok := insert(p, "Peep", scooter.Doc{"author": author, "body": fmt.Sprintf("b%d", i)}); ok {
+				peeps = append(peeps, id)
+			}
+		case 3: // edit a peep (sometimes as a non-author, which must deny)
+			if len(peeps) == 0 {
+				continue
+			}
+			id := peeps[rng.Intn(len(peeps))]
+			p := scooter.Instance("User", randUser())
+			err0 := sharded.AsPrinc(p).Update("Peep", id, scooter.Doc{"body": fmt.Sprintf("e%d", i)})
+			err1 := oracle.AsPrinc(p).Update("Peep", id, scooter.Doc{"body": fmt.Sprintf("e%d", i)})
+			check2("update peep", err0, err1)
+		case 4: // delete a peep (same policy gate)
+			if len(peeps) == 0 {
+				continue
+			}
+			id := peeps[rng.Intn(len(peeps))]
+			p := scooter.Instance("User", randUser())
+			err0 := sharded.AsPrinc(p).Delete("Peep", id)
+			err1 := oracle.AsPrinc(p).Delete("Peep", id)
+			check2("delete peep", err0, err1)
+		case 5: // read a user as another user: identical stripping
+			target, reader := randUser(), randUser()
+			p := scooter.Instance("User", reader)
+			o0, err0 := sharded.AsPrinc(p).FindByID("User", target)
+			o1, err1 := oracle.AsPrinc(p).FindByID("User", target)
+			check2("find user", err0, err1)
+			compareObjects(t, "FindByID(User)", o0, o1)
+		case 6: // fan-out query vs oracle scan: identical visible rows
+			author := randUser()
+			p := scooter.Instance("User", randUser())
+			objs0, err0 := sharded.AsPrinc(p).Find("Peep", scooter.Eq("author", author))
+			objs1, err1 := oracle.AsPrinc(p).Find("Peep", scooter.Eq("author", author))
+			check2("find peeps", err0, err1)
+			if len(objs0) != len(objs1) {
+				t.Fatalf("find peeps: %d vs %d rows", len(objs0), len(objs1))
+			}
+			for j := range objs0 {
+				compareObjects(t, "Find(Peep)", objs0[j], objs1[j])
+			}
+		case 7: // update own profile
+			id := randUser()
+			p := scooter.Instance("User", id)
+			err0 := sharded.AsPrinc(p).Update("User", id, scooter.Doc{"email": fmt.Sprintf("m%d@x", i)})
+			err1 := oracle.AsPrinc(p).Update("User", id, scooter.Doc{"email": fmt.Sprintf("m%d@x", i)})
+			check2("update user", err0, err1)
+		}
+	}
+
+	h0, err := sharded.LogicalStateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := oracle.LogicalStateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != h1 {
+		t.Fatalf("final logical hashes diverge:\n sharded %s\n oracle  %s", h0, h1)
+	}
+}
+
+// compareObjects requires two policy-filtered views to be byte-identical:
+// same id, same visible fields (stripping included), same values.
+func compareObjects(t *testing.T, op string, a, b *scooter.Object) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: presence diverges (%v vs %v)", op, a, b)
+	}
+	if a == nil {
+		return
+	}
+	if a.ID != b.ID {
+		t.Fatalf("%s: ids diverge (%v vs %v)", op, a.ID, b.ID)
+	}
+	ba, err := store.MarshalDoc(a.Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := store.MarshalDoc(b.Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Fatalf("%s id %v: visible fields diverge\n sharded %s\n oracle  %s", op, a.ID, ba, bb)
+	}
+}

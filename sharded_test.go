@@ -1,0 +1,304 @@
+package scooter_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scooter"
+)
+
+// The sharded fixtures keep every policy row-local (principal identity and
+// the target document's own fields). Policies quantifying over a collection
+// with Model::Find would observe only the owner shard's slice, so sharded
+// specs avoid them; see DESIGN.md.
+const shardBoot = `
+AddStaticPrincipal(Admin);
+CreateModel(@principal User {
+  create: _ -> [Admin],
+  delete: none,
+  name: String { read: public, write: u -> [u] },
+  email: String { read: u -> [u], write: u -> [u] },
+});
+CreateModel(Peep {
+  create: p -> [p.author],
+  delete: p -> [p.author],
+  author: Id(User) { read: public, write: none },
+  body: String { read: public, write: p -> [p.author] },
+});
+`
+
+const shardBio = `
+User::AddField(bio: String { read: public, write: u -> [u] }, u -> "I'm " + u.name);
+`
+
+// fixedOpts pins journal timestamps so replayed worlds hash identically.
+func fixedOpts() scooter.Options {
+	opts := scooter.DefaultOptions()
+	opts.Clock = func() time.Time { return time.Unix(1700000000, 0) }
+	return opts
+}
+
+func TestShardedEnforcementAndRouting(t *testing.T) {
+	sw, err := scooter.NewSharded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	if applied, err := sw.MigrateNamed("001_boot", shardBoot); err != nil || !applied {
+		t.Fatalf("bootstrap: applied=%v err=%v", applied, err)
+	}
+	admin := sw.AsPrinc(scooter.Static("Admin"))
+	aliceID, err := admin.Insert("User", scooter.Doc{"name": "alice", "email": "a@x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobID, err := admin.Insert("User", scooter.Doc{"name": "bob", "email": "b@x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := sw.AsPrinc(scooter.Instance("User", aliceID))
+	bob := sw.AsPrinc(scooter.Instance("User", bobID))
+
+	// Policy enforcement is unchanged through the router: bob cannot read
+	// alice's email or edit her peeps, whichever shards own the documents.
+	obj, err := bob.FindByID("User", aliceID)
+	if err != nil || obj == nil {
+		t.Fatalf("FindByID: %v %v", obj, err)
+	}
+	if _, ok := obj.Get("email"); ok {
+		t.Error("email must be stripped across shards")
+	}
+	peep, err := alice.Insert("Peep", scooter.Doc{"author": aliceID, "body": "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bob.Update("Peep", peep, scooter.Doc{"body": "hacked"})
+	var perr *scooter.PolicyError
+	if !errors.As(err, &perr) {
+		t.Fatalf("expected PolicyError, got %v", err)
+	}
+	// Fan-out query sees documents from every shard.
+	objs, err := bob.Find("Peep")
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("fan-out Find: %v %v", objs, err)
+	}
+}
+
+func TestShardedMigrationEpochsConverge(t *testing.T) {
+	sw, err := scooter.NewSharded(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	if _, err := sw.MigrateNamed("001_boot", shardBoot); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range sw.Epochs() {
+		if e != 1 {
+			t.Fatalf("after bootstrap, shard %d epoch = %d, want 1 (%v)", i, e, sw.Epochs())
+		}
+	}
+	if applied, err := sw.MigrateNamed("002_bio", shardBio); err != nil || !applied {
+		t.Fatalf("bio: applied=%v err=%v", applied, err)
+	}
+	for i, e := range sw.Epochs() {
+		if e != 2 {
+			t.Fatalf("after bio, shard %d epoch = %d, want 2 (%v)", i, e, sw.Epochs())
+		}
+	}
+	// Every shard serves the same spec text.
+	for i := 0; i < sw.Shards(); i++ {
+		if got := sw.Shard(i).SpecText(); got != sw.SpecText() {
+			t.Fatalf("shard %d spec diverges:\n%s", i, got)
+		}
+		if !strings.Contains(sw.Shard(i).SpecText(), "bio") {
+			t.Fatalf("shard %d missing migrated field", i)
+		}
+	}
+	// Re-running is a no-op; an edited script under the same name conflicts.
+	if applied, err := sw.MigrateNamed("002_bio", shardBio); err != nil || applied {
+		t.Fatalf("re-run: applied=%v err=%v", applied, err)
+	}
+	if _, err := sw.MigrateNamed("002_bio", shardBio+"\n# edited"); err == nil ||
+		!strings.Contains(err.Error(), "different content") {
+		t.Fatalf("edited script: %v", err)
+	}
+	// The coordinator journal records both commits as done.
+	entries := sw.AppliedMigrations()
+	if len(entries) != 2 || entries[0].Name != "001_boot" || entries[1].Name != "002_bio" {
+		t.Fatalf("coordinator journal: %+v", entries)
+	}
+	for _, e := range entries {
+		if !e.Done {
+			t.Fatalf("coordinator entry not done: %+v", e)
+		}
+	}
+}
+
+func TestOpenShardedRecoversAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := fixedOpts()
+	sw, err := scooter.OpenSharded(dir, 4, scooter.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.MigrateNamedOpts("001_boot", shardBoot, opts); err != nil {
+		t.Fatal(err)
+	}
+	admin := sw.AsPrinc(scooter.Static("Admin"))
+	var ids []scooter.ID
+	for i := 0; i < 12; i++ {
+		id := scooter.ID(100 + i)
+		if err := admin.InsertWithID("User", id, scooter.Doc{"name": "u", "email": "e"}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := sw.MigrateNamedOpts("002_bio", shardBio, opts); err != nil {
+		t.Fatal(err)
+	}
+	wantHash, err := sw.LogicalStateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and replay the migration history — the recovery contract.
+	sw2, err := scooter.OpenSharded(dir, 4, scooter.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw2.Close()
+	if _, err := sw2.MigrateNamedOpts("001_boot", shardBoot, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw2.MigrateNamedOpts("002_bio", shardBio, opts); err != nil {
+		t.Fatal(err)
+	}
+	gotHash, err := sw2.LogicalStateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHash != wantHash {
+		t.Fatalf("logical hash changed across reopen:\n before %s\n after  %s", wantHash, gotHash)
+	}
+	for i, e := range sw2.Epochs() {
+		if e != 2 {
+			t.Fatalf("shard %d epoch after reopen = %d (%v)", i, e, sw2.Epochs())
+		}
+	}
+	// Backfilled field and data survive on every owner shard.
+	p := sw2.AsPrinc(scooter.Instance("User", ids[0]))
+	obj, err := p.FindByID("User", ids[0])
+	if err != nil || obj == nil {
+		t.Fatalf("after reopen: %v %v", obj, err)
+	}
+	if bio, ok := obj.Get("bio"); !ok || bio != "I'm u" {
+		t.Fatalf("bio after reopen: %v (%v)", bio, ok)
+	}
+}
+
+func TestOpenShardedRefusesShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	sw, err := scooter.OpenSharded(dir, 4, scooter.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scooter.OpenSharded(dir, 2, scooter.DurabilityOptions{}); err == nil {
+		t.Fatal("reopening 4-shard directory with 2 shards must fail")
+	}
+}
+
+func TestShardedCloseAndSyncConcurrent(t *testing.T) {
+	sw, err := scooter.OpenSharded(t.TempDir(), 2, scooter.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.MigrateNamed("001_boot", shardBoot); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				if err := sw.Close(); err != nil {
+					t.Errorf("concurrent Close: %v", err)
+				}
+			} else {
+				// Sync racing Close must not panic or error; a shard may
+				// already be closed, which reports success (nothing to sync).
+				if err := sw.Sync(); err != nil {
+					t.Errorf("Sync racing Close: %v", err)
+				}
+				// Per-shard handles are safe too.
+				if err := sw.Shard(0).Sync(); err != nil {
+					t.Errorf("shard Sync racing Close: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedPartialCommitResumes drives the epoch fence directly: commit a
+// migration on a prefix of shards (as a crash mid-commit would leave it),
+// then replay through the coordinator and check every shard converges.
+func TestShardedPartialCommitResumes(t *testing.T) {
+	dir := t.TempDir()
+	opts := fixedOpts()
+	sw, err := scooter.OpenSharded(dir, 4, scooter.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.MigrateNamedOpts("001_boot", shardBoot, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Apply the second migration to shards 0 and 1 only, bypassing the
+	// coordinator's Finish — the on-disk state a mid-commit crash leaves.
+	shardOpts := opts
+	for i := 0; i < 2; i++ {
+		if i > 0 {
+			shardOpts.SkipVerification = true
+		}
+		if _, err := sw.Shard(i).MigrateNamedOpts("002_bio", shardBio, shardOpts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sw2, err := scooter.OpenSharded(dir, 4, scooter.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw2.Close()
+	if _, err := sw2.MigrateNamedOpts("001_boot", shardBoot, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw2.MigrateNamedOpts("002_bio", shardBio, opts); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range sw2.Epochs() {
+		if e != 2 {
+			t.Fatalf("shard %d epoch = %d after resume (%v)", i, e, sw2.Epochs())
+		}
+	}
+	entries := sw2.AppliedMigrations()
+	if len(entries) != 2 || !entries[1].Done {
+		t.Fatalf("coordinator after resume: %+v", entries)
+	}
+}
