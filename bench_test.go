@@ -81,7 +81,7 @@ func BenchmarkSec52_UnsafeDetection(b *testing.B) {
 // Parsing and type-checking setup is hoisted out of the timed loop so the
 // benchmark isolates verification time, as §5.3 intends.
 func BenchmarkSec53_VerifySpeed_Study(b *testing.B) {
-	studies, err := casestudies.Studies()
+	studies, err := casestudies.AllStudies()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func BenchmarkSec53_VerifySpeed_Study(b *testing.B) {
 // strictness queries recur. Compare against BenchmarkSec53_VerifySpeed_Study
 // for the cold/warm speedup reported in EXPERIMENTS.md.
 func BenchmarkSec53_VerifySpeed_Study_Cached(b *testing.B) {
-	studies, err := casestudies.Studies()
+	studies, err := casestudies.AllStudies()
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,76 +1,118 @@
 // Command scooter is the Scooter migration tool: it verifies migration
 // scripts against the authoritative policy specification (via the Sidecar
-// verifier), maintains the specification file as migrations apply, and
-// generates the typed Go ORM.
+// verifier), maintains the specification file as migrations apply,
+// generates the typed Go ORM, and bridges annotated Go codebases onto the
+// verified-migration pipeline.
 //
 // Usage:
 //
-//	scooter verify  -spec policy.scp migration.scm...
-//	scooter migrate -spec policy.scp migration.scm...
-//	scooter gen     -spec policy.scp -pkg mypkg [-o orm.go]
-//	scooter fmt     -spec policy.scp
-//	scooter report  fig5
+//	scooter verify         -spec policy.scp migration.scm...
+//	scooter migrate        -spec policy.scp migration.scm...
+//	scooter gen            -spec policy.scp -pkg mypkg [-o orm.go]
+//	scooter fmt            -spec policy.scp
+//	scooter report         fig5
+//	scooter struct2schema  -input ./models [-o spec.scp]
+//	scooter makemigration  -from old.scp (-to new.scp | -against-structs ./models) [-o out.scm]
 //
 // verify checks scripts without applying them. migrate verifies, then
 // rewrites the spec file to reflect the migration (creating it on first
 // use). gen emits the typed ORM package. fmt canonicalises a spec file.
 // report regenerates the paper's Figure 5 expressiveness table from the
 // embedded case-study corpus.
+//
+// struct2schema scans a Go package tree for annotated structs and derives
+// a canonical specification (see internal/structspec for the annotation
+// grammar); the output is byte-stable, so re-running it on an unchanged
+// tree never dirties the spec file.
+//
+// makemigration synthesizes a candidate migration script from the
+// difference between two specifications — the current one (-from; a
+// missing file means the empty spec, so the first run bootstraps a
+// project) and the target, either a spec file (-to) or a Go tree imported
+// on the fly (-against-structs). The candidate is verified by Sidecar
+// before it is reported as usable: synthesis proposes, Sidecar disposes.
+// Decisions the differ refuses to guess (possible renames, fields with no
+// synthesizable initialiser) are reported as explicit ambiguities in the
+// generated script's header comments. -no-verify skips only the proofs,
+// never the structural self-check.
+//
+// Exit status is 0 on success (makemigration: synthesized and proved, or
+// no changes), 1 on a violation or an unprovable/incomplete synthesized
+// script, 2 on usage or parse errors, and 3 when a proof is inconclusive.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"scooter/internal/casestudies"
 	"scooter/internal/migrate"
 	"scooter/internal/parser"
 	"scooter/internal/schema"
+	"scooter/internal/specdiff"
 	"scooter/internal/specfmt"
+	"scooter/internal/structspec"
 	"scooter/internal/typer"
+	"scooter/internal/verify"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind the process boundary: it dispatches the
+// subcommand and returns the exit code. Tests call it in-process to assert
+// the exit-code contract without a subprocess per flag combination.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	var err error
-	switch os.Args[1] {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
 	case "verify":
-		err = cmdVerify(os.Args[2:], false)
+		return cmdVerify(rest, false, stdout, stderr)
 	case "migrate":
-		err = cmdVerify(os.Args[2:], true)
+		return cmdVerify(rest, true, stdout, stderr)
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		return cmdGen(rest, stdout, stderr)
 	case "fmt":
-		err = cmdFmt(os.Args[2:])
+		return cmdFmt(rest, stderr)
 	case "report":
-		err = cmdReport(os.Args[2:])
+		return cmdReport(rest, stdout, stderr)
+	case "struct2schema":
+		return cmdStruct2Schema(rest, stdout, stderr)
+	case "makemigration":
+		return cmdMakeMigration(rest, stdout, stderr)
 	case "-h", "--help", "help":
-		usage()
-		return
+		usage(stderr)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "scooter: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "scooter: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "scooter: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage:
-  scooter verify  -spec policy.scp migration.scm...
-  scooter migrate -spec policy.scp migration.scm...
-  scooter gen     -spec policy.scp -pkg name [-o file.go]
-  scooter fmt     -spec policy.scp
-  scooter report  fig5
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  scooter verify         -spec policy.scp migration.scm...
+  scooter migrate        -spec policy.scp migration.scm...
+  scooter gen            -spec policy.scp -pkg name [-o file.go]
+  scooter fmt            -spec policy.scp
+  scooter report         fig5
+  scooter struct2schema  -input ./models [-o spec.scp]
+  scooter makemigration  -from old.scp (-to new.scp | -against-structs ./models) [-o out.scm]
 `)
+}
+
+// fail prints a runtime error and returns the generic failure code.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "scooter: %v\n", err)
+	return 1
 }
 
 // loadSpec reads and checks a spec file; a missing file yields the empty
@@ -94,34 +136,37 @@ func loadSpec(path string) (*schema.Schema, error) {
 	return s, nil
 }
 
-func cmdVerify(args []string, apply bool) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+func cmdVerify(args []string, apply bool, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
 	noEquiv := fs.Bool("no-equivalences", false, "disable prior-definition tracking (§6.4)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("no migration scripts given")
+		return fail(stderr, fmt.Errorf("no migration scripts given"))
 	}
 	s, err := loadSpec(*specPath)
 	if err != nil {
-		return err
+		return fail(stderr, err)
 	}
 	opts := migrate.DefaultOptions()
 	opts.TrackEquivalences = !*noEquiv
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return err
+			return fail(stderr, err)
 		}
 		script, err := parser.ParseMigration(string(data))
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return fail(stderr, fmt.Errorf("%s: %w", path, err))
 		}
 		plan, err := migrate.Verify(s, script, opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return fail(stderr, fmt.Errorf("%s: %w", path, err))
 		}
-		fmt.Printf("%s: OK (%d commands", path, len(plan.Reports))
+		fmt.Fprintf(stdout, "%s: OK (%d commands", path, len(plan.Reports))
 		weakened := 0
 		for _, r := range plan.Reports {
 			if r.Weakened {
@@ -129,60 +174,221 @@ func cmdVerify(args []string, apply bool) error {
 			}
 		}
 		if weakened > 0 {
-			fmt.Printf(", %d explicit weakenings", weakened)
+			fmt.Fprintf(stdout, ", %d explicit weakenings", weakened)
 		}
-		fmt.Println(")")
+		fmt.Fprintln(stdout, ")")
 		s = plan.After
 	}
 	if apply {
 		if err := os.WriteFile(*specPath, []byte(specfmt.Format(s)), 0o644); err != nil {
-			return err
+			return fail(stderr, err)
 		}
-		fmt.Printf("updated %s\n", *specPath)
+		fmt.Fprintf(stdout, "updated %s\n", *specPath)
 	}
-	return nil
+	return 0
 }
 
-func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+func cmdGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
 	pkg := fs.String("pkg", "models", "generated package name")
 	out := fs.String("o", "", "output file (stdout if empty)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	s, err := loadSpec(*specPath)
 	if err != nil {
-		return err
+		return fail(stderr, err)
 	}
 	src, err := generateORM(s, *pkg)
 	if err != nil {
-		return err
+		return fail(stderr, err)
 	}
 	if *out == "" {
-		fmt.Print(src)
-		return nil
+		fmt.Fprint(stdout, src)
+		return 0
 	}
-	return os.WriteFile(*out, []byte(src), 0o644)
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
 }
 
-func cmdFmt(args []string) error {
-	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+func cmdFmt(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	specPath := fs.String("spec", "policy.scp", "authoritative specification file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	s, err := loadSpec(*specPath)
 	if err != nil {
-		return err
+		return fail(stderr, err)
 	}
-	return os.WriteFile(*specPath, []byte(specfmt.Format(s)), 0o644)
+	if err := os.WriteFile(*specPath, []byte(specfmt.Format(s)), 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
 }
 
-func cmdReport(args []string) error {
+func cmdReport(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 || args[0] != "fig5" {
-		return fmt.Errorf("report: only 'fig5' is supported")
+		fmt.Fprintln(stderr, "scooter: report: only 'fig5' is supported")
+		return 2
 	}
 	rows, err := casestudies.Metrics()
 	if err != nil {
-		return err
+		return fail(stderr, err)
 	}
-	fmt.Print(casestudies.FormatFigure5(rows))
-	return nil
+	fmt.Fprint(stdout, casestudies.FormatFigure5(rows))
+	return 0
+}
+
+// importStructs runs the struct2schema importer and surfaces its report on
+// stderr, warnings included, so narrowings are never silent.
+func importStructs(dir string, stderr io.Writer) (*schema.Schema, error) {
+	s, rep, err := structspec.Import(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range rep.Warnings {
+		fmt.Fprintf(stderr, "scooter: warning: %s\n", w)
+	}
+	fmt.Fprintf(stderr, "scooter: imported %d models, %d fields, %d static principals from %d files\n",
+		rep.Models, rep.Fields, rep.Statics, rep.Files)
+	return s, nil
+}
+
+func cmdStruct2Schema(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("struct2schema", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	input := fs.String("input", "", "Go package tree to scan for annotated structs")
+	out := fs.String("o", "", "output spec file (stdout if empty)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *input == "" || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "scooter: struct2schema needs -input DIR and takes no positional arguments")
+		return 2
+	}
+	s, err := importStructs(*input, stderr)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	text := specfmt.Format(s)
+	// Byte-stability gate: the formatted output must re-parse, re-check,
+	// and re-format to the identical bytes. Machine-generated specs are
+	// exactly where a formatter bug would silently corrupt the pipeline.
+	f, err := parser.ParsePolicyFile(text)
+	if err != nil {
+		return fail(stderr, fmt.Errorf("internal: generated spec does not re-parse: %w", err))
+	}
+	s2 := schema.FromPolicyFile(f)
+	if err := typer.New(s2).CheckSchema(); err != nil {
+		return fail(stderr, fmt.Errorf("internal: generated spec does not re-typecheck: %w", err))
+	}
+	if text2 := specfmt.Format(s2); text2 != text {
+		return fail(stderr, fmt.Errorf("internal: generated spec is not format-stable"))
+	}
+	if *out == "" {
+		fmt.Fprint(stdout, text)
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stderr, "scooter: wrote %s\n", *out)
+	return 0
+}
+
+func cmdMakeMigration(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("makemigration", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	from := fs.String("from", "", "current spec file (missing file = empty spec, bootstraps a project)")
+	to := fs.String("to", "", "target spec file")
+	againstStructs := fs.String("against-structs", "", "derive the target spec from this Go package tree instead of -to")
+	out := fs.String("o", "", "output migration script (stdout if empty)")
+	noVerify := fs.Bool("no-verify", false, "skip Sidecar proofs on the synthesized script (structural self-check still runs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *from == "" || (*to == "") == (*againstStructs == "") || fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "scooter: makemigration needs -from SPEC and exactly one of -to SPEC / -against-structs DIR")
+		return 2
+	}
+	fromSpec, err := loadSpec(*from)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var toSpec *schema.Schema
+	if *againstStructs != "" {
+		toSpec, err = importStructs(*againstStructs, stderr)
+	} else {
+		toSpec, err = loadSpec(*to)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	res, err := specdiff.Diff(fromSpec, toSpec)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, a := range res.Ambiguities {
+		fmt.Fprintf(stderr, "scooter: ambiguity: %s\n", a)
+	}
+	if len(res.Commands) == 0 && res.Complete {
+		fmt.Fprintln(stdout, "no changes")
+		return 0
+	}
+	text := res.Script()
+	write := func() int {
+		if *out == "" {
+			fmt.Fprint(stdout, text)
+			return 0
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "scooter: wrote %s\n", *out)
+		return 0
+	}
+	if !res.Complete {
+		// The candidate cannot converge; emit it as a starting point for
+		// hand-editing but fail loudly.
+		if code := write(); code != 0 {
+			return code
+		}
+		fmt.Fprintln(stderr, "scooter: synthesis incomplete — finish the script by hand (see ambiguities above)")
+		return 1
+	}
+
+	if !*noVerify {
+		// Verify what will actually be read back from disk: parse the
+		// rendered text, not the in-memory commands.
+		script, err := parser.ParseMigration(text)
+		if err != nil {
+			return fail(stderr, fmt.Errorf("internal: synthesized script does not re-parse: %w", err))
+		}
+		if _, err := migrate.Verify(fromSpec, script, migrate.DefaultOptions()); err != nil {
+			var uerr *migrate.UnsafeError
+			if errors.As(err, &uerr) {
+				// Still write the candidate: it never applies unproven,
+				// and the text is the starting point for a human fix.
+				if code := write(); code != 0 {
+					return code
+				}
+				if uerr.Result != nil && uerr.Result.Verdict == verify.Inconclusive {
+					fmt.Fprintf(stdout, "UNKNOWN\n%v\n", uerr)
+					return 3
+				}
+				fmt.Fprintf(stdout, "UNSAFE\n%v\n", uerr)
+				return 1
+			}
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "scooter: sidecar verified %d commands\n", len(res.Commands))
+	}
+	return write()
 }

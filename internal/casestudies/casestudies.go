@@ -80,7 +80,18 @@ var paperMeta = []struct {
 		"the Lifty singleton is encoded as a database object"},
 }
 
-// Studies loads the embedded corpus.
+// extraMeta registers corpora beyond the paper's seven: machine-derived
+// migration histories (struct2schema imports diffed by makemigration)
+// replayed by the same drivers and benchmarks. They are deliberately kept
+// out of Studies()/Metrics(), which report the paper's Figure 5 only.
+var extraMeta = []struct {
+	key, name, framework, note string
+}{
+	{"structdemo", "Struct2Schema Demo", "Go structs",
+		"synthesized from testdata/models by scooter struct2schema + makemigration; every script Sidecar-verified before check-in"},
+}
+
+// Studies loads the embedded paper corpus (the seven studies of Figure 5).
 func Studies() ([]*Study, error) {
 	var out []*Study
 	for _, meta := range paperMeta {
@@ -92,35 +103,76 @@ func Studies() ([]*Study, error) {
 			Inexpressible: meta.inexpressible,
 			Note:          meta.note,
 		}
-		dir := "corpus/" + meta.key
-		entries, err := corpusFS.ReadDir(dir)
-		if err != nil {
-			return nil, fmt.Errorf("case study %s: %w", meta.key, err)
-		}
-		var names []string
-		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".scm") {
-				names = append(names, e.Name())
-			}
-		}
-		sort.Strings(names)
-		if len(names) == 0 {
-			return nil, fmt.Errorf("case study %s: empty corpus", meta.key)
-		}
-		for _, name := range names {
-			data, err := corpusFS.ReadFile(path.Join(dir, name))
-			if err != nil {
-				return nil, err
-			}
-			study.Scripts = append(study.Scripts, Script{
-				Name:      name,
-				Source:    string(data),
-				Bootstrap: strings.HasPrefix(name, "00_"),
-			})
+		if err := loadScripts(study); err != nil {
+			return nil, err
 		}
 		out = append(out, study)
 	}
 	return out, nil
+}
+
+// ExtraStudies loads the non-paper corpora.
+func ExtraStudies() ([]*Study, error) {
+	var out []*Study
+	for _, meta := range extraMeta {
+		study := &Study{
+			Key:       meta.key,
+			Name:      meta.name,
+			Framework: meta.framework,
+			Note:      meta.note,
+		}
+		if err := loadScripts(study); err != nil {
+			return nil, err
+		}
+		out = append(out, study)
+	}
+	return out, nil
+}
+
+// AllStudies is the paper corpus followed by the extras — what replay
+// drivers and benchmarks should cover.
+func AllStudies() ([]*Study, error) {
+	paper, err := Studies()
+	if err != nil {
+		return nil, err
+	}
+	extra, err := ExtraStudies()
+	if err != nil {
+		return nil, err
+	}
+	return append(paper, extra...), nil
+}
+
+// loadScripts fills in the study's migration history from the embedded
+// corpus directory named by its key.
+func loadScripts(study *Study) error {
+	dir := "corpus/" + study.Key
+	entries, err := corpusFS.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("case study %s: %w", study.Key, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".scm") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("case study %s: empty corpus", study.Key)
+	}
+	for _, name := range names {
+		data, err := corpusFS.ReadFile(path.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		study.Scripts = append(study.Scripts, Script{
+			Name:      name,
+			Source:    string(data),
+			Bootstrap: strings.HasPrefix(name, "00_"),
+		})
+	}
+	return nil
 }
 
 // Build verifies every script of the study in order, returning the final

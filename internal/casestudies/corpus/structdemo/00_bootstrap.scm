@@ -1,0 +1,32 @@
+# Synthesized by scooter makemigration; verify with sidecar before applying.
+AddStaticPrincipal(AuditService);
+AddStaticPrincipal(Unauthenticated);
+CreateModel(@principal
+User {
+  create: public,
+  delete: u -> [u],
+  name: String { read: public, write: u -> [u] },
+  email: String { read: u -> [u], write: u -> [u] },
+  password_hash: String { read: none, write: u -> [u] },
+  admin: Bool { read: public, write: none },
+  created_at: DateTime { read: public, write: none },
+  updated_at: Option(DateTime) { read: public, write: none },
+});
+CreateModel(AuditLog {
+  create: public,
+  delete: none,
+  actor: Option(Id(User)) { read: _ -> [AuditService], write: none },
+  action: String { read: _ -> [AuditService], write: none },
+  payload: Blob { read: _ -> [AuditService], write: none },
+});
+CreateModel(Order {
+  create: public,
+  delete: none,
+  buyer: Id(User) { read: public, write: none },
+  total: F64 { read: public, write: none },
+  note: Option(String) { read: o -> [o.buyer], write: o -> [o.buyer] },
+  watchers: Set(Id(User)) { read: public, write: none },
+  placed_at: DateTime { read: public, write: none },
+  created_at: DateTime { read: public, write: none },
+  updated_at: Option(DateTime) { read: public, write: none },
+});

@@ -1,0 +1,9 @@
+# Synthesized by scooter makemigration; verify with sidecar before applying.
+CreateModel(Coupon {
+  create: public,
+  delete: none,
+  code: String { read: public, write: none },
+  percent: F64 { read: public, write: none },
+  uses: I64 { read: public, write: none },
+});
+Order::UpdateFieldPolicy(total, {read: o -> [o.buyer]});

@@ -1,0 +1,128 @@
+package casestudies
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/schema"
+	"scooter/internal/specdiff"
+	"scooter/internal/specfmt"
+	"scooter/internal/structspec"
+)
+
+// TestExtraCorpusVerifies replays the machine-derived corpora through the
+// verifier like any other study. Every script of an extra study was
+// synthesized by makemigration — if one stops verifying, either the differ
+// regressed or the corpus drifted from the tool.
+func TestExtraCorpusVerifies(t *testing.T) {
+	extras, err := ExtraStudies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extras) == 0 {
+		t.Fatal("no extra studies registered")
+	}
+	for _, study := range extras {
+		final, plans, err := study.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", study.Key, err)
+		}
+		t.Logf("%s: %d scripts, %d models final", study.Key, len(plans), len(final.Models))
+	}
+}
+
+// TestAllStudiesIncludesExtras pins the replay surface: paper corpus
+// first, extras appended, and Figure 5 untouched by the extras.
+func TestAllStudiesIncludesExtras(t *testing.T) {
+	all, err := AllStudies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := Studies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(paper)+len(extraMeta) {
+		t.Fatalf("AllStudies = %d, want %d paper + %d extra", len(all), len(paper), len(extraMeta))
+	}
+	var found bool
+	for _, s := range all {
+		if s.Key == "structdemo" {
+			found = true
+			if s.Paper.Models != 0 {
+				t.Fatalf("extra study must not carry Figure-5 numbers")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("structdemo missing from AllStudies")
+	}
+}
+
+// TestStructDemoMatchesGenerator regenerates the structdemo bootstrap from
+// testdata/models with the live importer + differ and requires it to be
+// byte-identical to the embedded corpus — the checked-in script IS the
+// tool's output, not a hand-edited copy.
+func TestStructDemoMatchesGenerator(t *testing.T) {
+	imported, _, err := structspec.Import("../../testdata/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := specdiff.Diff(schema.New(), imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || len(res.Ambiguities) != 0 {
+		t.Fatalf("bootstrap synthesis must be unambiguous: %v", res.Ambiguities)
+	}
+	want, err := corpusFS.ReadFile("corpus/structdemo/00_bootstrap.scm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Script(); got != string(want) {
+		t.Fatalf("embedded bootstrap drifted from generator output\n--- generated ---\n%s--- embedded ---\n%s", got, want)
+	}
+
+	// Replaying the full structdemo history converges to the imported spec
+	// plus the 01_growth changes; the bootstrap prefix alone must converge
+	// exactly to the imported spec.
+	applied, err := specdiff.Apply(schema.New(), res.Commands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specdiff.Canonical(applied) != specdiff.Canonical(imported) {
+		t.Fatal("bootstrap does not converge to the imported spec")
+	}
+}
+
+// TestStructDemoGrowthTightensOnly: the follow-on migration must contain
+// no Weaken* commands — synthesized scripts always take the provable
+// strict forms.
+func TestStructDemoGrowthTightensOnly(t *testing.T) {
+	data, err := corpusFS.ReadFile("corpus/structdemo/01_growth.scm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Weaken") {
+		t.Fatalf("synthesized corpus script uses Weaken:\n%s", data)
+	}
+}
+
+// TestExtraCorpusSpecRoundTrip holds extras to the same formatting
+// fixpoint contract as the paper corpus.
+func TestExtraCorpusSpecRoundTrip(t *testing.T) {
+	extras, err := ExtraStudies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, study := range extras {
+		final, _, err := study.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := specfmt.Format(final)
+		if specdiff.Canonical(final) == "" || text == "" {
+			t.Fatalf("%s: empty final spec", study.Key)
+		}
+	}
+}

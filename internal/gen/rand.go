@@ -1,0 +1,201 @@
+package gen
+
+// Random well-typed specification generator, used by the specdiff
+// round-trip property tests and the parser fuzz seed corpus. Schemas are
+// drawn from small fixed name pools so that two independent draws overlap
+// and their diff is non-trivial: shared models with divergent fields,
+// models only one side has, statics coming and going.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scooter/internal/ast"
+	"scooter/internal/schema"
+	"scooter/internal/token"
+	"scooter/internal/typer"
+)
+
+var (
+	randStatics = []string{"Admin", "Root", "Batch"}
+	randModels  = []string{"Alpha", "Beta", "Gamma", "Delta"}
+	randFields  = []string{"fa", "fb", "fc", "fd", "fe"}
+)
+
+var randScalars = []ast.Type{
+	ast.StringType, ast.I64Type, ast.F64Type,
+	ast.BoolType, ast.DateTimeType, ast.BlobType,
+}
+
+// RandomSchema draws a random type-checked schema: 0–2 static principals,
+// 1–3 models (the first one a principal half the time), each with 0–4
+// fields over scalar, Option, Set, and Id types.
+func RandomSchema(r *rand.Rand) *schema.Schema {
+	s := schema.New()
+	for _, st := range randStatics {
+		if r.Intn(3) == 0 {
+			mustDo(s.AddStatic(st))
+		}
+	}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		m := &schema.Model{Name: randModels[i], Principal: i == 0 && r.Intn(2) == 0}
+		m.Create = randPolicy(r, s, m)
+		m.Delete = randPolicy(r, s, m)
+		nf := r.Intn(5)
+		for j := 0; j < nf; j++ {
+			name := randFields[j]
+			m.Fields = append(m.Fields, &schema.Field{
+				Name:  name,
+				Type:  randType(r, s),
+				Read:  randPolicy(r, s, m),
+				Write: randPolicy(r, s, m),
+			})
+		}
+		mustDo(s.AddModel(m))
+	}
+	mustCheck(s)
+	return s
+}
+
+// MutateSchema returns a structurally edited clone of s: a few random
+// field additions/removals, policy changes, model creations/deletions, and
+// principal promotions. Every candidate edit is kept only if the result
+// still type-checks, so the output is always a valid diff target.
+func MutateSchema(r *rand.Rand, s *schema.Schema) *schema.Schema {
+	cur := s.Clone()
+	edits := 1 + r.Intn(3)
+	for i := 0; i < edits; i++ {
+		cand := cur.Clone()
+		switch r.Intn(6) {
+		case 0: // add a field (sometimes Id-typed: exercises NoInitialiser)
+			if m := randModel(r, cand); m != nil {
+				name := randFields[r.Intn(len(randFields))]
+				if m.Field(name) == nil {
+					m.Fields = append(m.Fields, &schema.Field{
+						Name:  name,
+						Type:  randType(r, cand),
+						Read:  randPolicy(r, cand, m),
+						Write: randPolicy(r, cand, m),
+					})
+				}
+			}
+		case 1: // remove a field
+			if m := randModel(r, cand); m != nil && len(m.Fields) > 0 {
+				k := r.Intn(len(m.Fields))
+				m.Fields = append(m.Fields[:k], m.Fields[k+1:]...)
+			}
+		case 2: // rewrite a field policy
+			if m := randModel(r, cand); m != nil && len(m.Fields) > 0 {
+				f := m.Fields[r.Intn(len(m.Fields))]
+				if r.Intn(2) == 0 {
+					f.Read = randPolicy(r, cand, m)
+				} else {
+					f.Write = randPolicy(r, cand, m)
+				}
+			}
+		case 3: // rewrite a model policy
+			if m := randModel(r, cand); m != nil {
+				if r.Intn(2) == 0 {
+					m.Create = randPolicy(r, cand, m)
+				} else {
+					m.Delete = randPolicy(r, cand, m)
+				}
+			}
+		case 4: // create a model under an unused pool name
+			for _, name := range randModels {
+				if cand.Model(name) == nil {
+					m := &schema.Model{Name: name}
+					m.Create = randPolicy(r, cand, m)
+					m.Delete = randPolicy(r, cand, m)
+					m.Fields = append(m.Fields, &schema.Field{
+						Name: randFields[r.Intn(len(randFields))],
+						Type: randScalars[r.Intn(len(randScalars))],
+						Read: ast.PublicPolicy(token.Pos{}), Write: ast.NonePolicy(token.Pos{}),
+					})
+					mustDo(cand.AddModel(m))
+					break
+				}
+			}
+		case 5: // delete a model
+			if m := randModel(r, cand); m != nil {
+				cand.RemoveModel(m.Name)
+			}
+		}
+		// Keep the edit only if the schema still type-checks (deleting a
+		// referenced model, say, is rejected here rather than guarded
+		// against case by case).
+		if typer.New(cand).CheckSchema() == nil {
+			cur = cand
+		}
+	}
+	mustCheck(cur)
+	return cur
+}
+
+func randModel(r *rand.Rand, s *schema.Schema) *schema.Model {
+	if len(s.Models) == 0 {
+		return nil
+	}
+	return s.Models[r.Intn(len(s.Models))]
+}
+
+// randType draws a field type; Id and nested types reference models
+// already present in s.
+func randType(r *rand.Rand, s *schema.Schema) ast.Type {
+	scalar := randScalars[r.Intn(len(randScalars))]
+	switch r.Intn(8) {
+	case 0:
+		return ast.OptionType(scalar)
+	case 1:
+		return ast.SetType(scalar)
+	case 2, 3:
+		if m := randModel(r, s); m != nil {
+			switch r.Intn(3) {
+			case 0:
+				return ast.IdType(m.Name)
+			case 1:
+				return ast.OptionType(ast.IdType(m.Name))
+			default:
+				return ast.SetType(ast.IdType(m.Name))
+			}
+		}
+	}
+	return scalar
+}
+
+// randPolicy draws a policy valid on model m within s: public, none, a
+// static-principal set, or the row itself when m is a principal.
+func randPolicy(r *rand.Rand, s *schema.Schema, m *schema.Model) ast.Policy {
+	pos := token.Pos{}
+	choices := []func() ast.Policy{
+		func() ast.Policy { return ast.PublicPolicy(pos) },
+		func() ast.Policy { return ast.NonePolicy(pos) },
+	}
+	if len(s.Statics) > 0 {
+		st := s.Statics[r.Intn(len(s.Statics))]
+		choices = append(choices, func() ast.Policy {
+			return ast.FuncPolicy(ast.NewFuncLit(pos, "_",
+				ast.NewSetLit(pos, []ast.Expr{ast.NewVar(pos, st)})))
+		})
+	}
+	if m.Principal {
+		choices = append(choices, func() ast.Policy {
+			return ast.FuncPolicy(ast.NewFuncLit(pos, "u",
+				ast.NewSetLit(pos, []ast.Expr{ast.NewVar(pos, "u")})))
+		})
+	}
+	return choices[r.Intn(len(choices))]()
+}
+
+func mustDo(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("gen: random schema construction: %v", err))
+	}
+}
+
+func mustCheck(s *schema.Schema) {
+	if err := typer.New(s).CheckSchema(); err != nil {
+		panic(fmt.Sprintf("gen: random schema does not type-check: %v", err))
+	}
+}

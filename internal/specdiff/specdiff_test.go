@@ -1,0 +1,473 @@
+package specdiff
+
+import (
+	"strings"
+	"testing"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/typer"
+)
+
+func mustSchema(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	f, err := parser.ParsePolicyFile(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s := schema.FromPolicyFile(f)
+	if err := typer.New(s).CheckSchema(); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return s
+}
+
+const baseSpec = `
+@principal
+User {
+    create: public,
+    delete: none,
+    name: String {
+        read: public,
+        write: u -> [u.id],
+    },
+    age: I64 {
+        read: public,
+        write: none,
+    },
+}
+`
+
+func diffOf(t *testing.T, from, to string) *Result {
+	t.Helper()
+	r, err := Diff(mustSchema(t, from), mustSchema(t, to))
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	return r
+}
+
+// mustConverge asserts the self-check invariant explicitly for a complete diff.
+func mustConverge(t *testing.T, from, to string) *Result {
+	t.Helper()
+	r := diffOf(t, from, to)
+	if !r.Complete {
+		t.Fatalf("diff incomplete; ambiguities: %v", r.Ambiguities)
+	}
+	applied, err := Apply(mustSchema(t, from), r.Commands)
+	if err != nil {
+		t.Fatalf("apply: %v\nscript:\n%s", err, r.Script())
+	}
+	if got, want := Canonical(applied), Canonical(mustSchema(t, to)); got != want {
+		t.Fatalf("did not converge\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	return r
+}
+
+func TestDiffIdentical(t *testing.T) {
+	r := mustConverge(t, baseSpec, baseSpec)
+	if len(r.Commands) != 0 {
+		t.Fatalf("expected empty diff, got %d commands:\n%s", len(r.Commands), r.Script())
+	}
+}
+
+func TestDiffAddField(t *testing.T) {
+	to := strings.Replace(baseSpec, "age: I64 {", "email: String {\n        read: public,\n        write: none,\n    },\n    age: I64 {", 1)
+	r := mustConverge(t, baseSpec, to)
+	if len(r.Commands) != 1 {
+		t.Fatalf("want 1 command, got:\n%s", r.Script())
+	}
+	add, ok := r.Commands[0].(*ast.AddField)
+	if !ok || add.Field.Name != "email" {
+		t.Fatalf("want AddField(email), got %s", r.Commands[0])
+	}
+}
+
+func TestDiffRemoveFieldAndModel(t *testing.T) {
+	to := `
+@principal
+User {
+    create: public,
+    delete: none,
+    name: String {
+        read: public,
+        write: u -> [u.id],
+    },
+}
+`
+	r := mustConverge(t, baseSpec, to)
+	if len(r.Commands) != 1 {
+		t.Fatalf("want 1 command, got:\n%s", r.Script())
+	}
+	if _, ok := r.Commands[0].(*ast.RemoveField); !ok {
+		t.Fatalf("want RemoveField, got %s", r.Commands[0])
+	}
+
+	// Deleting the whole model plus its referencing sibling orders
+	// referrer first.
+	from := baseSpec + `
+Post {
+    create: public,
+    delete: none,
+    author: Id(User) {
+        read: public,
+        write: none,
+    },
+}
+`
+	r2 := mustConverge(t, from, "@static-principal Admin")
+	var order []string
+	for _, c := range r2.Commands {
+		if del, ok := c.(*ast.DeleteModel); ok {
+			order = append(order, del.ModelName)
+		}
+	}
+	if len(order) != 2 || order[0] != "Post" || order[1] != "User" {
+		t.Fatalf("delete order referrer-first expected [Post User], got %v\n%s", order, r2.Script())
+	}
+}
+
+func TestDiffCreateModelTopoOrder(t *testing.T) {
+	to := baseSpec + `
+Order {
+    create: public,
+    delete: none,
+    buyer: Id(User) {
+        read: public,
+        write: none,
+    },
+    lines: Set(Id(LineItem)) {
+        read: public,
+        write: none,
+    },
+}
+
+LineItem {
+    create: public,
+    delete: none,
+    sku: String {
+        read: public,
+        write: none,
+    },
+}
+`
+	r := mustConverge(t, baseSpec, to)
+	var creates []string
+	for _, c := range r.Commands {
+		if cm, ok := c.(*ast.CreateModel); ok {
+			creates = append(creates, cm.Model.Name)
+		}
+	}
+	if len(creates) != 2 || creates[0] != "LineItem" || creates[1] != "Order" {
+		t.Fatalf("create order referent-first expected [LineItem Order], got %v", creates)
+	}
+}
+
+func TestDiffPolicyUpdates(t *testing.T) {
+	to := strings.Replace(baseSpec, "create: public", "create: none", 1)
+	to = strings.Replace(to, "read: public,\n        write: none", "read: none,\n        write: none", 1)
+	r := mustConverge(t, baseSpec, to)
+	var haveModel, haveField bool
+	for _, c := range r.Commands {
+		switch cmd := c.(type) {
+		case *ast.UpdatePolicy:
+			haveModel = cmd.ModelName == "User" && cmd.Op == ast.OpCreate
+		case *ast.UpdateFieldPolicy:
+			haveField = cmd.ModelName == "User" && cmd.FieldName == "age" && cmd.Read != nil && cmd.Write == nil
+		default:
+			t.Fatalf("unexpected command %s", c)
+		}
+	}
+	if !haveModel || !haveField {
+		t.Fatalf("missing policy updates:\n%s", r.Script())
+	}
+	// Synthesis must never use the Weaken* escape hatches.
+	if s := r.Script(); strings.Contains(s, "Weaken") {
+		t.Fatalf("synthesized script uses Weaken:\n%s", s)
+	}
+}
+
+func TestDiffStaticsAndPrincipal(t *testing.T) {
+	from := "@static-principal Admin\n" + baseSpec
+	// Demoting User also requires rewriting the policy that used `u.id`
+	// as a principal.
+	demoted := strings.Replace(baseSpec, "@principal\nUser", "User", 1)
+	demoted = strings.Replace(demoted, "write: u -> [u.id],", "write: none,", 1)
+	to := "@static-principal Auditor\n" + demoted
+	r := mustConverge(t, from, to)
+	var kinds []string
+	for _, c := range r.Commands {
+		switch c.(type) {
+		case *ast.AddStaticPrincipal:
+			kinds = append(kinds, "add-static")
+		case *ast.RemovePrincipal:
+			kinds = append(kinds, "remove-principal")
+		case *ast.RemoveStaticPrincipal:
+			kinds = append(kinds, "remove-static")
+		}
+	}
+	want := []string{"add-static", "remove-principal", "remove-static"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("want phases %v, got %v:\n%s", want, kinds, r.Script())
+	}
+}
+
+func TestDiffFieldRenameAmbiguity(t *testing.T) {
+	to := strings.Replace(baseSpec, "age: I64 {", "years: I64 {", 1)
+	r := mustConverge(t, baseSpec, to)
+	var found bool
+	for _, a := range r.Ambiguities {
+		if a.Kind == FieldRename && a.Model == "User" && a.Field == "age" {
+			found = true
+			if !strings.Contains(a.Detail, "years") {
+				t.Fatalf("rename candidate not named: %s", a.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no FieldRename ambiguity reported: %v", r.Ambiguities)
+	}
+	// Still synthesizes remove+add and converges (checked by mustConverge).
+	if !strings.Contains(r.Script(), "AMBIGUITY") {
+		t.Fatalf("ambiguity not rendered into script:\n%s", r.Script())
+	}
+}
+
+func TestDiffModelRenameAmbiguity(t *testing.T) {
+	from := baseSpec + `
+Log {
+    create: public,
+    delete: none,
+    line: String {
+        read: public,
+        write: none,
+    },
+}
+`
+	to := baseSpec + `
+AuditLog {
+    create: public,
+    delete: none,
+    line: String {
+        read: public,
+        write: none,
+    },
+}
+`
+	r := mustConverge(t, from, to)
+	var found bool
+	for _, a := range r.Ambiguities {
+		if a.Kind == ModelRename && a.Model == "Log" && strings.Contains(a.Detail, "AuditLog") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ModelRename ambiguity: %v", r.Ambiguities)
+	}
+}
+
+func TestDiffTypeChange(t *testing.T) {
+	to := strings.Replace(baseSpec, "age: I64 {", "age: F64 {", 1)
+	r := mustConverge(t, baseSpec, to)
+	var found bool
+	for _, a := range r.Ambiguities {
+		if a.Kind == TypeChange && a.Field == "age" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no TypeChange ambiguity: %v", r.Ambiguities)
+	}
+	// Must remove before re-adding the same name.
+	var removeIdx, addIdx = -1, -1
+	for i, c := range r.Commands {
+		switch cmd := c.(type) {
+		case *ast.RemoveField:
+			if cmd.FieldName == "age" {
+				removeIdx = i
+			}
+		case *ast.AddField:
+			if cmd.Field.Name == "age" {
+				addIdx = i
+			}
+		}
+	}
+	if removeIdx == -1 || addIdx == -1 || removeIdx > addIdx {
+		t.Fatalf("type change must order RemoveField before AddField, got remove=%d add=%d:\n%s", removeIdx, addIdx, r.Script())
+	}
+}
+
+func TestDiffNoInitialiser(t *testing.T) {
+	to := strings.Replace(baseSpec, "age: I64 {", "boss: Id(User) {", 1)
+	r := diffOf(t, baseSpec, to)
+	if r.Complete {
+		t.Fatalf("diff with Id-typed added field must be incomplete")
+	}
+	var found bool
+	for _, a := range r.Ambiguities {
+		if a.Kind == NoInitialiser && a.Field == "boss" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no NoInitialiser ambiguity: %v", r.Ambiguities)
+	}
+	if !strings.Contains(r.Script(), "INCOMPLETE") {
+		t.Fatalf("incomplete marker missing:\n%s", r.Script())
+	}
+}
+
+func TestDiffDefaultInits(t *testing.T) {
+	to := strings.Replace(baseSpec, "age: I64 {", `s: String {
+        read: public,
+        write: none,
+    },
+    b: Blob {
+        read: public,
+        write: none,
+    },
+    n: I64 {
+        read: public,
+        write: none,
+    },
+    f: F64 {
+        read: public,
+        write: none,
+    },
+    ok: Bool {
+        read: public,
+        write: none,
+    },
+    at: DateTime {
+        read: public,
+        write: none,
+    },
+    opt: Option(Id(User)) {
+        read: public,
+        write: none,
+    },
+    tags: Set(String) {
+        read: public,
+        write: none,
+    },
+    age: I64 {`, 1)
+	r := mustConverge(t, baseSpec, to)
+	// Every synthesized command must round-trip through the parser.
+	script := r.Script()
+	if _, err := parser.ParseMigration(script); err != nil {
+		t.Fatalf("synthesized script does not re-parse: %v\n%s", err, script)
+	}
+}
+
+func TestScriptRoundTripsThroughParser(t *testing.T) {
+	to := strings.Replace(baseSpec, "create: public", "create: none", 1)
+	r := mustConverge(t, baseSpec, to)
+	f, err := parser.ParseMigration(r.Script())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, r.Script())
+	}
+	if len(f.Commands) != len(r.Commands) {
+		t.Fatalf("command count changed across round trip: %d vs %d", len(f.Commands), len(r.Commands))
+	}
+	for i := range f.Commands {
+		if f.Commands[i].String() != r.Commands[i].String() {
+			t.Fatalf("command %d changed: %q vs %q", i, f.Commands[i].String(), r.Commands[i].String())
+		}
+	}
+}
+
+const principalAlpha = `
+@principal
+Alpha {
+    create: public,
+    delete: none,
+}
+`
+
+func TestDiffDemotionDefersNewReferences(t *testing.T) {
+	// Alpha loses principal status while a NEW field typed Id(Alpha)
+	// appears elsewhere: the AddField must wait until after the
+	// RemovePrincipal or the demotion is structurally refused.
+	to := `
+Alpha {
+    create: public,
+    delete: none,
+}
+
+Beta {
+    create: public,
+    delete: none,
+    ref: Option(Id(Alpha)) {
+        read: public,
+        write: none,
+    },
+}
+`
+	r := mustConverge(t, principalAlpha, to)
+	demote, add := -1, -1
+	for i, c := range r.Commands {
+		switch cmd := c.(type) {
+		case *ast.RemovePrincipal:
+			demote = i
+		case *ast.CreateModel:
+			if cmd.Model.Name == "Beta" {
+				add = i
+			}
+		}
+	}
+	if demote == -1 || add == -1 || add < demote {
+		t.Fatalf("creation referencing demoted model must follow RemovePrincipal, got demote=%d create=%d:\n%s", demote, add, r.Script())
+	}
+}
+
+func TestDiffDemotionBlocked(t *testing.T) {
+	// The referencing field exists in BOTH specs: no synthesized command
+	// removes it, so the demotion cannot structurally succeed and must be
+	// reported rather than guessed at.
+	withRef := `
+Beta {
+    create: public,
+    delete: none,
+    ref: Id(Alpha) {
+        read: public,
+        write: none,
+    },
+}
+`
+	from := principalAlpha + withRef
+	to := strings.Replace(from, "@principal\nAlpha", "Alpha", 1)
+	r := diffOf(t, from, to)
+	if r.Complete {
+		t.Fatalf("blocked demotion must mark the diff incomplete:\n%s", r.Script())
+	}
+	var found bool
+	for _, a := range r.Ambiguities {
+		if a.Kind == DemotionBlocked && a.Model == "Alpha" && strings.Contains(a.Detail, "Beta.ref") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no DemotionBlocked ambiguity: %v", r.Ambiguities)
+	}
+	for _, c := range r.Commands {
+		if _, ok := c.(*ast.RemovePrincipal); ok {
+			t.Fatalf("blocked demotion must not be emitted:\n%s", r.Script())
+		}
+	}
+}
+
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	a := mustSchema(t, baseSpec+"\nPost {\n    create: public,\n    delete: none,\n}\n")
+	b := mustSchema(t, "Post {\n    create: public,\n    delete: none,\n}\n"+baseSpec)
+	if Canonical(a) != Canonical(b) {
+		t.Fatalf("canonical form is declaration-order sensitive")
+	}
+	r, err := Diff(a, b)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(r.Commands) != 0 {
+		t.Fatalf("reordered spec should need no migration:\n%s", r.Script())
+	}
+}

@@ -1,0 +1,477 @@
+// Package structspec derives a Scooter specification from an annotated Go
+// package tree — the bridge that onboards an existing Go codebase onto the
+// verified-migration pipeline. It scans for exported structs with Go's own
+// AST parser (no build step: the tree only has to parse, not compile),
+// maps Go field types onto Scooter types, reads column names from
+// `scooter`/`db` struct tags, and parses read/write policies from a
+// `policy:"..."` tag with the ordinary policy grammar. Model-level
+// annotations ride in doc-comment directives:
+//
+//	//scooter:principal                 — the model is a dynamic principal
+//	//scooter:create <policy>           — create policy (default none)
+//	//scooter:delete <policy>           — delete policy (default none)
+//	//scooter:skip                      — not a model (embeddable helper)
+//	//scooter:static-principal <Name>   — declare a static principal
+//	                                      (any comment in the tree)
+//
+// The result is an ordinary *schema.Schema, type-checked before return, so
+// everything downstream (specfmt, the differ, Sidecar) treats an imported
+// code base exactly like a hand-written specification. Policies default to
+// `none` — a field nobody annotated is a field nobody can touch, matching
+// the paper's deny-by-default stance.
+package structspec
+
+import (
+	"fmt"
+	goast "go/ast"
+	goparser "go/parser"
+	gotoken "go/token"
+	"io/fs"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"scooter/internal/ast"
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/token"
+	"scooter/internal/typer"
+)
+
+// Report collects what the importer did and what it had to skip, so the
+// CLI can surface a faithful account instead of silently narrowing.
+type Report struct {
+	// Files is the number of Go files scanned.
+	Files int
+	// Models and Fields count what was imported.
+	Models, Fields int
+	// Statics counts declared static principals.
+	Statics int
+	// Warnings lists skipped fields, unmappable types, and other
+	// non-fatal narrowings, one human-readable line each.
+	Warnings []string
+}
+
+func (r *Report) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// structDecl is one struct type collected from the tree before mapping.
+type structDecl struct {
+	name      string
+	st        *goast.StructType
+	doc       *goast.CommentGroup
+	skip      bool // //scooter:skip — embeddable helper, not a model
+	principal bool
+	create    string // policy source from //scooter:create, "" = none
+	delete    string
+	file      string
+}
+
+// Import scans dir recursively and derives the specification. The
+// returned schema is type-checked and its models are sorted by name, so
+// two imports of the same tree are byte-identical through specfmt.
+func Import(dir string) (*schema.Schema, *Report, error) {
+	rep := &Report{}
+	decls, statics, err := scan(dir, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(decls) == 0 {
+		return nil, nil, fmt.Errorf("structspec: no exported structs found under %s", dir)
+	}
+
+	im := &importer{decls: map[string]*structDecl{}, rep: rep}
+	for _, d := range decls {
+		if prev, ok := im.decls[d.name]; ok {
+			return nil, nil, fmt.Errorf("structspec: struct %s declared in both %s and %s", d.name, prev.file, d.file)
+		}
+		im.decls[d.name] = d
+	}
+
+	s := schema.New()
+	sort.Strings(statics)
+	for _, name := range statics {
+		if err := s.AddStatic(name); err != nil {
+			return nil, nil, fmt.Errorf("structspec: %w", err)
+		}
+	}
+	rep.Statics = len(statics)
+
+	var modelNames []string
+	for _, d := range decls {
+		if d.skip || !goast.IsExported(d.name) {
+			continue
+		}
+		modelNames = append(modelNames, d.name)
+	}
+	sort.Strings(modelNames)
+	for _, name := range modelNames {
+		m, err := im.model(im.decls[name])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.AddModel(m); err != nil {
+			return nil, nil, fmt.Errorf("structspec: %w", err)
+		}
+		rep.Models++
+		rep.Fields += len(m.Fields)
+	}
+
+	if err := typer.New(s).CheckSchema(); err != nil {
+		return nil, nil, fmt.Errorf("structspec: imported spec does not type-check: %w", err)
+	}
+	return s, rep, nil
+}
+
+// scan parses every non-test .go file under dir and collects struct
+// declarations and static-principal directives.
+func scan(dir string, rep *Report) ([]*structDecl, []string, error) {
+	fset := gotoken.NewFileSet()
+	var decls []*structDecl
+	staticSet := map[string]bool{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, err := goparser.ParseFile(fset, path, nil, goparser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("structspec: %w", err)
+		}
+		rep.Files++
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if arg, ok := directiveArg(c.Text, "static-principal"); ok && arg != "" {
+					staticSet[arg] = true
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*goast.GenDecl)
+			if !ok || gd.Tok != gotoken.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*goast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*goast.StructType)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				sd := &structDecl{name: ts.Name.Name, st: st, doc: doc, file: path}
+				applyDirectives(sd, doc)
+				decls = append(decls, sd)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var statics []string
+	for name := range staticSet {
+		statics = append(statics, name)
+	}
+	return decls, statics, nil
+}
+
+// directiveArg matches a `//scooter:<name> <arg>` comment line.
+func directiveArg(comment, name string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	if !strings.HasPrefix(text, "scooter:"+name) {
+		return "", false
+	}
+	rest := text[len("scooter:"+name):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. scooter:skipper
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func applyDirectives(sd *structDecl, doc *goast.CommentGroup) {
+	if doc == nil {
+		return
+	}
+	for _, c := range doc.List {
+		if _, ok := directiveArg(c.Text, "skip"); ok {
+			sd.skip = true
+		}
+		if _, ok := directiveArg(c.Text, "principal"); ok {
+			sd.principal = true
+		}
+		if p, ok := directiveArg(c.Text, "create"); ok {
+			sd.create = p
+		}
+		if p, ok := directiveArg(c.Text, "delete"); ok {
+			sd.delete = p
+		}
+	}
+}
+
+type importer struct {
+	decls map[string]*structDecl
+	rep   *Report
+}
+
+// model maps one collected struct declaration to a schema model.
+func (im *importer) model(sd *structDecl) (*schema.Model, error) {
+	m := &schema.Model{Name: sd.name, Principal: sd.principal}
+	var err error
+	if m.Create, err = parseDirectivePolicy(sd.create); err != nil {
+		return nil, fmt.Errorf("structspec: %s: create policy: %w", sd.name, err)
+	}
+	if m.Delete, err = parseDirectivePolicy(sd.delete); err != nil {
+		return nil, fmt.Errorf("structspec: %s: delete policy: %w", sd.name, err)
+	}
+	if err := im.fields(m, sd, map[string]bool{sd.name: true}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// fields appends the struct's fields to m, inlining embedded structs.
+// seen guards against embedding cycles.
+func (im *importer) fields(m *schema.Model, sd *structDecl, seen map[string]bool) error {
+	for _, f := range sd.st.Fields.List {
+		if len(f.Names) == 0 {
+			if err := im.embed(m, sd, f.Type, seen); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, name := range f.Names {
+			if !name.IsExported() {
+				continue // unexported fields are implementation detail
+			}
+			if err := im.field(m, sd, name.Name, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// embed inlines the fields of an embedded struct declared in the tree.
+func (im *importer) embed(m *schema.Model, sd *structDecl, expr goast.Expr, seen map[string]bool) error {
+	if star, ok := expr.(*goast.StarExpr); ok {
+		expr = star.X
+	}
+	id, ok := expr.(*goast.Ident)
+	if !ok {
+		im.rep.warnf("%s: embedded %s skipped (not declared in the scanned tree)", m.Name, exprString(expr))
+		return nil
+	}
+	inner, ok := im.decls[id.Name]
+	if !ok {
+		im.rep.warnf("%s: embedded %s skipped (not declared in the scanned tree)", m.Name, id.Name)
+		return nil
+	}
+	if seen[id.Name] {
+		return fmt.Errorf("structspec: embedding cycle through %s in %s", id.Name, m.Name)
+	}
+	seen[id.Name] = true
+	err := im.fields(m, inner, seen)
+	delete(seen, id.Name)
+	return err
+}
+
+// field maps one named struct field to a schema field.
+func (im *importer) field(m *schema.Model, sd *structDecl, goName string, f *goast.Field) error {
+	tag := fieldTag(f)
+	col := tag.Get("scooter")
+	if col == "" {
+		col = tag.Get("db")
+	}
+	if col == "-" {
+		return nil // explicitly excluded from the schema
+	}
+	if i := strings.IndexByte(col, ','); i >= 0 {
+		col = col[:i]
+	}
+	if col == "" {
+		col = snake(goName)
+	}
+	if col == schema.IDFieldName {
+		// Every Scooter model has an implicit unique id; a Go ID field
+		// maps onto it rather than declaring a second one.
+		return nil
+	}
+	typ, ok := im.mapType(f.Type)
+	if !ok {
+		im.rep.warnf("%s.%s: Go type %s has no Scooter mapping; field skipped", m.Name, col, exprString(f.Type))
+		return nil
+	}
+	read, write, err := parsePolicyTag(tag.Get("policy"))
+	if err != nil {
+		return fmt.Errorf("structspec: %s.%s: %w", m.Name, col, err)
+	}
+	if m.Field(col) != nil {
+		return fmt.Errorf("structspec: %s: duplicate field %s (tag collision?)", m.Name, col)
+	}
+	m.Fields = append(m.Fields, &schema.Field{Name: col, Type: typ, Read: read, Write: write})
+	return nil
+}
+
+// mapType converts a Go field type to a Scooter type per the mapping
+// table: scalars to scalars, *T to Option, []T to Set, []byte to Blob,
+// time.Time to DateTime, and a struct declared in the tree to Id(Model).
+func (im *importer) mapType(expr goast.Expr) (ast.Type, bool) {
+	switch t := expr.(type) {
+	case *goast.Ident:
+		switch t.Name {
+		case "string":
+			return ast.StringType, true
+		case "bool":
+			return ast.BoolType, true
+		case "int", "int8", "int16", "int32", "int64",
+			"uint", "uint8", "uint16", "uint32", "uint64", "rune":
+			return ast.I64Type, true
+		case "float32", "float64":
+			return ast.F64Type, true
+		}
+		if d, ok := im.decls[t.Name]; ok && !d.skip && goast.IsExported(d.name) {
+			return ast.IdType(t.Name), true
+		}
+		return ast.Type{}, false
+	case *goast.SelectorExpr:
+		if pkg, ok := t.X.(*goast.Ident); ok && pkg.Name == "time" && t.Sel.Name == "Time" {
+			return ast.DateTimeType, true
+		}
+		return ast.Type{}, false
+	case *goast.StarExpr:
+		inner, ok := im.mapType(t.X)
+		if !ok {
+			return ast.Type{}, false
+		}
+		return ast.OptionType(inner), true
+	case *goast.ArrayType:
+		if t.Len != nil {
+			return ast.Type{}, false
+		}
+		if id, ok := t.Elt.(*goast.Ident); ok && (id.Name == "byte" || id.Name == "uint8") {
+			return ast.BlobType, true
+		}
+		inner, ok := im.mapType(t.Elt)
+		if !ok {
+			return ast.Type{}, false
+		}
+		return ast.SetType(inner), true
+	}
+	return ast.Type{}, false
+}
+
+// parsePolicyTag parses `read: <policy>; write: <policy>` (either clause
+// optional, either order) with the ordinary policy grammar. Both default
+// to none: unannotated data is inaccessible, never silently public.
+func parsePolicyTag(tag string) (read, write ast.Policy, err error) {
+	read = ast.NonePolicy(token.Pos{})
+	write = ast.NonePolicy(token.Pos{})
+	if strings.TrimSpace(tag) == "" {
+		return read, write, nil
+	}
+	seen := map[string]bool{}
+	for _, clause := range strings.Split(tag, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		var op string
+		switch {
+		case strings.HasPrefix(clause, "read:"):
+			op = "read"
+		case strings.HasPrefix(clause, "write:"):
+			op = "write"
+		default:
+			return read, write, fmt.Errorf("policy tag clause %q must start with read: or write:", clause)
+		}
+		if seen[op] {
+			return read, write, fmt.Errorf("duplicate %s clause in policy tag", op)
+		}
+		seen[op] = true
+		p, perr := parser.ParsePolicy(strings.TrimSpace(clause[len(op)+1:]))
+		if perr != nil {
+			return read, write, fmt.Errorf("%s policy: %w", op, perr)
+		}
+		if op == "read" {
+			read = p
+		} else {
+			write = p
+		}
+	}
+	return read, write, nil
+}
+
+// parseDirectivePolicy parses a //scooter:create or //scooter:delete
+// policy; empty means none.
+func parseDirectivePolicy(src string) (ast.Policy, error) {
+	if src == "" {
+		return ast.NonePolicy(token.Pos{}), nil
+	}
+	return parser.ParsePolicy(src)
+}
+
+// fieldTag returns the struct tag of f, parsed per reflect conventions.
+func fieldTag(f *goast.Field) reflect.StructTag {
+	if f.Tag == nil {
+		return ""
+	}
+	return reflect.StructTag(strings.Trim(f.Tag.Value, "`"))
+}
+
+// snake converts a Go field name to snake_case: CreatedAt -> created_at,
+// BuyerID -> buyer_id, HTTPPort -> http_port.
+func snake(name string) string {
+	var b strings.Builder
+	runes := []rune(name)
+	for i, r := range runes {
+		lower := r | 0x20
+		isUpper := r >= 'A' && r <= 'Z'
+		if isUpper && i > 0 {
+			prevUpper := runes[i-1] >= 'A' && runes[i-1] <= 'Z'
+			nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+			if !prevUpper || nextLower {
+				b.WriteByte('_')
+			}
+		}
+		if isUpper {
+			b.WriteRune(lower)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// exprString renders a Go type expression for diagnostics.
+func exprString(e goast.Expr) string {
+	switch t := e.(type) {
+	case *goast.Ident:
+		return t.Name
+	case *goast.SelectorExpr:
+		return exprString(t.X) + "." + t.Sel.Name
+	case *goast.StarExpr:
+		return "*" + exprString(t.X)
+	case *goast.ArrayType:
+		return "[]" + exprString(t.Elt)
+	case *goast.MapType:
+		return "map[" + exprString(t.Key) + "]" + exprString(t.Value)
+	}
+	return fmt.Sprintf("%T", e)
+}

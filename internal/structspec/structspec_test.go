@@ -1,0 +1,228 @@
+package structspec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scooter/internal/parser"
+	"scooter/internal/schema"
+	"scooter/internal/specfmt"
+	"scooter/internal/typer"
+)
+
+const modelsDir = "../../testdata/models"
+
+func importModels(t *testing.T) (*schema.Schema, *Report) {
+	t.Helper()
+	s, rep, err := Import(modelsDir)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	return s, rep
+}
+
+func TestImportModelsTree(t *testing.T) {
+	s, rep := importModels(t)
+
+	var names []string
+	for _, m := range s.Models {
+		names = append(names, m.Name)
+	}
+	if got, want := strings.Join(names, ","), "AuditLog,Order,User"; got != want {
+		t.Fatalf("models = %s, want %s", got, want)
+	}
+	if got, want := strings.Join(s.Statics, ","), "AuditService,Unauthenticated"; got != want {
+		t.Fatalf("statics = %s, want %s", got, want)
+	}
+
+	user := s.Model("User")
+	if !user.Principal {
+		t.Fatalf("User must be a principal")
+	}
+	if user.Create.String() != "public" {
+		t.Fatalf("User create = %s", user.Create)
+	}
+	if user.Delete.String() == "none" {
+		t.Fatalf("User delete directive not applied")
+	}
+	// Tag priority: scooter tag wins, db tag next, snake_case fallback.
+	for _, want := range []string{"name", "email", "password_hash", "admin", "created_at", "updated_at"} {
+		if user.Field(want) == nil {
+			t.Fatalf("User missing field %s; have %v", want, fieldNames(user))
+		}
+	}
+	if user.Field("id") != nil {
+		t.Fatalf("Go ID field must map onto the implicit id, not declare a field")
+	}
+	if got := user.Field("password_hash").Read.String(); got != "none" {
+		t.Fatalf("password_hash read = %s, want none", got)
+	}
+	if got := user.Field("updated_at").Type.String(); got != "Option(DateTime)" {
+		t.Fatalf("updated_at type = %s", got)
+	}
+
+	order := s.Model("Order")
+	for field, typ := range map[string]string{
+		"buyer":      "Id(User)",
+		"total":      "F64",
+		"note":       "Option(String)",
+		"watchers":   "Set(Id(User))",
+		"placed_at":  "DateTime",
+		"created_at": "DateTime", // embedded Timestamps inlined
+	} {
+		f := order.Field(field)
+		if f == nil {
+			t.Fatalf("Order missing field %s; have %v", field, fieldNames(order))
+		}
+		if f.Type.String() != typ {
+			t.Fatalf("Order.%s type = %s, want %s", field, f.Type, typ)
+		}
+	}
+	if order.Field("meta") != nil {
+		t.Fatalf("map field must be skipped, not imported")
+	}
+	if order.Field("refcount") != nil {
+		t.Fatalf("unexported field must be skipped")
+	}
+
+	audit := s.Model("AuditLog")
+	if got := audit.Field("payload").Type.String(); got != "Blob" {
+		t.Fatalf("AuditLog.payload type = %s, want Blob", got)
+	}
+	if got := audit.Field("actor").Type.String(); got != "Option(Id(User))" {
+		t.Fatalf("AuditLog.actor type = %s", got)
+	}
+
+	if s.Model("Timestamps") != nil {
+		t.Fatalf("//scooter:skip struct imported as a model")
+	}
+
+	var metaWarn bool
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "meta") && strings.Contains(w, "map[string]string") {
+			metaWarn = true
+		}
+	}
+	if !metaWarn {
+		t.Fatalf("unmappable map field not reported; warnings: %v", rep.Warnings)
+	}
+	if rep.Files != 4 || rep.Models != 3 || rep.Statics != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func fieldNames(m *schema.Model) []string {
+	var out []string
+	for _, f := range m.Fields {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// TestImportByteStable: formatting the imported spec, re-parsing it, and
+// formatting again must be byte-identical — the fmt-idempotence contract
+// machine-generated specs are held to.
+func TestImportByteStable(t *testing.T) {
+	s, _ := importModels(t)
+	text := specfmt.Format(s)
+
+	f, err := parser.ParsePolicyFile(text)
+	if err != nil {
+		t.Fatalf("formatted import does not re-parse: %v\n%s", err, text)
+	}
+	s2 := schema.FromPolicyFile(f)
+	if err := typer.New(s2).CheckSchema(); err != nil {
+		t.Fatalf("formatted import does not re-typecheck: %v", err)
+	}
+	if text2 := specfmt.Format(s2); text2 != text {
+		t.Fatalf("specfmt not idempotent on struct2schema output\n--- first ---\n%s--- second ---\n%s", text, text2)
+	}
+
+	// Two independent imports are byte-identical.
+	s3, _, err := Import(modelsDir)
+	if err != nil {
+		t.Fatalf("second Import: %v", err)
+	}
+	if specfmt.Format(s3) != text {
+		t.Fatalf("import is not deterministic")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	t.Run("empty tree", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, dir, "a.go", "package empty\n")
+		if _, _, err := Import(dir); err == nil || !strings.Contains(err.Error(), "no exported structs") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate struct", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, dir, "a.go", "package p\n\ntype M struct{ A string }\n")
+		writeFile(t, dir, "b.go", "package p\n\ntype M struct{ B string }\n")
+		if _, _, err := Import(dir); err == nil || !strings.Contains(err.Error(), "declared in both") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad policy tag", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, dir, "a.go", "package p\n\ntype M struct {\n\tA string `policy:\"read: ((\"`\n}\n")
+		if _, _, err := Import(dir); err == nil || !strings.Contains(err.Error(), "read policy") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("embedding cycle", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, dir, "a.go", "package p\n\n//scooter:skip\ntype A struct{ B }\n\n//scooter:skip\ntype B struct{ A }\n\ntype M struct{ A }\n")
+		if _, _, err := Import(dir); err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate column", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, dir, "a.go", "package p\n\ntype M struct {\n\tA string `db:\"x\"`\n\tB string `db:\"x\"`\n}\n")
+		if _, _, err := Import(dir); err == nil || !strings.Contains(err.Error(), "duplicate field") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnake(t *testing.T) {
+	for in, want := range map[string]string{
+		"Name":         "name",
+		"CreatedAt":    "created_at",
+		"BuyerID":      "buyer_id",
+		"HTTPPort":     "http_port",
+		"A":            "a",
+		"PasswordHash": "password_hash",
+		"IDNumber":     "id_number",
+	} {
+		if got := snake(in); got != want {
+			t.Errorf("snake(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDirectiveArg(t *testing.T) {
+	if arg, ok := directiveArg("//scooter:create public", "create"); !ok || arg != "public" {
+		t.Fatalf("got %q %v", arg, ok)
+	}
+	if _, ok := directiveArg("//scooter:skipper", "skip"); ok {
+		t.Fatalf("prefix must not match longer directive")
+	}
+	if arg, ok := directiveArg("//scooter:skip", "skip"); !ok || arg != "" {
+		t.Fatalf("bare directive: %q %v", arg, ok)
+	}
+	if _, ok := directiveArg("// scooter:skip", "skip"); ok {
+		t.Fatalf("directives must be flush against the slashes, like go:build")
+	}
+}

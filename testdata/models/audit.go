@@ -1,0 +1,13 @@
+package models
+
+// AuditLog is append-only: anyone's actions land here, but only the
+// audit service principal reads the trail back.
+//
+//scooter:create public
+//scooter:delete none
+type AuditLog struct {
+	ID      int64  `db:"id"`
+	Actor   *User  `db:"actor" policy:"read: _ -> [AuditService]; write: none"`
+	Action  string `db:"action" policy:"read: _ -> [AuditService]; write: none"`
+	Payload []byte `db:"payload" policy:"read: _ -> [AuditService]; write: none"`
+}

@@ -1,0 +1,8 @@
+// Package models is the seed corpus for struct2schema: a small
+// users/orders/audit-log domain exercising mixed struct tags, embedded
+// structs, pointer and slice fields, model references, and policy
+// annotations. It only has to parse — struct2schema never compiles it.
+//
+//scooter:static-principal Unauthenticated
+//scooter:static-principal AuditService
+package models

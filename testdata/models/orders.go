@@ -1,0 +1,23 @@
+package models
+
+import "time"
+
+// Order references its buyer and carries a mixed bag of field shapes:
+// a model reference, an optional free-text note only the buyer can see,
+// a slice of model references, and one deliberately unmappable Go type.
+//
+//scooter:create public
+//scooter:delete none
+type Order struct {
+	ID       int64             `db:"id"`
+	Buyer    User              `db:"buyer" policy:"read: public; write: none"`
+	Total    float64           `db:"total" policy:"read: public; write: none"`
+	Note     *string           `db:"note" policy:"read: o -> [o.buyer]; write: o -> [o.buyer]"`
+	Watchers []User            `db:"watchers" policy:"read: public; write: none"`
+	PlacedAt time.Time         `db:"placed_at" policy:"read: public; write: none"`
+	Meta     map[string]string `db:"meta"` // no Scooter mapping: skipped with a warning
+
+	refcount int // unexported: implementation detail, never imported
+
+	Timestamps
+}

@@ -1,0 +1,27 @@
+package models
+
+import "time"
+
+// Timestamps is an embeddable helper, not a model of its own.
+//
+//scooter:skip
+type Timestamps struct {
+	CreatedAt time.Time  `db:"created_at" policy:"read: public; write: none"`
+	UpdatedAt *time.Time `db:"updated_at" policy:"read: public; write: none"`
+}
+
+// User is the domain's dynamic principal. Anyone may sign up
+// (create: public, the Unauthenticated flow); only the user themselves
+// may delete the account.
+//
+//scooter:principal
+//scooter:create public
+//scooter:delete u -> [u]
+type User struct {
+	ID           int64  `db:"id"`
+	Name         string `db:"name" policy:"read: public; write: u -> [u]"`
+	Email        string `scooter:"email" policy:"read: u -> [u]; write: u -> [u]"`
+	PasswordHash string `db:"password_hash" policy:"read: none; write: u -> [u]"`
+	Admin        bool   `policy:"read: public; write: none"`
+	Timestamps
+}
