@@ -40,6 +40,13 @@ func TestExitCodes(t *testing.T) {
 	needsInit := write("needsinit.scp", "@static-principal P\n\nM {\n  create: public,\n  delete: none,\n  f: String { read: public, write: none },\n  g: Id(M) { read: public, write: none }\n}\n")
 	goodMig := write("good.scm", "M::UpdateFieldPolicy(f, {read: none});\n")
 	badMig := write("bad.scm", "M::(")
+	addA := write("add_a.scm", "M::AddField(n: I64 { read: public, write: none }, _ -> 1);\n")
+	addEq := write("add_eq.scm", "M::AddField(n: I64 { read: public, write: none }, _ -> 0 + 1);\n")
+	addNe := write("add_ne.scm", "M::AddField(n: I64 { read: public, write: none }, _ -> 2);\n")
+	addZero := write("add_zero.scm", "M::AddField(n: I64 { read: public, write: none }, _ -> 0 + 0);\n")
+	// addedSpec is spec plus an I64 field, so makemigration synthesizes
+	// exactly `M::AddField(n: ..., _ -> 0)` — equivalent to addZero, not addA.
+	addedSpec := write("added.scp", "@static-principal P\n\nM {\n  create: public,\n  delete: none,\n  f: String { read: public, write: none },\n  n: I64 { read: public, write: none }\n}\n")
 
 	cases := []struct {
 		name string
@@ -77,6 +84,21 @@ func TestExitCodes(t *testing.T) {
 		{"makemigration incomplete synthesis", []string{"makemigration", "-from", spec, "-to", needsInit}, 1},
 		{"makemigration unprovable skipped with no-verify", []string{"makemigration", "-no-verify", "-from", spec, "-to", weaker}, 0},
 		{"makemigration against structs", []string{"makemigration", "-from", filepath.Join(dir, "absent.scp"), "-against-structs", modelsTree}, 0},
+		{"makemigration compare equivalent", []string{"makemigration", "-from", spec, "-to", addedSpec, "-compare", addZero}, 0},
+		{"makemigration compare counterexample", []string{"makemigration", "-from", spec, "-to", addedSpec, "-compare", addA}, 1},
+		{"makemigration compare inconclusive", []string{"makemigration", "-from", spec, "-to", addedSpec, "-compare", addZero, "-max-universes", "1"}, 3},
+		{"makemigration compare missing ref", []string{"makemigration", "-from", spec, "-to", addedSpec, "-compare", filepath.Join(dir, "absent.scm")}, 1},
+
+		{"equivcheck bad flag", []string{"equivcheck", "-nonsense"}, 2},
+		{"equivcheck missing from", []string{"equivcheck", addA, addEq}, 2},
+		{"equivcheck one script", []string{"equivcheck", "-from", spec, addA}, 2},
+		{"equivcheck online two scripts", []string{"equivcheck", "-from", spec, "-online", addA, addEq}, 2},
+		{"equivcheck proved", []string{"equivcheck", "-from", spec, addA, addEq}, 0},
+		{"equivcheck counterexample", []string{"equivcheck", "-from", spec, addA, addNe}, 1},
+		{"equivcheck inconclusive", []string{"equivcheck", "-from", spec, "-max-universes", "1", addA, addEq}, 3},
+		{"equivcheck parse error", []string{"equivcheck", "-from", spec, addA, badMig}, 1},
+		{"equivcheck bad spec", []string{"equivcheck", "-from", badSpec, addA, addEq}, 1},
+		{"equivcheck online proved", []string{"equivcheck", "-from", spec, "-online", addA}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

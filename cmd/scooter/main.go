@@ -12,7 +12,9 @@
 //	scooter fmt            -spec policy.scp
 //	scooter report         fig5
 //	scooter struct2schema  -input ./models [-o spec.scp]
-//	scooter makemigration  -from old.scp (-to new.scp | -against-structs ./models) [-o out.scm]
+//	scooter makemigration  -from old.scp (-to new.scp | -against-structs ./models) [-compare ref.scm] [-o out.scm]
+//	scooter equivcheck     -from policy.scp a.scm b.scm
+//	scooter equivcheck     -from policy.scp -online migration.scm
 //
 // verify checks scripts without applying them. migrate verifies, then
 // rewrites the spec file to reflect the migration (creating it on first
@@ -34,11 +36,26 @@
 // Decisions the differ refuses to guess (possible renames, fields with no
 // synthesizable initialiser) are reported as explicit ambiguities in the
 // generated script's header comments. -no-verify skips only the proofs,
-// never the structural self-check.
+// never the structural self-check. -compare additionally proves the
+// synthesized candidate observationally equivalent to a handwritten
+// reference script (bounded; see equivcheck below).
+//
+// equivcheck proves two migration scripts over the same source spec
+// observationally equivalent for every document universe up to -bound
+// (default 2) documents per relevant collection: equal final schemas,
+// extensionally equal policies (discharged by the SMT strictness checker
+// in both directions), and canonically equal stores under differential
+// replay. On failure it prints the first diverging collection/field and
+// the seeded store witnessing the divergence. With -online it takes one
+// script and proves its batched online execution plan equivalent to the
+// stop-the-world plan. -verdict-db persists verdicts in the same store as
+// strictness proofs, so warm replays answer from disk byte-identically.
 //
 // Exit status is 0 on success (makemigration: synthesized and proved, or
-// no changes), 1 on a violation or an unprovable/incomplete synthesized
-// script, 2 on usage or parse errors, and 3 when a proof is inconclusive.
+// no changes; equivcheck: proved equivalent), 1 on a violation, an
+// unprovable/incomplete synthesized script, or an equivalence
+// counterexample, 2 on usage or parse errors, and 3 when a proof is
+// inconclusive (solver budget or universe cap exhausted).
 package main
 
 import (
@@ -48,7 +65,9 @@ import (
 	"io"
 	"os"
 
+	"scooter/internal/ast"
 	"scooter/internal/casestudies"
+	"scooter/internal/equivcheck"
 	"scooter/internal/migrate"
 	"scooter/internal/parser"
 	"scooter/internal/schema"
@@ -87,6 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdStruct2Schema(rest, stdout, stderr)
 	case "makemigration":
 		return cmdMakeMigration(rest, stdout, stderr)
+	case "equivcheck":
+		return cmdEquivCheck(rest, stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 		return 0
@@ -105,7 +126,9 @@ func usage(w io.Writer) {
   scooter fmt            -spec policy.scp
   scooter report         fig5
   scooter struct2schema  -input ./models [-o spec.scp]
-  scooter makemigration  -from old.scp (-to new.scp | -against-structs ./models) [-o out.scm]
+  scooter makemigration  -from old.scp (-to new.scp | -against-structs ./models) [-compare ref.scm] [-o out.scm]
+  scooter equivcheck     -from policy.scp a.scm b.scm
+  scooter equivcheck     -from policy.scp -online migration.scm
 `)
 }
 
@@ -302,6 +325,110 @@ func cmdStruct2Schema(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// loadScript reads and parses one migration script.
+func loadScript(path string) (*ast.MigrationScript, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	script, err := parser.ParseMigration(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return script, nil
+}
+
+// equivExit maps an equivalence report onto the exit-code convention:
+// proved 0, counterexample 1, inconclusive 3.
+func equivExit(rep *equivcheck.Report) int {
+	switch rep.Verdict {
+	case equivcheck.Equivalent:
+		return 0
+	case equivcheck.NotEquivalent:
+		return 1
+	default:
+		return 3
+	}
+}
+
+func cmdEquivCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("equivcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	from := fs.String("from", "", "source specification both scripts start from")
+	bound := fs.Int("bound", equivcheck.DefaultBound, "max documents per relevant collection")
+	maxUniverses := fs.Int("max-universes", equivcheck.DefaultMaxUniverses, "cap on document universes to replay (exceeding it is inconclusive)")
+	solverRounds := fs.Int("solver-rounds", 0, "SMT budget per policy proof (0 = default)")
+	online := fs.Bool("online", false, "take one script and prove its online plan equivalent to stop-the-world")
+	batchSize := fs.Int("batch-size", migrate.DefaultBatchSize, "backfill batch size for -online")
+	verdictDB := fs.String("verdict-db", "", "persist verdicts in this store (shared with sidecar proofs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *from == "" {
+		fmt.Fprintln(stderr, "scooter: equivcheck needs -from SPEC")
+		return 2
+	}
+	want := 2
+	if *online {
+		want = 1
+	}
+	if fs.NArg() != want {
+		fmt.Fprintf(stderr, "scooter: equivcheck takes exactly %d script(s) (%d given)\n", want, fs.NArg())
+		return 2
+	}
+	spec, err := loadSpec(*from)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	opts := equivcheck.Options{
+		Bound:        *bound,
+		MaxUniverses: *maxUniverses,
+		SolverRounds: *solverRounds,
+		Cache:        verify.NewCache(0),
+	}
+	if *verdictDB != "" {
+		vdb, err := verify.OpenVerdictDB(*verdictDB)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer func() {
+			if cerr := vdb.Close(); cerr != nil {
+				fmt.Fprintf(stderr, "scooter: verdict store: %v\n", cerr)
+			}
+		}()
+		opts.VerdictDB = vdb
+	}
+
+	var rep *equivcheck.Report
+	if *online {
+		path := fs.Arg(0)
+		script, err := loadScript(path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		rep, err = migrate.VerifyOnlineEquivalent(spec, path, script, *batchSize, opts)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	} else {
+		aPath, bPath := fs.Arg(0), fs.Arg(1)
+		a, err := loadScript(aPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		b, err := loadScript(bPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		rep, err = migrate.VerifyEquivalent(spec, aPath, a, bPath, b, opts)
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+	fmt.Fprint(stdout, rep.Format())
+	return equivExit(rep)
+}
+
 func cmdMakeMigration(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("makemigration", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -310,6 +437,9 @@ func cmdMakeMigration(args []string, stdout, stderr io.Writer) int {
 	againstStructs := fs.String("against-structs", "", "derive the target spec from this Go package tree instead of -to")
 	out := fs.String("o", "", "output migration script (stdout if empty)")
 	noVerify := fs.Bool("no-verify", false, "skip Sidecar proofs on the synthesized script (structural self-check still runs)")
+	compare := fs.String("compare", "", "prove the synthesized script equivalent to this handwritten reference script")
+	bound := fs.Int("bound", equivcheck.DefaultBound, "equivalence bound for -compare (documents per relevant collection)")
+	maxUniverses := fs.Int("max-universes", equivcheck.DefaultMaxUniverses, "universe cap for -compare")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -389,6 +519,34 @@ func cmdMakeMigration(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		fmt.Fprintf(stderr, "scooter: sidecar verified %d commands\n", len(res.Commands))
+	}
+
+	if *compare != "" {
+		// Prove the synthesized candidate observationally equivalent to the
+		// handwritten reference — again against the rendered text, since
+		// that is what will be read back from disk.
+		candidate, err := parser.ParseMigration(text)
+		if err != nil {
+			return fail(stderr, fmt.Errorf("internal: synthesized script does not re-parse: %w", err))
+		}
+		ref, err := loadScript(*compare)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		rep, err := migrate.VerifyEquivalent(fromSpec, "synthesized", candidate, *compare, ref,
+			equivcheck.Options{Bound: *bound, MaxUniverses: *maxUniverses, Cache: verify.NewCache(0)})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprint(stdout, rep.Format())
+		if code := equivExit(rep); code != 0 {
+			// Still write the candidate: the text is the starting point for
+			// reconciling the two scripts.
+			if wcode := write(); wcode != 0 {
+				return wcode
+			}
+			return code
+		}
 	}
 	return write()
 }

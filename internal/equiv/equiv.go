@@ -45,8 +45,14 @@ func (d *Defs) Clone() *Defs {
 // Enabled reports whether definitions are consulted.
 func (d *Defs) Enabled() bool { return d.enabled }
 
-// Record registers the initialiser of a newly added field.
+// Record registers the initialiser of a newly added field. With tracking
+// disabled (the §6.4 opt-out) nothing is recorded: a definition remembered
+// while opted out would resurface if tracking were re-enabled later in the
+// script, resurrecting exactly the equalities the developer opted out of.
 func (d *Defs) Record(model, field string, init *ast.FuncLit) {
+	if !d.enabled {
+		return
+	}
 	d.defs[FieldKey{Model: model, Field: field}] = init
 }
 

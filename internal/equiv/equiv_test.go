@@ -76,6 +76,25 @@ func TestDisabledLookup(t *testing.T) {
 	}
 }
 
+func TestDisabledRecordDoesNotAccumulate(t *testing.T) {
+	// §6.4 opt-out regression: definitions recorded while tracking is
+	// disabled must not accumulate — a later SetEnabled(true) would
+	// otherwise resurrect equalities from the opted-out window.
+	s := testSchema(t)
+	d := New()
+	d.SetEnabled(false)
+	d.Record("User", "adminLevel", fn(t, s, "User", `_ -> 0`, ast.I64Type))
+	d.SetEnabled(true)
+	if _, ok := d.Lookup("User", "adminLevel"); ok {
+		t.Fatal("definition recorded while disabled must not resurface on re-enable")
+	}
+	// Recording while enabled still works after the opt-out window.
+	d.Record("User", "adminLevel", fn(t, s, "User", `u -> if u.isAdmin then 2 else 0`, ast.I64Type))
+	if _, ok := d.Lookup("User", "adminLevel"); !ok {
+		t.Fatal("record after re-enable must be visible")
+	}
+}
+
 func TestInvalidateField(t *testing.T) {
 	s := testSchema(t)
 	d := New()

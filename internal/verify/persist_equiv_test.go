@@ -1,0 +1,65 @@
+package verify
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"scooter/internal/lower"
+	"scooter/internal/smt/term"
+)
+
+// TestVerdictDBEquivKindRoundTrip pins the persistence contract the
+// equivalence checker builds on: keys with non-principal Kind strings
+// ("equiv", "equiv-online") live alongside strictness keys, and the
+// principal-kind strings of a Result are persisted verbatim — equivcheck
+// packs its replay statistics ("u<universes>", "p<proofs>") into them so a
+// warm replay from disk reproduces the cold report byte for byte.
+func TestVerdictDBEquivKindRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.db")
+	d, err := OpenVerdictDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey{Fp: term.Fp{11, 13}, Kind: "equiv", Rounds: 20000}
+	okey := CacheKey{Fp: term.Fp{11, 13}, Kind: "equiv-online", Rounds: 20000}
+	safe := Result{Verdict: Safe, Kind: lower.PrincipalKind{Model: "u109", Static: "p4"}}
+	violation := Result{
+		Verdict: Violation,
+		Kind:    lower.PrincipalKind{Model: "u3", Static: "p0"},
+		Counterexample: &Counterexample{
+			Principal: "universe #2 (1 seeded document(s), bound 2) diverges at User #1.nickname",
+			Target: Record{
+				Model: "User", ID: "#1",
+				Fields: []FieldValue{{Name: "nickname", Value: `a.scm: "a" != b.scm: ""`}},
+			},
+			Others: []Record{{
+				Model: "User", ID: "#1",
+				Fields: []FieldValue{{Name: "name", Value: `"a"`}},
+			}},
+		},
+	}
+	d.Put(key, safe)
+	d.Put(okey, violation)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenVerdictDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	gotSafe, ok := d2.Lookup(key)
+	if !ok || !reflect.DeepEqual(gotSafe, safe) {
+		t.Fatalf("equiv-kind safe verdict did not round-trip: ok=%t got %+v", ok, gotSafe)
+	}
+	gotViolation, ok := d2.Lookup(okey)
+	if !ok || !reflect.DeepEqual(gotViolation, violation) {
+		t.Fatalf("equiv-online violation did not round-trip: ok=%t got %+v", ok, gotViolation)
+	}
+	// The two kinds share a fingerprint but must never share an entry.
+	if _, ok := d2.Lookup(CacheKey{Fp: term.Fp{11, 13}, Kind: "User", Rounds: 20000}); ok {
+		t.Fatal("kind must partition entries with equal fingerprints")
+	}
+}
